@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and emits
+the rows/series both to stdout (visible with ``pytest -s``) and to
+``benchmarks/results/<name>.txt`` so paper-vs-measured comparisons are
+inspectable after any run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """Write (and print) one named report."""
+
+    def _emit(name: str, report: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(report + "\n")
+        print(f"\n{report}\n[written to {path}]")
+        return path
+
+    return _emit

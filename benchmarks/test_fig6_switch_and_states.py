@@ -1,0 +1,101 @@
+"""Bench: Figure 6 — router/switch architecture and the state diagram.
+
+Figure 6 shows (b) the unidirectional stack-shift switch, (c) the
+bidirectional chain switch, (d) the 3-D die-stack switch, and (e) the
+release/inactive/active/sleep state diagram.  The bench exercises each:
+switch programming semantics, a linear array continued across two
+stacked dies, and a full lifecycle walk with protection checks.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.states import ProcessorState, ProcessorStateMachine
+from repro.errors import StateTransitionError
+from repro.topology.die_stack import DieStack
+from repro.topology.switches import BidirectionalSwitch, UnidirectionalSwitch
+
+A, B = (0, 0), (0, 1)
+
+
+def test_fig6_switch_semantics(benchmark, emit):
+    def program_switches():
+        uni = UnidirectionalSwitch((A, B))
+        bi = BidirectionalSwitch((A, B))
+        uni.chain()
+        bi.chain()
+        return uni, bi
+
+    uni, bi = benchmark(program_switches)
+    rows = [
+        ("unidirectional fwd", uni.passes(A, B)),
+        ("unidirectional bwd", uni.passes(B, A)),
+        ("bidirectional fwd", bi.passes(A, B)),
+        ("bidirectional bwd", bi.passes(B, A)),
+    ]
+    assert [r[1] for r in rows] == [True, False, True, True]
+    report = format_table(
+        ["path", "passes"],
+        rows,
+        title="Figure 6(b,c): programmable switch directionality",
+    )
+    emit("fig6_switches", report)
+
+
+def test_fig6_die_stack(benchmark):
+    """Figure 6(d): a linear array continues onto the stacked die."""
+
+    def build():
+        stack = DieStack(4, 4)
+        path = [(0, 0, 0), (0, 0, 1), (0, 0, 2), (1, 0, 2), (1, 0, 3)]
+        stack.chain_3d_path(path)
+        return stack
+
+    stack = benchmark(build)
+    assert stack.via(0, (0, 2)).is_chained
+    assert stack.dies[1].chain_switch((0, 2), (0, 3)).is_chained
+
+
+def test_fig6_state_diagram(benchmark, emit):
+    """Every edge of Figure 6(e), plus protection semantics per state."""
+
+    def walk():
+        sm = ProcessorStateMachine()
+        sm.configure()   # release -> inactive
+        sm.activate()    # inactive -> active
+        sm.sleep()       # active -> sleep (processor-level sync point)
+        sm.wake()        # sleep -> active
+        sm.deactivate()  # active -> inactive (memory open again)
+        sm.activate()
+        sm.release()     # active -> release
+        return sm
+
+    sm = benchmark(walk)
+    assert sm.state is ProcessorState.RELEASE
+    assert len(sm.history) == 8
+
+    # protection semantics per state
+    probe = ProcessorStateMachine()
+    rows = [("release", probe.is_protected, probe.accepts_external_writes)]
+    probe.configure()
+    rows.append(("inactive", probe.is_protected, probe.accepts_external_writes))
+    probe.activate()
+    rows.append(("active", probe.is_protected, probe.accepts_external_writes))
+    probe.sleep()
+    rows.append(("sleep", probe.is_protected, probe.accepts_external_writes))
+    assert rows == [
+        ("release", False, False),
+        ("inactive", False, True),
+        ("active", True, False),
+        ("sleep", True, False),
+    ]
+    report = format_table(
+        ["state", "protected", "accepts external writes"],
+        rows,
+        title="Figure 6(e): processor states and protection",
+    )
+    emit("fig6_states", report)
+
+    # an illegal edge really is rejected
+    with pytest.raises(StateTransitionError):
+        ProcessorStateMachine().transition(ProcessorState.ACTIVE)

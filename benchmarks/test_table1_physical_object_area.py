@@ -1,0 +1,34 @@
+"""Bench: regenerate Table 1 — Physical Object Area Requirement.
+
+Paper rows (0.25 µm reference estimates, λ²):
+
+    64b fMul, fAdd          1.35e8
+    64b fDiv                0.21e8
+    64b iMul + iALU/Shift   2.90e8
+    64b iDiv                0.81e8
+    64b Register x6         5.36e6
+    Total                   5.32e8
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.costmodel.areas import PAPER_TABLE1_TOTAL, physical_object_budget
+
+
+def test_table1_rows(benchmark, emit):
+    budget = benchmark(physical_object_budget)
+    assert budget.total_lambda2 == pytest.approx(PAPER_TABLE1_TOTAL, rel=0.01)
+
+    rows = [
+        (name, f"{proc:.2f}", f"{area:.3e}")
+        for name, proc, area in budget.rows()
+    ]
+    rows.append(("Total", "", f"{budget.total_lambda2:.3e}"))
+    report = format_table(
+        ["Module", "Process [um]", "Area [lambda^2]"],
+        rows,
+        title="Table 1: Physical Object Area Requirement "
+        f"(paper total {PAPER_TABLE1_TOTAL:.3e})",
+    )
+    emit("table1_physical_object_area", report)

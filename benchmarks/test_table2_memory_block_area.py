@@ -1,0 +1,36 @@
+"""Bench: regenerate Table 2 — Memory Block Area Requirement.
+
+Paper total: 9.75e8 λ², roughly twice the physical object, dominated by
+the 64 KB SRAM.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.costmodel.areas import (
+    PAPER_TABLE2_TOTAL,
+    memory_block_budget,
+    physical_object_budget,
+)
+
+
+def test_table2_rows(benchmark, emit):
+    budget = benchmark(memory_block_budget)
+    assert budget.total_lambda2 == pytest.approx(PAPER_TABLE2_TOTAL, rel=0.01)
+    # the paper's "approximately twice the area of the physical object"
+    ratio = budget.total_lambda2 / physical_object_budget().total_lambda2
+    assert 1.7 < ratio < 2.0
+
+    rows = [
+        (name, f"{proc:.2f}", f"{area:.3e}")
+        for name, proc, area in budget.rows()
+    ]
+    rows.append(("Total", "", f"{budget.total_lambda2:.3e}"))
+    rows.append(("(ratio to physical object)", "", f"{ratio:.2f}x"))
+    report = format_table(
+        ["Module", "Process [um]", "Area [lambda^2]"],
+        rows,
+        title="Table 2: Memory Block Area Requirement "
+        f"(paper total {PAPER_TABLE2_TOTAL:.3e})",
+    )
+    emit("table2_memory_block_area", report)

@@ -1,0 +1,35 @@
+"""Bench: regenerate Table 3 — Control Objects Area Requirement.
+
+Paper total: 75.2e6 λ² — under 0.5 % of an AP, supporting the claim that
+the scaling control plane is "very low" cost.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.costmodel.areas import (
+    PAPER_TABLE3_TOTAL,
+    ap_area,
+    control_objects_budget,
+)
+
+
+def test_table3_rows(benchmark, emit):
+    budget = benchmark(control_objects_budget)
+    assert budget.total_lambda2 == pytest.approx(PAPER_TABLE3_TOTAL, rel=0.01)
+    overhead = budget.total_lambda2 / ap_area()
+    assert overhead < 0.005
+
+    rows = [
+        (name, f"{proc:.2f}", f"{area:.3e}")
+        for name, proc, area in budget.rows()
+    ]
+    rows.append(("Total", "", f"{budget.total_lambda2:.3e}"))
+    rows.append(("(fraction of one AP)", "", f"{overhead:.4%}"))
+    report = format_table(
+        ["Module", "Process [um]", "Area [lambda^2]"],
+        rows,
+        title="Table 3: Control Objects Area Requirement "
+        f"(paper total {PAPER_TABLE3_TOTAL:.3e})",
+    )
+    emit("table3_control_objects_area", report)

@@ -1,0 +1,69 @@
+"""Bench: regenerate Table 4 — Number of APs, Wire Delay, and Peak GOPS.
+
+Paper rows (year / process / #APs / delay / GOPS):
+
+    2010  45nm  12  1.08ns  178
+    2011  40nm  16  1.21ns  211
+    2012  36nm  21  1.21ns  276
+    2013  32nm  24  1.43ns  269
+    2014  28nm  34  1.58ns  345
+    2015  25nm  41  1.56ns  432
+
+Reproduction bands (see EXPERIMENTS.md): AP counts within ±2 (exact at
+45/40/25 nm), delays exact (calibrated), GOPS within 10 %.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.costmodel.chip_budget import PAPER_TABLE4_APS
+from repro.costmodel.performance import PAPER_TABLE4_GOPS, table4
+from repro.costmodel.wire_delay import PAPER_TABLE4_DELAY_NS
+
+
+def test_table4_rows(benchmark, emit):
+    rows = benchmark(table4)
+    assert len(rows) == 6
+
+    table_rows = []
+    for point in rows:
+        paper_aps = PAPER_TABLE4_APS[point.feature_nm]
+        paper_delay = PAPER_TABLE4_DELAY_NS[point.feature_nm]
+        paper_gops = PAPER_TABLE4_GOPS[point.feature_nm]
+        assert abs(point.available_aps - paper_aps) <= 2
+        assert point.wire_delay_ns == pytest.approx(paper_delay, rel=1e-6)
+        assert point.peak_gops == pytest.approx(paper_gops, rel=0.10)
+        table_rows.append(
+            (
+                point.year,
+                f"{point.feature_nm:.0f}",
+                point.available_aps,
+                paper_aps,
+                f"{point.wire_delay_ns:.2f}",
+                f"{point.peak_gops:.0f}",
+                paper_gops,
+            )
+        )
+
+    # the monotone shape the paper's conclusion rides on
+    gops = [p.peak_gops for p in rows]
+    assert gops[-1] > 2 * gops[0]
+
+    report = format_table(
+        [
+            "Year", "Process[nm]", "#APs", "(paper)",
+            "Wire-Delay[ns]", "GOPS", "(paper)",
+        ],
+        table_rows,
+        title="Table 4: Number of APs, Wire Delay, and Peak GOPS "
+        "(1 cm^2 die, AP = 16 PO + 16 MB)",
+    )
+    emit("table4_aps_delay_gops", report)
+
+
+def test_headline_2012_gops(benchmark):
+    """Conclusion: 'a pure 64bit 276 GOPS can be achieved in a typical
+    1 cm^2 area ... on current [2012] process technology'."""
+    rows = benchmark(table4)
+    row_2012 = next(r for r in rows if r.year == 2012)
+    assert row_2012.peak_gops == pytest.approx(276, rel=0.10)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Defect tolerance: failing APs drop out, the rest re-fuse (section 1).
+
+The paper's scenario: four APs share a chip; one fails.  The VLSI
+processor removes the failing AP, remaps it if space allows, and the
+survivors can be fused into a medium-scale processor or split into
+small ones — the chip degrades, it does not die.
+
+Run:  python examples/defect_tolerance.py
+"""
+
+from repro.core.defects import DefectInjector
+from repro.core.scaling import ScalingController
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.topology.regions import path_region
+
+
+def main() -> None:
+    chip = VLSIProcessor(rows=4, cols=8, with_network=False)
+    scaler = ScalingController(chip)
+    injector = DefectInjector(chip, seed=2026)
+
+    # four 2-cluster APs in a row
+    for i in range(4):
+        chip.create_processor(
+            f"AP{i}", region=path_region([(0, 2 * i), (0, 2 * i + 1)])
+        )
+    print("== four APs ==")
+    print(chip.render())
+
+    # a defect strikes AP1's first cluster
+    victim = chip.processor("AP1").region.path[0]
+    print(f"\n!! defect at cluster {victim}")
+    report = injector.inject_at(victim)
+    print(f"affected processor: {report.affected_processor}, "
+          f"remapped: {report.remapped}"
+          + (f" -> {report.new_path}" if report.new_path else ""))
+    print(chip.render())
+
+    # the survivors re-organise: AP2 + AP3 fuse into a medium-scale
+    # processor...
+    fused = scaler.fuse("AP2", "AP3", fused_name="MED")
+    print(f"\nfused AP2+AP3 into {fused.name!r} "
+          f"({fused.n_clusters} clusters)")
+    print(chip.render())
+
+    # ... or split back into two small-scale processors
+    head, tail = scaler.split("MED", 2, "S1", "S2")
+    print(f"\nsplit {('MED')!r} into {head.name!r} + {tail.name!r}")
+    print(chip.render())
+
+    # attrition study: keep injecting random defects and watch capacity
+    print("\n== attrition ==")
+    print(f"{'defects':>8}  {'healthy clusters':>16}  {'live processors':>15}")
+    for round_ in range(1, 7):
+        injector.inject_random(4)
+        print(f"{injector.defective_count():>8}  "
+              f"{injector.surviving_capacity():>16}  "
+              f"{len(chip.processors):>15}")
+    print("\nfinal fabric (X = defective):")
+    print(chip.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: the VLSI processor in five minutes.
+
+Walks the whole stack once:
+
+1. build a chip (an 8x8 S-topology of clusters with routers),
+2. fuse clusters into an adaptive processor,
+3. configure an application datapath through the AP pipeline
+   (requests, hits/misses, chaining over the dynamic CSD network),
+4. execute it,
+5. ask the cost model what this chip would do across process nodes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.ap.pipeline import AdaptiveProcessor
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.costmodel.performance import table4
+from repro.workloads.generators import saxpy_graph
+
+
+def main() -> None:
+    # 1. a chip: 8x8 clusters, each a minimum AP (16 compute + 16 memory
+    #    objects), joined by programmable switches and wormhole routers
+    chip = VLSIProcessor(rows=8, cols=8)
+    print("== fabric ==")
+    print(chip.render())
+
+    # 2. gather four clusters into one processor (wormhole-configured;
+    #    reservation flags guarantee no conflict with other scalings)
+    proc = chip.create_processor("P", n_clusters=4, strategy="rectangle")
+    print(f"\nconfigured {proc.name!r}: {proc.n_clusters} clusters, "
+          f"capacity C={proc.capacity(chip.fabric.resources)} objects, "
+          f"config worm took {proc.config_cycles} router cycles")
+    print(chip.render())
+
+    # 3. an application: z = a*x + y as a dataflow graph, lowered to the
+    #    global configuration data stream + object library
+    app = saxpy_graph()
+    stream = app.to_config_stream()
+    library = app.to_library()
+    ap = AdaptiveProcessor(
+        capacity=proc.capacity(chip.fabric.resources), library=library
+    )
+    stats = ap.run(stream)
+    print(f"\n== configuring saxpy on {proc.name!r} ==")
+    print(f"elements={stats.elements} hits={stats.hits} misses={stats.misses} "
+          f"cycles={stats.total_cycles} channels={stats.channels_used}")
+
+    # re-running the stream over the warm object cache: pure hits
+    warm = ap.run(stream)
+    print(f"warm re-run: hit rate {warm.hit_rate:.0%}, "
+          f"{warm.total_cycles} cycles (no stalls)")
+
+    # 4. execute the configured datapath
+    datapath = app.to_datapath()
+    values = datapath.execute(inputs={1: 3.0, 2: 1.0})  # x=3, y=1 (a=2)
+    print(f"\nsaxpy(a=2, x=3, y=1) = {values[4]}")
+
+    # 5. the cost model: what does a 1 cm^2 chip of these APs deliver?
+    print("\n== Table 4 (paper section 4) ==")
+    for row in table4():
+        print(f"  {row.year}  {row.feature_nm:>4.0f} nm  "
+              f"{row.available_aps:>3} APs  "
+              f"{row.wire_delay_ns:.2f} ns  {row.peak_gops:>5.0f} GOPS")
+
+    chip.destroy_processor("P")
+    print(f"\nreleased; {chip.free_clusters()} clusters back in the pool")
+
+
+if __name__ == "__main__":
+    main()

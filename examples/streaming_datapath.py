@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Streaming on the adaptive processor, and why scaling exists.
+
+Section 2.5's rule: a *streaming* datapath must fit the array capacity C
+outright — streaming forbids swapping out part of the datapath, so when
+an application's datapath outgrows its processor, the processor itself
+must up-scale (gather more clusters).
+
+This example builds an FIR filter too big for a 1-cluster AP, watches
+the capacity rule reject it, up-scales the processor, and streams a
+signal through.
+
+Run:  python examples/streaming_datapath.py
+"""
+
+from repro.core.scaling import ScalingController
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.errors import CapacityError
+from repro.ap.streaming import StreamingExecutor
+from repro.workloads.generators import fir_filter_graph
+
+
+def main() -> None:
+    chip = VLSIProcessor(rows=8, cols=8, with_network=False)
+    scaler = ScalingController(chip)
+
+    # a 6-tap FIR filter: 6 delay inputs + 6 coefficients + 6 multiplies
+    # + 5 accumulates = 23 objects
+    taps = [0.05, 0.2, 0.25, 0.25, 0.2, 0.05]
+    fir = fir_filter_graph(taps)
+    datapath = fir.to_datapath()
+    print(f"FIR({len(taps)} taps): {len(datapath)} objects, "
+          f"depth {datapath.depth()}")
+
+    # a minimum AP has C = 16 compute objects -- too small to stream this
+    proc = chip.create_processor("DSP", n_clusters=1)
+    capacity = proc.capacity(chip.fabric.resources)
+    print(f"\n'DSP' starts at {proc.n_clusters} cluster (C={capacity})")
+    try:
+        StreamingExecutor(datapath, capacity=capacity)
+    except CapacityError as exc:
+        print(f"capacity rule rejects streaming: {exc}")
+
+    # up-scale: chain one more cluster onto the tail (section 3.3)
+    scaler.up_scale("DSP", extra_clusters=1)
+    capacity = chip.processor("DSP").capacity(chip.fabric.resources)
+    print(f"\nup-scaled 'DSP' to {chip.processor('DSP').n_clusters} "
+          f"clusters (C={capacity})")
+
+    executor = StreamingExecutor(datapath, capacity=capacity)
+
+    # stream a step signal through the filter's delay line
+    signal = [0.0] * 4 + [1.0] * 12
+    records = []
+    for n in range(len(signal)):
+        window = {
+            k: (signal[n - k] if n - k >= 0 else 0.0)
+            for k in range(len(taps))
+        }
+        records.append(window)
+    run = executor.run(records)
+
+    out_id = executor.output_ids[0]
+    print("\nstep response:")
+    for n, out in enumerate(run.outputs):
+        bar = "#" * int(out[out_id] * 40)
+        print(f"  n={n:>2}  y={out[out_id]:.3f}  {bar}")
+
+    print(f"\npipeline: fill {run.stats.datapath_depth} cycles, "
+          f"{run.stats.records} records in {run.stats.total_cycles} cycles "
+          f"-> throughput {run.stats.throughput:.2f} results/cycle")
+
+    # done: down-scale back to the minimum and release
+    scaler.down_scale("DSP", 1)
+    print(f"\ndown-scaled to {chip.processor('DSP').n_clusters} cluster; "
+          f"{chip.free_clusters()} clusters free")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Technology-scaling study: the section-4 cost model as a design tool.
+
+Regenerates Table 4, then uses the same model to answer the questions a
+processor architect would ask next:
+
+* how sensitive is the result to the λ design rule? (DESIGN.md
+  back-solves λ = 0.4·F from the paper's AP counts)
+* what does trading memory blocks for FPUs buy? (§4.1's knob)
+* what happens on a GPU-sized 3 cm² die? (§4.1's comparison)
+
+Run:  python examples/technology_scaling_study.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.costmodel.areas import APComposition, ap_area
+from repro.costmodel.chip_budget import ChipBudget, PAPER_TABLE4_APS
+from repro.costmodel.performance import gpu_area_comparison, peak_gops, table4
+from repro.costmodel.technology import node_for_year
+from repro.costmodel.wire_delay import global_wire_delay_ns, wire_length_um
+
+
+def main() -> None:
+    # -- Table 4 ------------------------------------------------------------
+    rows = [
+        (p.year, f"{p.feature_nm:.0f}", p.available_aps,
+         PAPER_TABLE4_APS[p.feature_nm], f"{p.wire_delay_ns:.2f}",
+         f"{p.peak_gops:.0f}")
+        for p in table4()
+    ]
+    print(format_table(
+        ["year", "nm", "#APs", "paper", "delay ns", "GOPS"],
+        rows, title="Table 4 regenerated (1 cm^2, AP = 16 PO + 16 MB)"))
+
+    # -- where the numbers come from ---------------------------------------
+    print(f"\none AP = {ap_area():.3e} lambda^2; the critical global wire "
+          f"at 36 nm is {wire_length_um(36.0):.0f} um "
+          f"-> {global_wire_delay_ns(36.0):.2f} ns")
+
+    # -- lambda sensitivity ---------------------------------------------------
+    lam_rows = []
+    for factor in (0.35, 0.40, 0.45, 0.50):
+        pts = table4(lambda_factor=factor)
+        err = sum(abs(p.available_aps - PAPER_TABLE4_APS[p.feature_nm])
+                  for p in pts)
+        lam_rows.append((factor, pts[0].available_aps, pts[-1].available_aps, err))
+    print("\n" + format_table(
+        ["lambda/F", "#APs@45nm", "#APs@25nm", "total |error| vs paper"],
+        lam_rows, title="Lambda design-rule sensitivity"))
+
+    # -- FPU vs memory mix (section 4.1) -----------------------------------
+    node = node_for_year(2012)
+    delay = global_wire_delay_ns(node.feature_nm)
+    mix_rows = []
+    for label, comp in [
+        ("16:16 (paper)", APComposition(16, 16)),
+        ("24:8 fpu-heavy", APComposition(24, 8)),
+        ("32:4 fpu-max", APComposition(32, 4)),
+        ("8:24 mem-heavy", APComposition(8, 24)),
+    ]:
+        n = ChipBudget(composition=comp).aps(node)
+        mix_rows.append(
+            (label, n, n * comp.n_physical_objects,
+             f"{peak_gops(n, delay, comp):.0f}")
+        )
+    print("\n" + format_table(
+        ["mix PO:MB", "#APs", "FPUs", "GOPS"],
+        mix_rows, title="FPU/memory trade-off at 36 nm (section 4.1)"))
+
+    # -- GPU-area comparison -------------------------------------------------
+    cmp = gpu_area_comparison(36.0)
+    print(f"\nGPU-area comparison at 36 nm: {cmp['vlsi_1cm2_fpus']} FPUs on "
+          f"1 cm^2 vs {cmp['vlsi_3cm2_fpus']} on a 3 cm^2 (GPU-sized) die "
+          f"({cmp['fpu_ratio']:.1f}x) -> {cmp['gops_3cm2']:.0f} GOPS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Command-line interface: regenerate the paper's tables from a shell.
+
+Usage::
+
+    python -m repro table 1          # Tables 1-3 (area budgets)
+    python -m repro table 4          # Table 4 (APs / delay / GOPS)
+    python -m repro fig3             # Figure 3 channel-demand series
+    python -m repro chip --rows 8 --cols 8   # fabric summary
+
+The heavier experiments (Figures 1-7 with cycle-level simulation, the
+ablations) live in the benchmark harness: ``pytest benchmarks/
+--benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import format_series, format_table
+from repro.costmodel.areas import (
+    control_objects_budget,
+    memory_block_budget,
+    physical_object_budget,
+)
+from repro.costmodel.performance import table4
+from repro.csd.simulator import sweep_locality
+
+__all__ = ["main"]
+
+
+def _print_area_table(budget) -> None:
+    rows = [
+        (name, f"{proc:.2f}", f"{area:.3e}") for name, proc, area in budget.rows()
+    ]
+    rows.append(("Total", "", f"{budget.total_lambda2:.3e}"))
+    print(format_table(["Module", "Process [um]", "Area [lambda^2]"], rows,
+                       title=budget.title))
+
+
+def _cmd_table(number: int) -> int:
+    if number == 1:
+        _print_area_table(physical_object_budget())
+    elif number == 2:
+        _print_area_table(memory_block_budget())
+    elif number == 3:
+        _print_area_table(control_objects_budget())
+    elif number == 4:
+        rows = [
+            (p.year, f"{p.feature_nm:.0f}", p.available_aps,
+             f"{p.wire_delay_ns:.2f}", f"{p.peak_gops:.0f}")
+            for p in table4()
+        ]
+        print(format_table(
+            ["Year", "Process[nm]", "#APs", "Wire-Delay[ns]", "Peak GOPS"],
+            rows,
+            title="Table 4: Number of APs, Wire Delay, and Peak GOPS",
+        ))
+    else:
+        print(f"no table {number}; the paper has tables 1-4", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_fig3(n_objects: List[int], trials: int) -> int:
+    localities = [1.0, 0.8, 0.6, 0.4, 0.2, 0.0]
+    series = {
+        f"Nobject={n}": [
+            (p.locality_knob, p.used_channels)
+            for p in sweep_locality(n, localities, n_trials=trials)
+        ]
+        for n in n_objects
+    }
+    print(format_series(
+        series, x_label="locality", y_label="used_channels",
+        title="Figure 3: Locality versus Number of Used Channels",
+    ))
+    return 0
+
+
+def _cmd_chip(rows: int, cols: int) -> int:
+    from repro.core.vlsi_processor import VLSIProcessor
+    from repro.costmodel.areas import ap_area
+
+    chip = VLSIProcessor(rows, cols, with_network=False)
+    print(f"{rows}x{cols} S-topology: {len(chip.fabric)} clusters, "
+          f"{chip.fabric.switch_count()[0]} chain switches")
+    print(f"minimum AP: {chip.fabric.resources.compute_objects} compute + "
+          f"{chip.fabric.resources.memory_objects} memory objects, "
+          f"{ap_area():.3e} lambda^2")
+    print(chip.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Takano's Very Large-Scale Integrated "
+        "Processor (IJNC 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="print a paper table (1-4)")
+    p_table.add_argument("number", type=int, choices=(1, 2, 3, 4))
+
+    p_fig3 = sub.add_parser("fig3", help="run the Figure 3 CSD sweep")
+    p_fig3.add_argument(
+        "--n-objects", type=int, nargs="+", default=[16, 64, 256]
+    )
+    p_fig3.add_argument("--trials", type=int, default=5)
+
+    p_chip = sub.add_parser("chip", help="summarise a fabric")
+    p_chip.add_argument("--rows", type=int, default=8)
+    p_chip.add_argument("--cols", type=int, default=8)
+
+    args = parser.parse_args(argv)
+    if args.command == "table":
+        return _cmd_table(args.number)
+    if args.command == "fig3":
+        return _cmd_fig3(args.n_objects, args.trials)
+    if args.command == "chip":
+        return _cmd_chip(args.rows, args.cols)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

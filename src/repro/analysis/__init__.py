@@ -1,0 +1,35 @@
+"""Analysis and reporting helpers shared by the benchmark harness.
+
+* :mod:`repro.analysis.stack_distance` — dependency-distance and stack-
+  distance profiling of configuration streams (the §2.4 CACHE model);
+* :mod:`repro.analysis.channel_usage` — summarising CSD simulation
+  series (Figure 3);
+* :mod:`repro.analysis.reporting` — fixed-width table/series formatting
+  so every bench prints the same layout the paper's tables use.
+"""
+
+from repro.analysis.stack_distance import (
+    DistanceProfile,
+    profile_stream,
+    profile_trace,
+)
+from repro.analysis.channel_usage import ChannelUsageSummary, summarize_series
+from repro.analysis.placement import (
+    PlacedChain,
+    PlacementReport,
+    analyze_placement,
+)
+from repro.analysis.reporting import format_table, format_series
+
+__all__ = [
+    "DistanceProfile",
+    "profile_stream",
+    "profile_trace",
+    "ChannelUsageSummary",
+    "summarize_series",
+    "PlacedChain",
+    "PlacementReport",
+    "analyze_placement",
+    "format_table",
+    "format_series",
+]

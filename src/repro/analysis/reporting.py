@@ -1,0 +1,60 @@
+"""Fixed-width table formatting for the benchmark harness.
+
+Every bench prints the rows/series it regenerates in the same layout the
+paper's tables use, so paper-vs-measured comparisons read side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an ASCII table with right-aligned numeric-ish columns."""
+    rows = [[_cell(v) for v in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[Any, Sequence[Any]],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render ``{series_key: [(x, y), ...]}`` as grouped rows."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for key in series:
+        lines.append(f"[{key}]")
+        for x, y in series[key]:
+            lines.append(f"  {x_label}={_cell(x):>8}  {y_label}={_cell(y)}")
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

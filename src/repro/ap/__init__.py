@@ -1,0 +1,81 @@
+"""The adaptive processor (AP) substrate (paper section 2).
+
+An AP is a linear array of processing elements — *physical objects* —
+managed as a stack.  Applications are not compiled to instructions;
+instead, a **global configuration data stream** of object IDs requests
+*logical objects* (operation + initial data) and chains them into a
+datapath.  Placement is always at the top of the stack; the stack shift
+implements LRU replacement; the working-set register file (WSRF) tracks
+acquired objects; missed objects are loaded from a library in the memory
+blocks (virtual hardware).
+
+Modules
+-------
+:mod:`repro.ap.objects`
+    Physical/logical objects, binding, and operation semantics (§2.1).
+:mod:`repro.ap.config_stream`
+    The global configuration data stream (§2.1, §2.4).
+:mod:`repro.ap.stack`
+    The object stack: top placement, stack shift, LRU order (§2.4).
+:mod:`repro.ap.wsrf`
+    Working-set register file (§2.2, Figure 1).
+:mod:`repro.ap.cache_model`
+    Mattson stack-distance analysis linking dependency distance to hit
+    rate (§2.4).
+:mod:`repro.ap.virtual_hw`
+    Object library, swap in/out, write-back (§2.5).
+:mod:`repro.ap.pipeline`
+    The five-stage processor pipeline (§2.2, Figure 1).
+:mod:`repro.ap.datapath`
+    Chained-object dataflow execution and release tokens (§2.3).
+:mod:`repro.ap.streaming`
+    Streaming execution and the capacity rule (§2.5).
+"""
+
+from repro.ap.objects import (
+    ObjectKind,
+    Operation,
+    LogicalObject,
+    PhysicalObject,
+    apply_operation,
+)
+from repro.ap.config_stream import ConfigElement, ConfigStream
+from repro.ap.stack import ObjectStack
+from repro.ap.wsrf import WSRF, WSRFEntry
+from repro.ap.cache_model import (
+    stack_distances,
+    hit_rate_for_capacity,
+    hit_rate_curve,
+)
+from repro.ap.virtual_hw import ObjectLibrary, SwapScheduler
+from repro.ap.memory_block import MemoryBlock, AddressGenerator
+from repro.ap.pipeline import AdaptiveProcessor, PipelineStats, StageEvent
+from repro.ap.datapath import Datapath, DatapathNode
+from repro.ap.streaming import StreamingExecutor, StreamingStats
+
+__all__ = [
+    "ObjectKind",
+    "Operation",
+    "LogicalObject",
+    "PhysicalObject",
+    "apply_operation",
+    "ConfigElement",
+    "ConfigStream",
+    "ObjectStack",
+    "WSRF",
+    "WSRFEntry",
+    "stack_distances",
+    "hit_rate_for_capacity",
+    "hit_rate_curve",
+    "ObjectLibrary",
+    "SwapScheduler",
+    "MemoryBlock",
+    "AddressGenerator",
+    "AdaptiveProcessor",
+    "PipelineStats",
+    "StageEvent",
+    "Datapath",
+    "DatapathNode",
+    "StreamingExecutor",
+    "StreamingStats",
+]

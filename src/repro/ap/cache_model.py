@@ -1,0 +1,153 @@
+"""Mattson stack-distance analysis (paper section 2.4, reference [11]).
+
+"A study on stack algorithms showed a relationship between the stack
+distance and cache hit rate.  The stack distance is the distance from
+the top of the stack to the cache hit location.  To make a hit always
+occur, the stack distance has to be less than or equal to C, where C is
+the capacity of the cache, namely the array size for the adaptive
+processor."
+
+These functions run the classic one-pass LRU stack simulation over an
+object-ID reference trace: because LRU has the inclusion property, one
+pass yields the hit rate at *every* capacity simultaneously.  First
+references (cold misses) get distance ``inf``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "stack_distances",
+    "hit_rate_for_capacity",
+    "hit_rate_curve",
+    "simulate_policy",
+    "compare_policies",
+]
+
+
+def stack_distances(trace: Sequence[int]) -> List[float]:
+    """LRU stack distance of every reference in the trace.
+
+    Distance 0 means the object was already on top; ``math.inf`` marks a
+    first (cold) reference.
+    """
+    stack: List[int] = []  # most recent first
+    distances: List[float] = []
+    seen: set = set()
+    for ref in trace:
+        if ref not in seen:
+            distances.append(math.inf)
+            stack.insert(0, ref)
+            seen.add(ref)
+        else:
+            pos = stack.index(ref)
+            distances.append(float(pos))
+            stack.pop(pos)
+            stack.insert(0, ref)
+    return distances
+
+
+def hit_rate_for_capacity(trace: Sequence[int], capacity: int) -> float:
+    """Fraction of references that hit an LRU cache of ``capacity``.
+
+    A reference hits when its stack distance is strictly less than C
+    (distance counts positions above it; the paper's "less than or equal
+    to C" uses 1-based distances).
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    if not trace:
+        return 0.0
+    distances = stack_distances(trace)
+    hits = sum(1 for d in distances if d < capacity)
+    return hits / len(distances)
+
+
+def hit_rate_curve(
+    trace: Sequence[int], capacities: Iterable[int]
+) -> Dict[int, float]:
+    """Hit rate at every requested capacity from one stack pass.
+
+    Exploits LRU inclusion: compute distances once, then threshold.
+    """
+    distances = stack_distances(trace)
+    n = len(distances)
+    out: Dict[int, float] = {}
+    for cap in capacities:
+        if cap < 1:
+            raise ValueError("capacity must be positive")
+        if n == 0:
+            out[cap] = 0.0
+        else:
+            out[cap] = sum(1 for d in distances if d < cap) / n
+    return out
+
+
+def simulate_policy(
+    trace: Sequence[int],
+    capacity: int,
+    policy: str = "lru",
+    seed: Optional[int] = None,
+) -> float:
+    """Hit rate of an explicit replacement policy at one capacity.
+
+    Policies: ``"lru"`` (what the stack shift gives the AP for free,
+    §2.4), ``"fifo"`` (eviction by entry order, no promotion on hit) and
+    ``"random"``.  The LRU result matches :func:`hit_rate_for_capacity`
+    exactly — the stack simulation is the reference implementation.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    if policy not in ("lru", "fifo", "random"):
+        raise ValueError(f"unknown policy {policy!r}")
+    if not trace:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    hits = 0
+    if policy == "lru":
+        return hit_rate_for_capacity(trace, capacity)
+    if policy == "fifo":
+        resident: deque = deque()
+        member = set()
+        for ref in trace:
+            if ref in member:
+                hits += 1
+                continue
+            if len(resident) >= capacity:
+                member.discard(resident.popleft())
+            resident.append(ref)
+            member.add(ref)
+        return hits / len(trace)
+    # random replacement
+    resident_list: List[int] = []
+    member = set()
+    for ref in trace:
+        if ref in member:
+            hits += 1
+            continue
+        if len(resident_list) >= capacity:
+            victim_idx = int(rng.integers(len(resident_list)))
+            member.discard(resident_list[victim_idx])
+            resident_list[victim_idx] = ref
+        else:
+            resident_list.append(ref)
+        member.add(ref)
+    return hits / len(trace)
+
+
+def compare_policies(
+    trace: Sequence[int],
+    capacity: int,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Hit rates of all three policies on one trace — quantifies what
+    the §2.4 stack structure (free LRU) buys over simpler replacement."""
+    return {
+        policy: simulate_policy(trace, capacity, policy, seed=seed)
+        for policy in ("lru", "fifo", "random")
+    }

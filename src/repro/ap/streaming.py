@@ -1,0 +1,104 @@
+"""Streaming execution and the capacity rule (paper section 2.5).
+
+"The virtual hardware is supported when the processor works on
+completely scalar operations.  When an operation involves streaming, the
+reconfigured datapath has to be smaller than the capacity C, since the
+streaming does not allow swapping out part of the datapath."
+
+The :class:`StreamingExecutor` pushes a sequence of input records
+through a configured :class:`repro.ap.datapath.Datapath` as a pipeline:
+after a fill phase equal to the datapath depth, one result emerges per
+cycle.  Constructing it with a datapath larger than the array capacity
+raises :class:`repro.errors.CapacityError` — the rule that motivates
+up-scaling the AP in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import CapacityError
+from repro.ap.datapath import Datapath
+
+__all__ = ["StreamingStats", "StreamingExecutor"]
+
+
+@dataclass(frozen=True)
+class StreamingStats:
+    """Throughput accounting for one streaming run."""
+
+    records: int
+    datapath_depth: int
+    total_cycles: int
+
+    @property
+    def throughput(self) -> float:
+        """Results per cycle (approaches 1.0 for long streams)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.records / self.total_cycles
+
+
+class StreamingExecutor:
+    """Runs a record stream through a configured datapath.
+
+    Parameters
+    ----------
+    datapath:
+        The configured datapath (its node count is the resource demand).
+    capacity:
+        Array capacity C of the hosting AP.
+    output_ids:
+        Which object IDs to collect per record (default: all sink nodes,
+        i.e. nodes with no consumers).
+    """
+
+    def __init__(
+        self,
+        datapath: Datapath,
+        capacity: int,
+        output_ids: Optional[List[int]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise CapacityError("capacity must be positive")
+        if len(datapath) > capacity:
+            raise CapacityError(
+                f"streaming datapath of {len(datapath)} objects exceeds "
+                f"capacity C={capacity}; streaming forbids swapping out "
+                "part of the datapath (section 2.5)"
+            )
+        self.datapath = datapath
+        self.capacity = capacity
+        if output_ids is None:
+            output_ids = [
+                n.object_id
+                for n in datapath.topological_order()
+                if not n.consumers
+            ]
+        self.output_ids = output_ids
+
+    def run(self, records: Iterable[Dict[int, Any]]) -> "StreamingRun":
+        """Stream every record through the datapath.
+
+        Each record maps input object IDs to values.  Returns the
+        collected outputs plus pipeline statistics.
+        """
+        outputs: List[Dict[int, Any]] = []
+        count = 0
+        for record in records:
+            values = self.datapath.execute(inputs=record)
+            outputs.append({oid: values[oid] for oid in self.output_ids})
+            count += 1
+        depth = self.datapath.depth()
+        # pipelined timing: fill (depth cycles) + one result per record
+        total = depth + max(0, count - 1) + (1 if count else 0)
+        return StreamingRun(outputs, StreamingStats(count, depth, total))
+
+
+@dataclass(frozen=True)
+class StreamingRun:
+    """Outputs + stats of one streaming execution."""
+
+    outputs: List[Dict[int, Any]]
+    stats: StreamingStats

@@ -1,0 +1,102 @@
+"""Working-set register file (paper sections 2.2, 2.6.1; Figure 1).
+
+"Routing is performed during this pipeline stage using an acquirement
+signal from special registers called a working-set register file (WSRF)
+for maintain[ing] the acquired elements."  And for the scaled CSD model:
+"Cache hit detection can be centrally processed on the WSRF instead of
+searching in the array ... Searching in WSRFs can be performed in
+parallel."
+
+The WSRF holds one entry per member of the current working set: the
+object ID, where it sits, and which communication port/channel its
+acquirement signal granted.  Capacity follows Table 3's sizing
+(64 b × 40 registers → 40 entries by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CapacityError, ConfigurationError
+
+__all__ = ["WSRFEntry", "WSRF"]
+
+#: Table 3 sizes the WSRF at forty 64-bit registers.
+DEFAULT_WSRF_ENTRIES = 40
+
+
+@dataclass(frozen=True)
+class WSRFEntry:
+    """One acquired object: where it is and how it is reached."""
+
+    object_id: int
+    position: int
+    channel: Optional[int] = None
+
+
+class WSRF:
+    """The working-set register file: parallel-searchable acquired set."""
+
+    def __init__(self, capacity: int = DEFAULT_WSRF_ENTRIES) -> None:
+        if capacity < 1:
+            raise CapacityError("WSRF needs at least one entry")
+        self.capacity = capacity
+        self._entries: Dict[int, WSRFEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._entries
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, object_id: int) -> Optional[WSRFEntry]:
+        """The parallel search: hit detection without scanning the array."""
+        return self._entries.get(object_id)
+
+    def acquire(
+        self, object_id: int, position: int, channel: Optional[int] = None
+    ) -> WSRFEntry:
+        """Record an acquirement (Figure 1 step 4).
+
+        Raises
+        ------
+        CapacityError
+            When the register file is full — the working set exceeded
+            the WSRF sizing; the processor must release something first.
+        """
+        if object_id in self._entries:
+            raise ConfigurationError(f"object {object_id} already acquired")
+        if self.is_full:
+            raise CapacityError(
+                f"WSRF full ({self.capacity} entries); release an object first"
+            )
+        entry = WSRFEntry(object_id, position, channel)
+        self._entries[object_id] = entry
+        return entry
+
+    def update_position(self, object_id: int, position: int) -> None:
+        """Track an acquired object through a stack shift."""
+        old = self._entries.get(object_id)
+        if old is None:
+            raise ConfigurationError(f"object {object_id} not acquired")
+        self._entries[object_id] = WSRFEntry(object_id, position, old.channel)
+
+    def release(self, object_id: int) -> None:
+        """Drop an entry when the object's release token fires."""
+        if object_id not in self._entries:
+            raise ConfigurationError(f"object {object_id} not acquired")
+        del self._entries[object_id]
+
+    def working_set(self) -> List[WSRFEntry]:
+        """Snapshot of all acquired entries (unspecified order)."""
+        return list(self._entries.values())
+
+    def parallel_search(self, object_ids: Tuple[int, ...]) -> Dict[int, bool]:
+        """Hit/miss verdicts for a whole request at once — the parallel
+        search of section 2.6.1."""
+        return {oid: oid in self._entries for oid in object_ids}

@@ -1,0 +1,56 @@
+"""The VLSI processor: dynamic CMP of fusable adaptive processors (§3).
+
+This package is the paper's headline contribution assembled from the
+substrates: the S-topology fabric (:mod:`repro.topology`), the wormhole
+configuration network (:mod:`repro.noc`), the adaptive-processor engine
+(:mod:`repro.ap`) and the cost model (:mod:`repro.costmodel`).
+
+Modules
+-------
+:mod:`repro.core.states`
+    The release / inactive / active / sleep lifecycle (Figure 6(e)).
+:mod:`repro.core.allocation`
+    Finding free regions of clusters for a requested scale.
+:mod:`repro.core.scaling`
+    Up-/down-scaling, fusion and splitting of processors (§3.3).
+:mod:`repro.core.ipc`
+    Inter-processor communication through memory blocks (§3.4).
+:mod:`repro.core.partition`
+    Executing basic-block partitioned programs across processors
+    (Figure 7's speculative pipelined execution).
+:mod:`repro.core.defects`
+    Defect injection and tolerance (§1's defect-tolerance benefit).
+:mod:`repro.core.vlsi_processor`
+    The :class:`VLSIProcessor` façade tying it all together.
+"""
+
+from repro.core.states import ProcessorState, ProcessorStateMachine
+from repro.core.allocation import ClusterAllocator
+from repro.core.scaling import ScalingController
+from repro.core.ipc import Mailbox, MessageRecord
+from repro.core.partition import ProgramExecutor, BlockExecution, deploy_program
+from repro.core.pipelined import PipelinedExecutor, PipelinedStats, WaveRecord
+from repro.core.defects import DefectInjector, DefectReport
+from repro.core.defrag import Defragmenter, MoveRecord
+from repro.core.vlsi_processor import VLSIProcessor, ProcessorInstance
+
+__all__ = [
+    "ProcessorState",
+    "ProcessorStateMachine",
+    "ClusterAllocator",
+    "ScalingController",
+    "Mailbox",
+    "MessageRecord",
+    "ProgramExecutor",
+    "BlockExecution",
+    "deploy_program",
+    "PipelinedExecutor",
+    "PipelinedStats",
+    "WaveRecord",
+    "DefectInjector",
+    "DefectReport",
+    "Defragmenter",
+    "MoveRecord",
+    "VLSIProcessor",
+    "ProcessorInstance",
+]

@@ -1,0 +1,125 @@
+"""Cluster allocation: finding a free region of the requested scale.
+
+"To configure an AP with the necessary scale, we should first configure
+the processor at an executable scale (a minimum requirement for an
+application task) by gathering the clusters (resources)" (section 3.3).
+
+Two strategies are provided:
+
+* **serpentine** — a contiguous run of free clusters along the fabric's
+  global fold order.  This is the paper's natural placement: the linear
+  array simply continues along the S, and an in-order configuration
+  "performs a spatially local placement" (Figure 7(b)).
+* **rectangle** — the smallest free rectangle holding the requested
+  cluster count, threaded serpentine internally.  Compact shapes keep
+  the region's Manhattan diameter (and hence chaining delay) low.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import RegionError
+from repro.topology.regions import Region, path_region, rectangle_region
+from repro.topology.s_topology import STopology
+
+__all__ = ["ClusterAllocator"]
+
+Coord = Tuple[int, int]
+
+
+class ClusterAllocator:
+    """Finds free regions on an :class:`STopology`."""
+
+    def __init__(self, fabric: STopology) -> None:
+        self.fabric = fabric
+
+    # -- queries -----------------------------------------------------------
+
+    def free_count(self) -> int:
+        return len(self.fabric.free_clusters())
+
+    def largest_free_run(self) -> int:
+        """Longest contiguous run of free clusters in fold order."""
+        best = run = 0
+        for coord in self.fabric.linear_order():
+            if self.fabric.cluster(coord).is_free:
+                run += 1
+                best = max(best, run)
+            else:
+                run = 0
+        return best
+
+    # -- strategies -------------------------------------------------------
+
+    def find_serpentine(self, n_clusters: int) -> Optional[Region]:
+        """First contiguous free run of ``n_clusters`` along the fold."""
+        if n_clusters < 1:
+            raise RegionError("need at least one cluster")
+        order = self.fabric.linear_order()
+        run: List[Coord] = []
+        for coord in order:
+            if self.fabric.cluster(coord).is_free:
+                run.append(coord)
+                if len(run) == n_clusters:
+                    return path_region(run)
+            else:
+                run = []
+        return None
+
+    def find_rectangle(self, n_clusters: int) -> Optional[Region]:
+        """Smallest-area free rectangle holding ``n_clusters``.
+
+        Scans candidate shapes in increasing area, then increasing
+        aspect-ratio skew, and positions top-left first.
+        """
+        if n_clusters < 1:
+            raise RegionError("need at least one cluster")
+        shapes = self._candidate_shapes(n_clusters)
+        for h, w in shapes:
+            for r0 in range(self.fabric.rows - h + 1):
+                for c0 in range(self.fabric.cols - w + 1):
+                    if self._rect_free(r0, c0, h, w):
+                        return rectangle_region((r0, c0), h, w)
+        return None
+
+    def allocate(self, n_clusters: int, strategy: str = "serpentine") -> Region:
+        """Find a region or raise.
+
+        Raises
+        ------
+        RegionError
+            If no free region of the requested scale exists (callers can
+            retry after releasing processors, or report back pressure).
+        """
+        if strategy == "serpentine":
+            region = self.find_serpentine(n_clusters)
+        elif strategy == "rectangle":
+            region = self.find_rectangle(n_clusters)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if region is None:
+            raise RegionError(
+                f"no free {strategy} region of {n_clusters} clusters "
+                f"({self.free_count()} free in total)"
+            )
+        return region
+
+    # -- internals ---------------------------------------------------------
+
+    def _candidate_shapes(self, n: int) -> List[Tuple[int, int]]:
+        """(h, w) shapes with h*w >= n, sorted by area then skew."""
+        shapes = []
+        for h in range(1, self.fabric.rows + 1):
+            w = -(-n // h)  # ceil
+            if w <= self.fabric.cols:
+                shapes.append((h, w))
+        shapes.sort(key=lambda s: (s[0] * s[1], abs(s[0] - s[1])))
+        return shapes
+
+    def _rect_free(self, r0: int, c0: int, h: int, w: int) -> bool:
+        return all(
+            self.fabric.cluster((r, c)).is_free
+            for r in range(r0, r0 + h)
+            for c in range(c0, c0 + w)
+        )

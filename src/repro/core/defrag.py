@@ -1,0 +1,103 @@
+"""Fabric defragmentation (paper section 5).
+
+"[With a mesh,] a host system has to manage the placement, routing,
+replacement, and defragmentation.  ...  The VLSI processor is
+manageable."  — on the S-topology, defragmentation is just another
+scaling operation: INACTIVE processors are re-configured onto the
+earliest free serpentine run, compacting live regions toward the head
+of the fold and coalescing free clusters into one contiguous tail.
+
+Only INACTIVE processors move (their memory is open and nothing is
+executing); ACTIVE/SLEEP processors are left in place, which bounds how
+much compaction one pass can achieve — exactly the trade-off a real
+system would face.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import RegionError
+from repro.core.states import ProcessorState
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.topology.folding import serpentine_unfold
+from repro.topology.regions import path_region
+
+__all__ = ["MoveRecord", "Defragmenter"]
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """One processor relocation performed by a defrag pass."""
+
+    name: str
+    old_start: Tuple[int, int]
+    new_start: Tuple[int, int]
+    clusters: int
+
+
+class Defragmenter:
+    """Compacts INACTIVE processors along the fabric's fold order."""
+
+    def __init__(self, vlsi: VLSIProcessor) -> None:
+        self.vlsi = vlsi
+
+    # -- queries -----------------------------------------------------------
+
+    def fragmentation(self) -> float:
+        """1 − (largest free run / free clusters); 0 when free space is
+        one contiguous run (or there is none)."""
+        free = self.vlsi.allocator.free_count()
+        if free == 0:
+            return 0.0
+        return 1.0 - self.vlsi.allocator.largest_free_run() / free
+
+    def _fold_index(self, coord: Tuple[int, int]) -> int:
+        return serpentine_unfold(coord, self.vlsi.fabric.cols)
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self) -> List[MoveRecord]:
+        """One compaction pass.
+
+        Processors are visited in fold order of their first cluster;
+        each INACTIVE one is re-configured onto the earliest free
+        serpentine run if that moves its start earlier.  Mailbox
+        contents move with the processor (spill/fill through the open
+        memory blocks, §3.3).
+        """
+        moves: List[MoveRecord] = []
+        order = sorted(
+            self.vlsi.processors.values(),
+            key=lambda p: self._fold_index(p.region.path[0]),
+        )
+        for instance in order:
+            if instance.state.state is not ProcessorState.INACTIVE:
+                continue
+            name = instance.name
+            n = instance.n_clusters
+            old_region = instance.region
+            old_start = old_region.path[0]
+            # free our own clusters first so the search can reuse them
+            self.vlsi.configurator.release(old_region, owner=name)
+            target = self.vlsi.allocator.find_serpentine(n)
+            if target is None or self._fold_index(target.path[0]) >= self._fold_index(old_start):
+                # no better spot: put it back where it was
+                self.vlsi.configurator.configure(old_region, owner=name)
+                continue
+            self.vlsi.configurator.configure(target, owner=name)
+            # spill/fill: the mailbox (memory-block state) moves along
+            instance.region = target
+            moves.append(MoveRecord(name, old_start, target.path[0], n))
+        return moves
+
+    def compact_until_stable(self, max_passes: int = 8) -> List[MoveRecord]:
+        """Repeat passes until nothing moves (or the pass budget ends)."""
+        all_moves: List[MoveRecord] = []
+        for _ in range(max_passes):
+            moves = self.compact()
+            if not moves:
+                break
+            all_moves.extend(moves)
+        return all_moves

@@ -1,0 +1,88 @@
+"""Inter-processor communication through memory blocks (section 3.4).
+
+"The execution uses an inactive state, whereas the preceding processor
+makes the processor active.  Before activation, the processor stores
+sending data to [the] memory block."
+
+A :class:`Mailbox` models the externally-writable face of a processor's
+memory blocks: predecessors may deliver values only while the owner is
+INACTIVE (read/write protection follows the state machine); the owner
+reads its mailbox when it activates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.errors import StateTransitionError
+from repro.core.states import ProcessorStateMachine
+
+__all__ = ["MessageRecord", "Mailbox"]
+
+_msg_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One delivered value, for tracing pipelined executions."""
+
+    msg_id: int
+    sender: Hashable
+    key: Any
+    value: Any
+
+
+class Mailbox:
+    """Externally-writable slots in a processor's memory blocks."""
+
+    def __init__(self, owner_state: ProcessorStateMachine) -> None:
+        self._state = owner_state
+        self._slots: Dict[Any, Any] = {}
+        self.log: List[MessageRecord] = []
+
+    def deliver(self, sender: Hashable, key: Any, value: Any) -> MessageRecord:
+        """A predecessor stores a value.
+
+        Raises
+        ------
+        StateTransitionError
+            If the owner is not INACTIVE — its memory is protected
+            (ACTIVE/SLEEP) or deallocated (RELEASE).
+        """
+        if not self._state.accepts_external_writes:
+            raise StateTransitionError(
+                f"memory blocks are {self._state.state.value}: "
+                "external writes only land in the inactive state"
+            )
+        self._slots[key] = value
+        record = MessageRecord(next(_msg_ids), sender, key, value)
+        self.log.append(record)
+        return record
+
+    def read(self, key: Any) -> Any:
+        """The owner reads a delivered value (any allocated state).
+
+        Raises
+        ------
+        KeyError
+            If nothing was delivered under ``key``.
+        """
+        if key not in self._slots:
+            raise KeyError(f"no value delivered under {key!r}")
+        return self._slots[key]
+
+    def peek(self, key: Any, default: Any = None) -> Any:
+        return self._slots.get(key, default)
+
+    def take_all(self) -> Dict[Any, Any]:
+        """Drain the mailbox (typical on activation)."""
+        slots, self._slots = self._slots, {}
+        return slots
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)

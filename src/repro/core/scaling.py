@@ -1,0 +1,218 @@
+"""Up-/down-scaling, fusion and splitting of processors (section 3.3).
+
+"Up- or down-scaling is simply to chain or unchain between the
+segmented interconnection networks.  The scaling does not require a
+dedicated instruction, and is to simply store the appropriate
+configuration data to the appropriate programmable switch with a
+wormhole reconfiguration."
+
+All four operations work on INACTIVE processors (their memory is open
+and nothing is executing) and preserve the linear-array invariant: a
+processor's region is always one grid-adjacent path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import (
+    ConfigurationError,
+    RegionError,
+    StateTransitionError,
+)
+from repro.core.states import ProcessorState
+from repro.core.vlsi_processor import ProcessorInstance, VLSIProcessor
+from repro.topology.regions import Region, path_region
+
+__all__ = ["ScalingController"]
+
+Coord = Tuple[int, int]
+
+
+class ScalingController:
+    """Performs scaling operations on a :class:`VLSIProcessor`."""
+
+    def __init__(self, vlsi: VLSIProcessor) -> None:
+        self.vlsi = vlsi
+
+    # -- up-scaling ---------------------------------------------------------
+
+    def up_scale(self, name: str, extra_clusters: int) -> ProcessorInstance:
+        """Grow a processor by chaining free clusters onto its tail.
+
+        The extension is found by walking free clusters adjacent to the
+        current tail (depth-first, preferring the fabric's fold
+        direction), then wormhole-configured and chained on.
+
+        Raises
+        ------
+        RegionError
+            If no free adjacent extension of that size exists.
+        StateTransitionError
+            If the processor is not INACTIVE.
+        """
+        if extra_clusters < 1:
+            raise ValueError("need at least one extra cluster")
+        instance = self._inactive(name)
+        extension = self._find_extension(instance.region, extra_clusters)
+        if extension is None:
+            raise RegionError(
+                f"no free {extra_clusters}-cluster extension adjacent to "
+                f"{name!r}'s tail {instance.region.path[-1]}"
+            )
+        ext_region = path_region(extension)
+        self.vlsi.configurator.configure(ext_region, owner=name)
+        # chain the junction: old tail -> new head
+        tail, head = instance.region.path[-1], extension[0]
+        self.vlsi.fabric.chain_switch(tail, head).chain()
+        self.vlsi.fabric.shift_switch(tail, head).chain()
+        instance.region = Region(instance.region.path + tuple(extension))
+        return instance
+
+    def _find_extension(
+        self, region: Region, n: int
+    ) -> Optional[List[Coord]]:
+        """DFS for a free path of ``n`` clusters starting adjacent to the
+        region's tail and avoiding the region itself."""
+        fabric = self.vlsi.fabric
+        blocked: Set[Coord] = set(region.path)
+
+        def dfs(path: List[Coord]) -> Optional[List[Coord]]:
+            if len(path) == n:
+                return path
+            cur = path[-1] if path else region.path[-1]
+            for nbr in fabric.neighbors(cur):
+                if nbr in blocked or nbr in path:
+                    continue
+                if not fabric.cluster(nbr).is_free:
+                    continue
+                found = dfs(path + [nbr])
+                if found is not None:
+                    return found
+            return None
+
+        return dfs([])
+
+    # -- down-scaling --------------------------------------------------------
+
+    def down_scale(self, name: str, drop_clusters: int) -> ProcessorInstance:
+        """Shrink a processor by unchaining clusters from its tail.
+
+        "The down-scale ... is possible with wormhole routing along with
+        the unidirectional routing by clearing active state" — dropped
+        clusters return to the release pool.
+
+        Raises
+        ------
+        RegionError
+            If the processor would shrink to nothing (use
+            :meth:`VLSIProcessor.destroy_processor` for that).
+        """
+        instance = self._inactive(name)
+        if drop_clusters < 1:
+            raise ValueError("need at least one cluster to drop")
+        if drop_clusters >= len(instance.region):
+            raise RegionError(
+                f"dropping {drop_clusters} of {len(instance.region)} "
+                "clusters leaves nothing; destroy the processor instead"
+            )
+        keep = instance.region.path[:-drop_clusters]
+        dropped = instance.region.path[-drop_clusters:]
+        # unchain the junction and the dropped sub-path, then free clusters
+        junction = (keep[-1], dropped[0])
+        self.vlsi.fabric.chain_switch(*junction).unchain()
+        self.vlsi.fabric.shift_switch(*junction).unchain()
+        if len(dropped) > 1:
+            self.vlsi.fabric.unchain_path(list(dropped))
+        for coord in dropped:
+            self.vlsi.fabric.cluster(coord).free()
+        instance.region = Region(keep)
+        return instance
+
+    # -- fusion / splitting ---------------------------------------------------
+
+    def fuse(self, first: str, second: str, fused_name: Optional[str] = None) -> ProcessorInstance:
+        """Fuse two processors into one large-scale processor.
+
+        The tail of ``first`` must be grid-adjacent to the head of
+        ``second`` (their linear arrays concatenate).  Both must be
+        INACTIVE.  The fused processor keeps ``first``'s resources under
+        ``fused_name`` (default: ``first``'s name).
+        """
+        a = self._inactive(first)
+        b = self._inactive(second)
+        tail, head = a.region.path[-1], b.region.path[0]
+        if abs(tail[0] - head[0]) + abs(tail[1] - head[1]) != 1:
+            raise RegionError(
+                f"cannot fuse: {first!r} tail {tail} not adjacent to "
+                f"{second!r} head {head}"
+            )
+        name = fused_name or first
+        if name != first and name != second and name in self.vlsi.processors:
+            raise ConfigurationError(f"processor {name!r} already exists")
+        # chain the junction and unify ownership
+        self.vlsi.fabric.chain_switch(tail, head).chain()
+        self.vlsi.fabric.shift_switch(tail, head).chain()
+        for coord in b.region.path:
+            cluster = self.vlsi.fabric.cluster(coord)
+            cluster.free()
+            cluster.allocate(name)
+        if name != first:
+            for coord in a.region.path:
+                cluster = self.vlsi.fabric.cluster(coord)
+                cluster.free()
+                cluster.allocate(name)
+        fused_region = Region(a.region.path + b.region.path)
+        del self.vlsi.processors[second]
+        del self.vlsi.processors[first]
+        fused = ProcessorInstance(name=name, region=fused_region)
+        fused.state.configure()
+        self.vlsi.processors[name] = fused
+        return fused
+
+    def split(
+        self, name: str, at: int, head_name: str, tail_name: str
+    ) -> Tuple[ProcessorInstance, ProcessorInstance]:
+        """Split one processor into two at linear position ``at``.
+
+        The first ``at`` clusters become ``head_name``, the rest
+        ``tail_name``.  The junction switch is unchained; both halves
+        come back INACTIVE.
+        """
+        instance = self._inactive(name)
+        if not 0 < at < len(instance.region):
+            raise RegionError(
+                f"split point {at} outside (0, {len(instance.region)})"
+            )
+        for new in (head_name, tail_name):
+            if new != name and new in self.vlsi.processors:
+                raise ConfigurationError(f"processor {new!r} already exists")
+        if head_name == tail_name:
+            raise ConfigurationError("split halves need distinct names")
+        head_path = instance.region.path[:at]
+        tail_path = instance.region.path[at:]
+        junction = (head_path[-1], tail_path[0])
+        self.vlsi.fabric.chain_switch(*junction).unchain()
+        self.vlsi.fabric.shift_switch(*junction).unchain()
+        del self.vlsi.processors[name]
+        halves = []
+        for new_name, path in ((head_name, head_path), (tail_name, tail_path)):
+            for coord in path:
+                cluster = self.vlsi.fabric.cluster(coord)
+                cluster.free()
+                cluster.allocate(new_name)
+            inst = ProcessorInstance(name=new_name, region=Region(path))
+            inst.state.configure()
+            self.vlsi.processors[new_name] = inst
+            halves.append(inst)
+        return halves[0], halves[1]
+
+    # -- helpers -----------------------------------------------------------
+
+    def _inactive(self, name: str) -> ProcessorInstance:
+        instance = self.vlsi.processor(name)
+        if instance.state.state is not ProcessorState.INACTIVE:
+            raise StateTransitionError(
+                f"scaling needs {name!r} INACTIVE, is {instance.state.state.value}"
+            )
+        return instance

@@ -1,0 +1,149 @@
+"""Processor lifecycle states (paper Figure 6(e), section 3.3).
+
+"Figure 6 (e) shows a basic state diagram consisting of release, sleep,
+active, and inactive states.  First the processor starts from and ends
+with the release state ...  After programming the switches in a minimum
+AP, the processor turns into an inactive state that is ready to execute
+but not read and write protected from others.  Either a timer, or read
+and write protections in the scaled region are set, and the region is
+invoked as the scaled active AP. ... In an inactive state, others can
+access its memory blocks. ... The sleep state is ready to execute and is
+read- and write-protected from others ... the sleep state can be used
+for processor-level synchronization."
+
+Legal transitions::
+
+    release  -> inactive            (switches programmed)
+    inactive -> active              (protections set, invoked)
+    inactive -> release             (deallocate)
+    active   -> inactive            (clear protections)
+    active   -> sleep               (wait for timer/event)
+    active   -> release             (down-scale / finish)
+    sleep    -> active              (event/timer fires)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import StateTransitionError
+
+__all__ = ["ProcessorState", "ProcessorStateMachine"]
+
+
+class ProcessorState(enum.Enum):
+    RELEASE = "release"
+    INACTIVE = "inactive"
+    ACTIVE = "active"
+    SLEEP = "sleep"
+
+
+_LEGAL: FrozenSet[Tuple[ProcessorState, ProcessorState]] = frozenset(
+    {
+        (ProcessorState.RELEASE, ProcessorState.INACTIVE),
+        (ProcessorState.INACTIVE, ProcessorState.ACTIVE),
+        (ProcessorState.INACTIVE, ProcessorState.RELEASE),
+        (ProcessorState.ACTIVE, ProcessorState.INACTIVE),
+        (ProcessorState.ACTIVE, ProcessorState.SLEEP),
+        (ProcessorState.ACTIVE, ProcessorState.RELEASE),
+        (ProcessorState.SLEEP, ProcessorState.ACTIVE),
+    }
+)
+
+
+class ProcessorStateMachine:
+    """Tracks one processor's lifecycle with protection semantics.
+
+    Read/write protection follows the state: ACTIVE and SLEEP are
+    protected (others may not touch the region's memory blocks); INACTIVE
+    is open (that is how predecessors deliver data); RELEASE has no
+    memory to protect.
+    """
+
+    def __init__(self) -> None:
+        self.state = ProcessorState.RELEASE
+        self.history: List[ProcessorState] = [ProcessorState.RELEASE]
+        #: Wake deadline while sleeping, or None for event-only sleep.
+        self.wake_at: Optional[int] = None
+
+    # -- transitions ---------------------------------------------------------
+
+    def transition(self, target: ProcessorState) -> None:
+        """Move to ``target``.
+
+        Raises
+        ------
+        StateTransitionError
+            For an edge not in the Figure 6(e) diagram.
+        """
+        if (self.state, target) not in _LEGAL:
+            raise StateTransitionError(
+                f"illegal transition {self.state.value} -> {target.value}"
+            )
+        self.state = target
+        self.history.append(target)
+
+    def configure(self) -> None:
+        """release → inactive (switches programmed)."""
+        self.transition(ProcessorState.INACTIVE)
+
+    def activate(self) -> None:
+        """inactive → active (protections set, region invoked)."""
+        self.transition(ProcessorState.ACTIVE)
+
+    def deactivate(self) -> None:
+        """active → inactive (protections cleared; memory now open)."""
+        self.transition(ProcessorState.INACTIVE)
+
+    def sleep(self, wake_at: Optional[int] = None) -> None:
+        """active → sleep (wait on a timer or event).
+
+        "The active scaled AP can sleep and wait for an event by setting
+        the timer, or wait for an event from inside" — pass ``wake_at``
+        to arm the timer; omit it for event-only sleep.
+        """
+        self.transition(ProcessorState.SLEEP)
+        self.wake_at = wake_at
+
+    def wake(self) -> None:
+        """sleep → active (an event arrived, or the timer fired)."""
+        self.transition(ProcessorState.ACTIVE)
+        self.wake_at = None
+
+    def tick(self, now: int) -> bool:
+        """Deliver a clock tick; wakes the processor when its timer has
+        expired.  Returns True if this tick woke it."""
+        if (
+            self.state is ProcessorState.SLEEP
+            and self.wake_at is not None
+            and now >= self.wake_at
+        ):
+            self.wake()
+            return True
+        return False
+
+    def release(self) -> None:
+        """→ release (from active or inactive)."""
+        self.transition(ProcessorState.RELEASE)
+
+    # -- protection queries ----------------------------------------------
+
+    @property
+    def is_protected(self) -> bool:
+        """Whether the region's memory is read/write protected from others."""
+        return self.state in (ProcessorState.ACTIVE, ProcessorState.SLEEP)
+
+    @property
+    def accepts_external_writes(self) -> bool:
+        """Others may store into the region's memory blocks (section 3.4:
+        data delivery, library stores, spilling/filling)."""
+        return self.state is ProcessorState.INACTIVE
+
+    @property
+    def can_execute(self) -> bool:
+        return self.state is ProcessorState.ACTIVE
+
+    @property
+    def is_allocated(self) -> bool:
+        return self.state is not ProcessorState.RELEASE

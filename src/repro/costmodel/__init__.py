@@ -1,0 +1,70 @@
+"""Analytical cost and performance model (paper section 4).
+
+This package reproduces the paper's cost assessment:
+
+* :mod:`repro.costmodel.areas` — λ²-normalised area budgets for the
+  physical object, memory block, and control objects (Tables 1–3).
+* :mod:`repro.costmodel.technology` — ITRS process nodes 2010–2015 and the
+  λ design-rule geometry.
+* :mod:`repro.costmodel.wire_delay` — distributed-RC global-wire delay
+  model calibrated against the ITRS-2007-derived delays of Table 4.
+* :mod:`repro.costmodel.chip_budget` — how many adaptive processors fit a
+  die (Table 4, "Available # of APs").
+* :mod:`repro.costmodel.performance` — peak-GOPS model and the GPU area
+  comparison discussed in section 4.1.
+"""
+
+from repro.costmodel.areas import (
+    AreaItem,
+    AreaBudget,
+    physical_object_budget,
+    memory_block_budget,
+    control_objects_budget,
+    ap_area,
+    APComposition,
+)
+from repro.costmodel.technology import (
+    ProcessNode,
+    ITRS_NODES,
+    node_for_year,
+    lambda_nm,
+)
+from repro.costmodel.wire_delay import (
+    WireParameters,
+    ITRS2007_GLOBAL_WIRE,
+    elmore_delay_s,
+    global_wire_delay_ns,
+    wire_length_um,
+)
+from repro.costmodel.chip_budget import ChipBudget, available_aps
+from repro.costmodel.performance import (
+    PerformancePoint,
+    peak_gops,
+    table4,
+    gpu_area_comparison,
+)
+
+__all__ = [
+    "AreaItem",
+    "AreaBudget",
+    "physical_object_budget",
+    "memory_block_budget",
+    "control_objects_budget",
+    "ap_area",
+    "APComposition",
+    "ProcessNode",
+    "ITRS_NODES",
+    "node_for_year",
+    "lambda_nm",
+    "WireParameters",
+    "ITRS2007_GLOBAL_WIRE",
+    "elmore_delay_s",
+    "global_wire_delay_ns",
+    "wire_length_um",
+    "ChipBudget",
+    "available_aps",
+    "PerformancePoint",
+    "peak_gops",
+    "table4",
+    "gpu_area_comparison",
+]

@@ -1,0 +1,227 @@
+"""λ²-normalised area budgets (paper Tables 1, 2 and 3).
+
+The paper costs every building block in units of λ² — the technology-
+independent area measure of lambda-based design rules — using the module
+estimates of Gupta et al. (UT Austin TR-00-05) plus divider weights
+estimated from Govindaraju et al. (HPCA 2011).  Because λ² areas are
+technology independent, the same budget is reused at every process node;
+only the physical size of λ changes (see :mod:`repro.costmodel.technology`).
+
+Three budgets are published:
+
+* **Physical object** (Table 1) — the general-purpose compute fabric of one
+  processing element: 64-bit FP multiply/add, FP divide, integer
+  multiply + ALU/shift, integer divide, and six 64-bit registers.
+  Total 5.32e8 λ².
+* **Memory block** (Table 2) — a 32-bit ALU-I, four 16-bit ALU-IIs (vector
+  length, hardware loop, ...), instruction register, two 64-bit registers
+  and a 64 KB SRAM.  Total 9.75e8 λ², "approximately twice the area of the
+  physical object".
+* **Control objects** (Table 3) — registers only: the working-set register
+  file (WSRF), cache-miss handler (CMH), request registers (RR), individual
+  request registers (IRR) and configuration-buffer registers (CFB).
+  Total 75.2e6 λ².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Tuple
+
+__all__ = [
+    "AreaItem",
+    "AreaBudget",
+    "PHYSICAL_OBJECT_ITEMS",
+    "MEMORY_BLOCK_ITEMS",
+    "CONTROL_OBJECT_ITEMS",
+    "physical_object_budget",
+    "memory_block_budget",
+    "control_objects_budget",
+    "APComposition",
+    "ap_area",
+    "PAPER_TABLE1_TOTAL",
+    "PAPER_TABLE2_TOTAL",
+    "PAPER_TABLE3_TOTAL",
+]
+
+#: Totals exactly as printed in the paper, for regression checks.
+PAPER_TABLE1_TOTAL = 5.32e8
+PAPER_TABLE2_TOTAL = 9.75e8
+PAPER_TABLE3_TOTAL = 75.2e6
+
+
+@dataclass(frozen=True)
+class AreaItem:
+    """One row of an area table.
+
+    Attributes
+    ----------
+    name:
+        Module name as printed in the paper (e.g. ``"64b fMul, fAdd"``).
+    reference_process_um:
+        The feature size (µm) of the process the reference estimate was
+        characterised at.  Informational only — the λ² value itself is
+        technology independent.
+    area_lambda2:
+        Module area in λ².
+    """
+
+    name: str
+    reference_process_um: float
+    area_lambda2: float
+
+    def __post_init__(self) -> None:
+        if self.area_lambda2 <= 0:
+            raise ValueError(f"area of {self.name!r} must be positive")
+        if self.reference_process_um <= 0:
+            raise ValueError(f"reference process of {self.name!r} must be positive")
+
+
+@dataclass(frozen=True)
+class AreaBudget:
+    """An ordered collection of :class:`AreaItem` rows with a total.
+
+    Mirrors one of the paper's area tables; iterating yields the rows in
+    table order.
+    """
+
+    title: str
+    items: Tuple[AreaItem, ...] = field(default_factory=tuple)
+
+    def __iter__(self) -> Iterator[AreaItem]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def total_lambda2(self) -> float:
+        """Sum of all row areas, in λ²."""
+        return float(sum(item.area_lambda2 for item in self.items))
+
+    def fraction(self, *names: str) -> float:
+        """Fraction of the budget taken by the named rows.
+
+        Raises
+        ------
+        KeyError
+            If a name does not match any row.
+        """
+        by_name = {item.name: item for item in self.items}
+        selected = 0.0
+        for name in names:
+            if name not in by_name:
+                raise KeyError(f"no row named {name!r} in {self.title!r}")
+            selected += by_name[name].area_lambda2
+        return selected / self.total_lambda2
+
+    def scaled(self, factor: float, title: str | None = None) -> "AreaBudget":
+        """Return a new budget with every row scaled by ``factor``.
+
+        Used by the FPU/memory-ratio ablation to cost hypothetical
+        alternative datapaths.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return AreaBudget(
+            title=title or f"{self.title} (x{factor:g})",
+            items=tuple(
+                AreaItem(i.name, i.reference_process_um, i.area_lambda2 * factor)
+                for i in self.items
+            ),
+        )
+
+    def rows(self) -> Iterable[Tuple[str, float, float]]:
+        """Yield ``(name, reference_process_um, area_lambda2)`` per row."""
+        for item in self.items:
+            yield item.name, item.reference_process_um, item.area_lambda2
+
+
+# --- Table 1: Physical Object Area Requirement -----------------------------
+
+PHYSICAL_OBJECT_ITEMS: Tuple[AreaItem, ...] = (
+    AreaItem("64b fMul, fAdd", 0.25, 1.35e8),
+    AreaItem("64b fDiv", 0.25, 0.21e8),
+    AreaItem("64b iMul + iALU/Shift", 0.25, 2.90e8),
+    AreaItem("64b iDiv", 0.25, 0.81e8),
+    AreaItem("64b Register x6", 0.25, 5.36e6),
+)
+
+# --- Table 2: Memory Block Area Requirement ---------------------------------
+
+MEMORY_BLOCK_ITEMS: Tuple[AreaItem, ...] = (
+    AreaItem("32b ALU-I", 0.25, 0.86e8),
+    AreaItem("16b ALU-II x4", 0.21, 1.72e8),
+    AreaItem("Instruction Reg.", 0.25, 1.79e6),
+    AreaItem("64b Register x2", 0.25, 1.79e6),
+    AreaItem("64KB SRAM", 0.35, 7.13e8),
+)
+
+# --- Table 3: Control Objects Area Requirement ------------------------------
+
+CONTROL_OBJECT_ITEMS: Tuple[AreaItem, ...] = (
+    AreaItem("64b x40 Reg. in WSRF", 0.25, 35.7e6),
+    AreaItem("64b x6 Reg. in CMH", 0.25, 5.36e6),
+    AreaItem("64b x8 Reg. x2 in RR", 0.25, 14.3e6),
+    AreaItem("64b Reg. in IRR x16", 0.25, 14.3e6),
+    AreaItem("64b x2 Reg. in CFB x3", 0.25, 5.36e6),
+)
+
+
+def physical_object_budget() -> AreaBudget:
+    """Table 1 — the compute fabric of one physical object (~5.32e8 λ²)."""
+    return AreaBudget("Physical Object Area Requirement", PHYSICAL_OBJECT_ITEMS)
+
+
+def memory_block_budget() -> AreaBudget:
+    """Table 2 — one memory block with 64 KB SRAM (~9.75e8 λ²)."""
+    return AreaBudget("Memory Block Area Requirement", MEMORY_BLOCK_ITEMS)
+
+
+def control_objects_budget() -> AreaBudget:
+    """Table 3 — per-AP control registers (~75.2e6 λ²)."""
+    return AreaBudget("Control Objects Area Requirement", CONTROL_OBJECT_ITEMS)
+
+
+@dataclass(frozen=True)
+class APComposition:
+    """Resource mix of one adaptive processor.
+
+    The paper's Table 4 uses 16 physical objects and 16 memory objects per
+    AP ("APs having 16 physical objects and 16 memory objects"), plus one
+    set of control objects.  Section 4.1 notes the mix is a design knob —
+    "more GOPS is available if we optimize for more FPUs and less memory
+    blocks" — so both counts are parameters here.
+    """
+
+    n_physical_objects: int = 16
+    n_memory_blocks: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_physical_objects < 1:
+            raise ValueError("an AP needs at least one physical object")
+        if self.n_memory_blocks < 0:
+            raise ValueError("memory-block count cannot be negative")
+
+    @property
+    def compute_to_memory_ratio(self) -> float:
+        """Area ratio physical:memory; the paper quotes roughly 1:2."""
+        po = self.n_physical_objects * physical_object_budget().total_lambda2
+        mb = self.n_memory_blocks * memory_block_budget().total_lambda2
+        if mb == 0:
+            return float("inf")
+        return po / mb
+
+
+def ap_area(composition: APComposition | None = None) -> float:
+    """Total λ² area of one adaptive processor.
+
+    ``16×PO + 16×MB + control ≈ 2.419e10 λ²`` for the paper's default
+    composition.
+    """
+    comp = composition or APComposition()
+    return (
+        comp.n_physical_objects * physical_object_budget().total_lambda2
+        + comp.n_memory_blocks * memory_block_budget().total_lambda2
+        + control_objects_budget().total_lambda2
+    )

@@ -1,0 +1,87 @@
+"""Die-area budgeting: how many adaptive processors fit a chip.
+
+Reproduces the "Available # of APs" column of Table 4: a constant 1 cm²
+die is filled with APs of the default composition (16 physical objects +
+16 memory blocks + control objects, ≈2.419e10 λ²), and the count is the
+floor of the area ratio at each node's λ.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.costmodel.areas import APComposition, ap_area
+from repro.costmodel.technology import LAMBDA_FACTOR, ProcessNode, node_for_feature
+
+__all__ = ["ChipBudget", "available_aps", "PAPER_TABLE4_APS", "DEFAULT_DIE_AREA_CM2"]
+
+#: AP counts exactly as printed in Table 4, keyed by feature size (nm).
+PAPER_TABLE4_APS = {45.0: 12, 40.0: 16, 36.0: 21, 32.0: 24, 28.0: 34, 25.0: 41}
+
+#: "The silicon die area is held constant at 1 cm² which is ordinary chip area."
+DEFAULT_DIE_AREA_CM2 = 1.0
+
+
+@dataclass(frozen=True)
+class ChipBudget:
+    """Area budget of one die at one process node.
+
+    Parameters
+    ----------
+    die_area_cm2:
+        Total silicon area.  The paper holds this at 1 cm².
+    composition:
+        Resource mix of one AP (see :class:`repro.costmodel.areas.APComposition`).
+    lambda_factor:
+        λ as a fraction of feature size (0.4 by calibration; see DESIGN.md).
+    utilization:
+        Fraction of die area usable for APs; 1.0 matches the paper, lower
+        values model routing/IO overheads for what-if studies.
+    """
+
+    die_area_cm2: float = DEFAULT_DIE_AREA_CM2
+    composition: APComposition = field(default_factory=APComposition)
+    lambda_factor: float = LAMBDA_FACTOR
+    utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.die_area_cm2 <= 0:
+            raise ValueError("die area must be positive")
+        if not 0 < self.utilization <= 1:
+            raise ValueError("utilization must be in (0, 1]")
+
+    def die_area_lambda2(self, node: ProcessNode) -> float:
+        """Usable die area expressed in λ² at the given node."""
+        return (
+            self.die_area_cm2
+            * self.utilization
+            * node.lambda2_per_cm2(self.lambda_factor)
+        )
+
+    def aps(self, node: ProcessNode) -> int:
+        """Number of whole APs that fit the die at ``node``."""
+        return int(math.floor(self.die_area_lambda2(node) / ap_area(self.composition)))
+
+    def physical_objects(self, node: ProcessNode) -> int:
+        """Total compute (physical) objects on the die at ``node``."""
+        return self.aps(node) * self.composition.n_physical_objects
+
+    def leftover_lambda2(self, node: ProcessNode) -> float:
+        """Die area (λ²) left after packing whole APs — never negative."""
+        return self.die_area_lambda2(node) - self.aps(node) * ap_area(self.composition)
+
+
+def available_aps(
+    feature_nm: float,
+    die_area_cm2: float = DEFAULT_DIE_AREA_CM2,
+    composition: APComposition | None = None,
+    lambda_factor: float = LAMBDA_FACTOR,
+) -> int:
+    """Convenience wrapper: AP count at a feature size (Table 4 column 3)."""
+    budget = ChipBudget(
+        die_area_cm2=die_area_cm2,
+        composition=composition or APComposition(),
+        lambda_factor=lambda_factor,
+    )
+    return budget.aps(node_for_feature(feature_nm))

@@ -1,0 +1,142 @@
+"""Process-technology scaling (ITRS roadmap nodes used in Table 4).
+
+The paper evaluates the VLSI processor across the ITRS nodes 2010–2015
+(45 nm down to 25 nm) on a constant 1 cm² die.  λ² module areas are
+technology independent; a node only fixes the physical size of λ.
+
+Calibration note (also recorded in DESIGN.md): back-solving the published
+"Available # of APs" column of Table 4 against the AP area of
+:func:`repro.costmodel.areas.ap_area` yields λ ≈ 0.40 × feature size at
+every node (0.39–0.41), rather than the textbook λ = F/2.  The default
+``LAMBDA_FACTOR`` is therefore 0.4; it is exposed as a parameter and its
+sensitivity is covered by the λ-factor ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "LAMBDA_FACTOR",
+    "ProcessNode",
+    "ITRS_NODES",
+    "node_for_year",
+    "node_for_feature",
+    "lambda_nm",
+]
+
+#: λ as a fraction of the node feature size (back-solved from Table 4).
+LAMBDA_FACTOR = 0.4
+
+
+@dataclass(frozen=True)
+class ProcessNode:
+    """One row of the ITRS roadmap as used by the paper.
+
+    Attributes
+    ----------
+    year:
+        Calendar year of the node (2010–2015 in Table 4).
+    feature_nm:
+        The node's feature size in nanometres (the paper's "Process" column).
+    """
+
+    year: int
+    feature_nm: float
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0:
+            raise ValueError("feature size must be positive")
+
+    def lambda_nm(self, lambda_factor: float = LAMBDA_FACTOR) -> float:
+        """Physical size of λ at this node, in nm."""
+        if lambda_factor <= 0:
+            raise ValueError("lambda factor must be positive")
+        return lambda_factor * self.feature_nm
+
+    def lambda2_per_cm2(self, lambda_factor: float = LAMBDA_FACTOR) -> float:
+        """How many λ² fit one square centimetre at this node."""
+        lam = self.lambda_nm(lambda_factor)
+        return 1e14 / (lam * lam)  # 1 cm² = 1e14 nm²
+
+    def scaled_area_cm2(
+        self, area_lambda2: float, lambda_factor: float = LAMBDA_FACTOR
+    ) -> float:
+        """Physical area (cm²) of a λ²-normalised block at this node."""
+        if area_lambda2 < 0:
+            raise ValueError("area cannot be negative")
+        return area_lambda2 / self.lambda2_per_cm2(lambda_factor)
+
+
+#: The six nodes of Table 4, keyed by year.
+ITRS_NODES: Dict[int, ProcessNode] = {
+    2010: ProcessNode(2010, 45.0),
+    2011: ProcessNode(2011, 40.0),
+    2012: ProcessNode(2012, 36.0),
+    2013: ProcessNode(2013, 32.0),
+    2014: ProcessNode(2014, 28.0),
+    2015: ProcessNode(2015, 25.0),
+}
+
+
+def node_for_year(year: int) -> ProcessNode:
+    """Return the ITRS node for ``year`` (2010–2015).
+
+    Raises
+    ------
+    KeyError
+        If the year is outside the paper's evaluation window.
+    """
+    try:
+        return ITRS_NODES[year]
+    except KeyError:
+        raise KeyError(
+            f"no ITRS node for year {year}; the paper covers "
+            f"{min(ITRS_NODES)}-{max(ITRS_NODES)}"
+        ) from None
+
+
+def node_for_feature(feature_nm: float) -> ProcessNode:
+    """Return the roadmap node with the given feature size.
+
+    Accepts any of the Table 4 feature sizes (45/40/36/32/28/25 nm);
+    otherwise builds an ad-hoc node with ``year=0`` so custom what-if
+    studies can reuse the same machinery.
+    """
+    for node in ITRS_NODES.values():
+        if abs(node.feature_nm - feature_nm) < 1e-9:
+            return node
+    return ProcessNode(0, feature_nm)
+
+
+def lambda_nm(feature_nm: float, lambda_factor: float = LAMBDA_FACTOR) -> float:
+    """Convenience: physical λ (nm) for a feature size."""
+    return node_for_feature(feature_nm).lambda_nm(lambda_factor)
+
+
+def all_nodes() -> Tuple[ProcessNode, ...]:
+    """All Table 4 nodes in year order."""
+    return tuple(ITRS_NODES[y] for y in sorted(ITRS_NODES))
+
+
+#: Post-paper nodes for the extension study: the industry roadmap as it
+#: actually unfolded after the paper's 2015 horizon (nm "node names").
+EXTENDED_NODES: Dict[int, ProcessNode] = {
+    2017: ProcessNode(2017, 16.0),
+    2019: ProcessNode(2019, 10.0),
+    2021: ProcessNode(2021, 7.0),
+    2023: ProcessNode(2023, 5.0),
+}
+
+
+def extended_roadmap() -> Tuple[ProcessNode, ...]:
+    """Table 4's nodes plus the post-2015 extension, in year order.
+
+    The paper's premise — "Thousands of compute and memory resources
+    will be implementable on-chip in the near future" — is testable by
+    running its own model forward; see the roadmap-extension bench.
+    """
+    merged = dict(ITRS_NODES)
+    merged.update(EXTENDED_NODES)
+    return tuple(merged[y] for y in sorted(merged))

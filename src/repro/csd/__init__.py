@@ -1,0 +1,57 @@
+"""Channel segmentation distribution (CSD) networks (paper section 2.6).
+
+The adaptive processor chains sink and source objects over a global
+interconnection network.  A naive global network needs a channel count
+that grows linearly with the number of physical objects; the CSD approach
+segments every channel at every hop of the linear array so that multiple
+communications can share one channel index as long as their spans do not
+overlap — channel demand is then set by the *locality* of the configured
+datapath, not the array size.
+
+Modules
+-------
+:mod:`repro.csd.channels`
+    Segmented channels and span (interval) occupancy.
+:mod:`repro.csd.priority_encoder`
+    The per-sink priority encoder of Figure 2.
+:mod:`repro.csd.dynamic_csd`
+    The dynamic CSD protocol: request broadcast → grant → ack (Figure 2),
+    plus stack-shift support.
+:mod:`repro.csd.static_csd`
+    The non-segmented baseline (one whole channel per communication).
+:mod:`repro.csd.locality`
+    The locality-controlled random-datapath workload of section 2.6.2.
+:mod:`repro.csd.simulator`
+    The functional simulator regenerating Figure 3.
+"""
+
+from repro.csd.channels import Channel, ChannelPool, Span
+from repro.csd.priority_encoder import PriorityEncoder
+from repro.csd.dynamic_csd import Connection, DynamicCSDNetwork
+from repro.csd.static_csd import StaticCSDNetwork
+from repro.csd.locality import LocalityWorkload, ChainingRequest
+from repro.csd.simulator import (
+    CSDSimulator,
+    SimulationResult,
+    sweep_locality,
+    figure3_series,
+)
+from repro.csd.chained import ChainedCSD, CrossConnection
+
+__all__ = [
+    "Channel",
+    "ChannelPool",
+    "Span",
+    "PriorityEncoder",
+    "Connection",
+    "DynamicCSDNetwork",
+    "StaticCSDNetwork",
+    "LocalityWorkload",
+    "ChainingRequest",
+    "CSDSimulator",
+    "SimulationResult",
+    "sweep_locality",
+    "figure3_series",
+    "ChainedCSD",
+    "CrossConnection",
+]

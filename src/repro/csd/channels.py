@@ -1,0 +1,183 @@
+"""Segmented channels (paper section 2.6.2).
+
+"Our approach is to make a dynamic CSD network with chaining or
+unchaining in which each channel is completely segmented with a single
+hop.  Segments are chained at the initial state, and unchained through a
+routing procedure."
+
+A channel running along a linear array of ``n_objects`` objects has
+``n_objects - 1`` single-hop segments.  A communication between positions
+``a`` and ``b`` occupies the contiguous segment interval
+``[min(a,b), max(a,b))``; two communications can share the *same channel
+index* when their segment intervals do not overlap — that is the whole
+point of segmentation, and what makes channel demand a function of
+datapath locality rather than array size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.errors import ChannelAllocationError
+
+__all__ = ["Span", "Channel", "ChannelPool"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A contiguous, half-open interval of segment indices ``[lo, hi)``.
+
+    ``Span.between(a, b)`` builds the span a communication between object
+    positions ``a`` and ``b`` needs.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ValueError("span cannot start below segment 0")
+        if self.hi <= self.lo:
+            raise ValueError(f"empty or inverted span [{self.lo}, {self.hi})")
+
+    @classmethod
+    def between(cls, a: int, b: int) -> "Span":
+        """Span of segments a communication between positions a, b occupies."""
+        if a == b:
+            raise ValueError("a communication needs two distinct positions")
+        return cls(min(a, b), max(a, b))
+
+    def overlaps(self, other: "Span") -> bool:
+        return self.lo < other.hi and other.lo < self.hi
+
+    def shifted(self, amount: int) -> "Span":
+        """The span after the occupying objects stack-shift by ``amount``."""
+        return Span(self.lo + amount, self.hi + amount)
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def __contains__(self, segment: int) -> bool:
+        return self.lo <= segment < self.hi
+
+
+class Channel:
+    """One channel of a CSD network: ``n_segments`` single-hop segments.
+
+    Tracks which spans are occupied and by whom.  Unchaining is implicit:
+    a span being occupied corresponds to the routing procedure having
+    unchained the segments at its boundary and gated the data onto the
+    sink (Figure 2's memory cell).
+    """
+
+    def __init__(self, index: int, n_segments: int) -> None:
+        if index < 0:
+            raise ValueError("channel index cannot be negative")
+        if n_segments < 1:
+            raise ValueError("a channel needs at least one segment")
+        self.index = index
+        self.n_segments = n_segments
+        self._occupants: Dict[Hashable, Span] = {}
+
+    def is_span_free(self, span: Span) -> bool:
+        """Whether ``span`` fits this channel with no overlap."""
+        if span.hi > self.n_segments:
+            return False
+        return not any(span.overlaps(s) for s in self._occupants.values())
+
+    def occupy(self, span: Span, owner: Hashable) -> None:
+        """Claim ``span`` for ``owner``.
+
+        Raises
+        ------
+        ChannelAllocationError
+            If the span collides with an existing occupant or runs off
+            the end of the channel.
+        """
+        if owner in self._occupants:
+            raise ChannelAllocationError(
+                f"owner {owner!r} already occupies channel {self.index}"
+            )
+        if not self.is_span_free(span):
+            raise ChannelAllocationError(
+                f"span [{span.lo},{span.hi}) not free on channel {self.index}"
+            )
+        self._occupants[owner] = span
+
+    def release(self, owner: Hashable) -> None:
+        """Release ``owner``'s span (the release-token path)."""
+        if owner not in self._occupants:
+            raise ChannelAllocationError(
+                f"owner {owner!r} holds nothing on channel {self.index}"
+            )
+        del self._occupants[owner]
+
+    def span_of(self, owner: Hashable) -> Optional[Span]:
+        return self._occupants.get(owner)
+
+    @property
+    def occupants(self) -> Tuple[Hashable, ...]:
+        return tuple(self._occupants)
+
+    @property
+    def is_idle(self) -> bool:
+        return not self._occupants
+
+    def utilization(self) -> float:
+        """Fraction of segments currently occupied."""
+        used = sum(len(s) for s in self._occupants.values())
+        return used / self.n_segments
+
+    def shift_all(self, amount: int) -> List[Hashable]:
+        """Stack-shift every occupant's span by ``amount``.
+
+        Spans pushed past the bottom of the array are evicted (their
+        objects fell off the stack) and their owners returned.
+        Because *all* spans shift together, relative order is preserved
+        and no collision can occur — the property section 2.6.2 notes
+        ("This approach is capable of stack-shifting from the top to the
+        bottom of the stack ... the decision to select the channel ...
+        [is] unnecessary for this sequence").
+        """
+        evicted: List[Hashable] = []
+        shifted: Dict[Hashable, Span] = {}
+        for owner, span in self._occupants.items():
+            new = span.shifted(amount)
+            if new.hi > self.n_segments or new.lo < 0:
+                evicted.append(owner)
+            else:
+                shifted[owner] = new
+        self._occupants = shifted
+        return evicted
+
+
+class ChannelPool:
+    """An ordered collection of channels sharing one segment geometry."""
+
+    def __init__(self, n_channels: int, n_segments: int) -> None:
+        if n_channels < 1:
+            raise ValueError("pool needs at least one channel")
+        self.channels: List[Channel] = [
+            Channel(i, n_segments) for i in range(n_channels)
+        ]
+        self.n_segments = n_segments
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self.channels)
+
+    def __getitem__(self, index: int) -> Channel:
+        return self.channels[index]
+
+    def free_channels_for(self, span: Span) -> List[int]:
+        """Indices of every channel whose ``span`` is free — the set the
+        source's broadcast request survives on (Figure 2)."""
+        return [ch.index for ch in self.channels if ch.is_span_free(span)]
+
+    def used_channel_count(self) -> int:
+        """Number of channels with at least one occupant — Figure 3's
+        "Number of used Channels" metric."""
+        return sum(1 for ch in self.channels if not ch.is_idle)

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the VLSI-processor reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole library with one ``except`` clause while still
+being able to discriminate the architectural layer that failed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "RoutingError",
+    "ChannelAllocationError",
+    "TopologyError",
+    "RegionError",
+    "StateTransitionError",
+    "AllocationConflictError",
+    "DefectError",
+    "StreamFormatError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object/datapath configuration request is malformed or impossible."""
+
+
+class CapacityError(ReproError):
+    """A datapath or working set exceeds the capacity ``C`` of the array.
+
+    The paper (section 2.5) requires streaming datapaths to be no larger
+    than the stack capacity, since streaming forbids swapping out part of
+    the configured datapath.
+    """
+
+
+class RoutingError(ReproError):
+    """A route could not be established on the on-chip network."""
+
+
+class ChannelAllocationError(ReproError):
+    """The dynamic CSD network ran out of channels for a chaining request."""
+
+
+class TopologyError(ReproError):
+    """A fabric/topology construction or query is invalid."""
+
+
+class RegionError(TopologyError):
+    """A requested region of clusters is unusable (disconnected, occupied,
+    not contiguous in the folded linear order, ...)."""
+
+
+class StateTransitionError(ReproError):
+    """An illegal processor-lifecycle transition was attempted.
+
+    Legal transitions follow Figure 6(e): release -> inactive -> active
+    <-> sleep, and active/inactive -> release.
+    """
+
+
+class AllocationConflictError(ReproError):
+    """A wormhole reconfiguration hit a reservation flag held by another
+    in-flight scaling operation (section 3.3)."""
+
+
+class DefectError(ReproError):
+    """A defective resource was used, or defect handling failed."""
+
+
+class StreamFormatError(ReproError):
+    """A global configuration data stream element is malformed."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an inconsistent state (deadlock, livelock,
+    exhausted cycle budget)."""

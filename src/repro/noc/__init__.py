@@ -1,0 +1,53 @@
+"""On-chip network for inter-processor communication and scaling (§3.3-3.4).
+
+The VLSI processor reconfigures itself by *wormhole routing*: a
+configuration worm travels hop by hop through on-chip routers, planting
+reservation flags at each programmable switch it crosses so that two
+concurrent scaling operations cannot allocate the same cluster, and then
+storing the configuration data that chains the region.
+
+Modules
+-------
+:mod:`repro.noc.flit`
+    Flits and packets (head/body/tail worm structure).
+:mod:`repro.noc.routing_algos`
+    Port model and XY (dimension-ordered) routing.
+:mod:`repro.noc.router`
+    The five-port router of Figure 7(e): queue → allocation → output.
+:mod:`repro.noc.network`
+    A cycle-level grid of routers with injection/ejection and statistics.
+:mod:`repro.noc.wormhole`
+    Two-phase wormhole reconfiguration over the S-topology (reserve →
+    program/commit, abort on conflict), per section 3.3.
+:mod:`repro.noc.traffic`
+    Synthetic traffic generators for the network benches.
+"""
+
+from repro.noc.flit import Flit, FlitType, Packet, make_packet
+from repro.noc.routing_algos import Port, xy_next_port, xy_path
+from repro.noc.router import Router
+from repro.noc.network import RouterNetwork, DeliveryRecord
+from repro.noc.wormhole import WormholeConfigurator, ScalingOperation
+from repro.noc.traffic import (
+    uniform_random_pairs,
+    neighbor_pairs,
+    hotspot_pairs,
+)
+
+__all__ = [
+    "Flit",
+    "FlitType",
+    "Packet",
+    "make_packet",
+    "Port",
+    "xy_next_port",
+    "xy_path",
+    "Router",
+    "RouterNetwork",
+    "DeliveryRecord",
+    "WormholeConfigurator",
+    "ScalingOperation",
+    "uniform_random_pairs",
+    "neighbor_pairs",
+    "hotspot_pairs",
+]

@@ -1,0 +1,103 @@
+"""Flits and packets for wormhole routing (paper sections 3.3-3.4).
+
+Wormhole routing splits a packet into flow-control digits (flits): a
+HEAD flit that claims the path, BODY flits that follow it, and a TAIL
+flit that releases it.  A single-flit packet is a HEAD_TAIL.  The
+configuration worms of section 3.3 carry switch-programming payloads.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["FlitType", "Flit", "Packet", "make_packet"]
+
+Coord = Tuple[int, int]
+
+_packet_ids = itertools.count()
+
+
+class FlitType(enum.Enum):
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    HEAD_TAIL = "head_tail"  # single-flit packet
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One flow-control digit of a packet."""
+
+    packet_id: int
+    ftype: FlitType
+    src: Coord
+    dst: Coord
+    seq: int
+    payload: Any = None
+    #: Virtual channel the flit travels on (Dally [18]); whole packets
+    #: stay on one VC.
+    vc: int = 0
+
+    @property
+    def is_head(self) -> bool:
+        return self.ftype in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self.ftype in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A whole packet, pre-split into flits."""
+
+    packet_id: int
+    src: Coord
+    dst: Coord
+    flits: Tuple[Flit, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.flits)
+
+    @property
+    def payloads(self) -> List[Any]:
+        return [f.payload for f in self.flits]
+
+
+def make_packet(
+    src: Coord,
+    dst: Coord,
+    payloads: Optional[List[Any]] = None,
+    n_flits: Optional[int] = None,
+    vc: int = 0,
+) -> Packet:
+    """Build a packet of ``n_flits`` (or one per payload, min 1).
+
+    The flit sequence is HEAD, BODY..., TAIL — or a single HEAD_TAIL.
+    All flits travel on virtual channel ``vc``.
+    """
+    if payloads is None:
+        payloads = [None] * (n_flits if n_flits is not None else 1)
+    elif n_flits is not None and n_flits != len(payloads):
+        raise ValueError("n_flits disagrees with payload count")
+    if not payloads:
+        raise ValueError("a packet needs at least one flit")
+    if vc < 0:
+        raise ValueError("virtual channel cannot be negative")
+    pid = next(_packet_ids)
+    n = len(payloads)
+    flits: List[Flit] = []
+    for i, payload in enumerate(payloads):
+        if n == 1:
+            ftype = FlitType.HEAD_TAIL
+        elif i == 0:
+            ftype = FlitType.HEAD
+        elif i == n - 1:
+            ftype = FlitType.TAIL
+        else:
+            ftype = FlitType.BODY
+        flits.append(Flit(pid, ftype, src, dst, seq=i, payload=payload, vc=vc))
+    return Packet(pid, src, dst, tuple(flits))

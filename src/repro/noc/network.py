@@ -1,0 +1,204 @@
+"""Cycle-level router-grid simulator.
+
+Connects a grid of :class:`repro.noc.router.Router` instances, injects
+packets at their source routers' LOCAL ports, steps the whole fabric one
+cycle at a time, and collects per-packet latency records.  XY routing on
+a mesh is deadlock-free, but the simulator still watches for global
+no-progress (a protocol bug would otherwise hang a test run).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError, SimulationError
+from repro.noc.flit import Flit, Packet
+from repro.noc.router import Router
+from repro.noc.routing_algos import OPPOSITE, Port, neighbor_via
+from repro.topology.metrics import manhattan
+
+__all__ = ["DeliveryRecord", "RouterNetwork"]
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """Lifetime of one delivered packet."""
+
+    packet_id: int
+    src: Coord
+    dst: Coord
+    injected_at: int
+    delivered_at: int
+    n_flits: int
+
+    @property
+    def latency(self) -> int:
+        return self.delivered_at - self.injected_at
+
+    @property
+    def hops(self) -> int:
+        return manhattan(self.src, self.dst)
+
+
+class RouterNetwork:
+    """A ``rows × cols`` grid of wormhole routers."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        queue_capacity: int = 4,
+        n_vcs: int = 1,
+        on_deliver=None,
+    ) -> None:
+        """``on_deliver(flit)`` — optional hook invoked as each flit
+        ejects at its destination's LOCAL port; this is how configuration
+        worms apply their switch-programming payloads (§3.3)."""
+        if rows < 1 or cols < 1:
+            raise RoutingError("network needs positive dimensions")
+        self.rows = rows
+        self.cols = cols
+        self.n_vcs = n_vcs
+        self.on_deliver = on_deliver
+        self.routers: Dict[Coord, Router] = {
+            (r, c): Router((r, c), queue_capacity, n_vcs=n_vcs)
+            for r in range(rows)
+            for c in range(cols)
+        }
+        self.cycle_count = 0
+        self.delivered: List[DeliveryRecord] = []
+        self._inject_backlog: Dict[Coord, Deque[Flit]] = {
+            coord: deque() for coord in self.routers
+        }
+        self._inject_time: Dict[int, int] = {}
+        self._arrived_flits: Dict[int, int] = {}
+        self._packet_meta: Dict[int, Packet] = {}
+
+    # -- injection --------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Queue a packet for injection at its source router."""
+        if packet.src not in self.routers or packet.dst not in self.routers:
+            raise RoutingError(
+                f"packet {packet.packet_id} endpoints outside the grid"
+            )
+        if any(f.vc >= self.n_vcs for f in packet.flits):
+            raise RoutingError(
+                f"packet {packet.packet_id} uses a VC beyond the "
+                f"{self.n_vcs} provisioned"
+            )
+        self._inject_time[packet.packet_id] = self.cycle_count
+        self._packet_meta[packet.packet_id] = packet
+        self._inject_backlog[packet.src].extend(packet.flits)
+
+    # -- simulation -------------------------------------------------------
+
+    def step(self) -> int:
+        """Advance one cycle; returns the number of flit movements made."""
+        # inject backlog into LOCAL queues as space allows (per-VC queues)
+        for coord, backlog in self._inject_backlog.items():
+            router = self.routers[coord]
+            while backlog and router.can_accept(Port.LOCAL, backlog[0].vc):
+                router.receive(Port.LOCAL, backlog.popleft())
+
+        # gather ALL proposals before committing any, so a flit advances at
+        # most one hop per cycle regardless of router iteration order
+        proposals = [
+            (coord, router, move)
+            for coord, router in self.routers.items()
+            for move in router.arbitrate()
+        ]
+        movements = 0
+        for coord, router, move in proposals:
+            if move.out_port is Port.LOCAL:
+                flit = router.commit_move(move)
+                self._deliver(flit)
+                movements += 1
+            else:
+                nbr = neighbor_via(coord, move.out_port)
+                in_port = OPPOSITE[move.out_port]
+                nbr_router = self.routers.get(nbr)
+                if nbr_router is None:
+                    raise SimulationError(
+                        f"route runs off the grid at {coord} -> {nbr}"
+                    )
+                if nbr_router.can_accept(in_port, move.vc):
+                    flit = router.commit_move(move)
+                    nbr_router.receive(in_port, flit)
+                    movements += 1
+                # else: stall this worm for a cycle
+        self.cycle_count += 1
+        return movements
+
+    def run_until_drained(self, max_cycles: int = 100_000) -> int:
+        """Step until every queue and backlog is empty.
+
+        Returns the cycle count at drain.
+
+        Raises
+        ------
+        SimulationError
+            If no progress happens while work remains, or the cycle
+            budget is exhausted.
+        """
+        idle_streak = 0
+        while not self.is_drained():
+            moved = self.step()
+            idle_streak = idle_streak + 1 if moved == 0 else 0
+            if idle_streak > 4:
+                raise SimulationError(
+                    f"network made no progress for {idle_streak} cycles "
+                    f"with {self.in_flight()} flits in flight"
+                )
+            if self.cycle_count > max_cycles:
+                raise SimulationError(f"exceeded cycle budget {max_cycles}")
+        return self.cycle_count
+
+    # -- delivery bookkeeping ----------------------------------------------
+
+    def _deliver(self, flit: Flit) -> None:
+        if self.on_deliver is not None:
+            self.on_deliver(flit)
+        pid = flit.packet_id
+        self._arrived_flits[pid] = self._arrived_flits.get(pid, 0) + 1
+        packet = self._packet_meta[pid]
+        if self._arrived_flits[pid] == len(packet):
+            self.delivered.append(
+                DeliveryRecord(
+                    packet_id=pid,
+                    src=packet.src,
+                    dst=packet.dst,
+                    injected_at=self._inject_time[pid],
+                    delivered_at=self.cycle_count,
+                    n_flits=len(packet),
+                )
+            )
+
+    # -- state queries -----------------------------------------------------
+
+    def is_drained(self) -> bool:
+        return (
+            all(not b for b in self._inject_backlog.values())
+            and all(r.is_idle for r in self.routers.values())
+        )
+
+    def in_flight(self) -> int:
+        """Flits currently queued in routers or awaiting injection."""
+        return sum(r.occupancy() for r in self.routers.values()) + sum(
+            len(b) for b in self._inject_backlog.values()
+        )
+
+    def mean_latency(self) -> float:
+        if not self.delivered:
+            return 0.0
+        return sum(d.latency for d in self.delivered) / len(self.delivered)
+
+    def record_for(self, packet_id: int) -> Optional[DeliveryRecord]:
+        for rec in self.delivered:
+            if rec.packet_id == packet_id:
+                return rec
+        return None

@@ -1,0 +1,78 @@
+"""Ports and dimension-ordered routing (paper Figure 7(c),(e)).
+
+The router of Figure 7(e) has five ports — North, East, South, West and
+Local — and the configuration examples route in X-then-Y order, the
+classic deadlock-free dimension-ordered algorithm for meshes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.errors import RoutingError
+
+__all__ = ["Port", "xy_next_port", "xy_path", "OPPOSITE"]
+
+Coord = Tuple[int, int]
+
+
+class Port(enum.Enum):
+    NORTH = "N"
+    EAST = "E"
+    SOUTH = "S"
+    WEST = "W"
+    LOCAL = "L"
+
+
+#: The port a flit arrives on when sent out of the given port.
+OPPOSITE = {
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+    Port.LOCAL: Port.LOCAL,
+}
+
+
+def xy_next_port(current: Coord, dst: Coord) -> Port:
+    """Output port for the next XY-routing hop from ``current`` to ``dst``.
+
+    Column (X / East-West) is corrected first, then row (Y / North-South);
+    ``LOCAL`` when already at the destination.  Rows grow southward.
+    """
+    r, c = current
+    dr, dc = dst[0] - r, dst[1] - c
+    if dc > 0:
+        return Port.EAST
+    if dc < 0:
+        return Port.WEST
+    if dr > 0:
+        return Port.SOUTH
+    if dr < 0:
+        return Port.NORTH
+    return Port.LOCAL
+
+
+def neighbor_via(coord: Coord, port: Port) -> Coord:
+    """The coordinate one hop out of ``port`` from ``coord``."""
+    r, c = coord
+    if port is Port.NORTH:
+        return (r - 1, c)
+    if port is Port.SOUTH:
+        return (r + 1, c)
+    if port is Port.EAST:
+        return (r, c + 1)
+    if port is Port.WEST:
+        return (r, c - 1)
+    raise RoutingError("LOCAL port has no neighbour")
+
+
+def xy_path(src: Coord, dst: Coord) -> List[Coord]:
+    """Full XY route including both endpoints."""
+    path = [src]
+    cur = src
+    while cur != dst:
+        cur = neighbor_via(cur, xy_next_port(cur, dst))
+        path.append(cur)
+    return path

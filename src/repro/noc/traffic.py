@@ -1,0 +1,79 @@
+"""Synthetic traffic generators for network benches.
+
+Standard NoC evaluation patterns: uniform random, nearest-neighbour
+(high locality — the regime the S-topology's folded linear array is
+built for), and hotspot (everyone talks to one memory-ish tile).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["uniform_random_pairs", "neighbor_pairs", "hotspot_pairs"]
+
+Coord = Tuple[int, int]
+
+
+def _check_grid(rows: int, cols: int, n_pairs: int) -> None:
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    if rows * cols < 2:
+        raise ValueError("need at least two tiles for traffic")
+    if n_pairs < 1:
+        raise ValueError("need at least one pair")
+
+
+def uniform_random_pairs(
+    rows: int, cols: int, n_pairs: int, seed: Optional[int] = None
+) -> List[Tuple[Coord, Coord]]:
+    """``n_pairs`` (src, dst) pairs drawn uniformly, src != dst."""
+    _check_grid(rows, cols, n_pairs)
+    rng = np.random.default_rng(seed)
+    pairs: List[Tuple[Coord, Coord]] = []
+    while len(pairs) < n_pairs:
+        s = (int(rng.integers(rows)), int(rng.integers(cols)))
+        d = (int(rng.integers(rows)), int(rng.integers(cols)))
+        if s != d:
+            pairs.append((s, d))
+    return pairs
+
+
+def neighbor_pairs(
+    rows: int, cols: int, n_pairs: int, seed: Optional[int] = None
+) -> List[Tuple[Coord, Coord]]:
+    """Pairs one grid hop apart — the locality-friendly pattern."""
+    _check_grid(rows, cols, n_pairs)
+    rng = np.random.default_rng(seed)
+    deltas = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+    pairs: List[Tuple[Coord, Coord]] = []
+    while len(pairs) < n_pairs:
+        s = (int(rng.integers(rows)), int(rng.integers(cols)))
+        dr, dc = deltas[int(rng.integers(4))]
+        d = (s[0] + dr, s[1] + dc)
+        if 0 <= d[0] < rows and 0 <= d[1] < cols:
+            pairs.append((s, d))
+    return pairs
+
+
+def hotspot_pairs(
+    rows: int,
+    cols: int,
+    n_pairs: int,
+    hotspot: Optional[Coord] = None,
+    seed: Optional[int] = None,
+) -> List[Tuple[Coord, Coord]]:
+    """Every pair targets the hotspot tile (default: grid centre)."""
+    _check_grid(rows, cols, n_pairs)
+    if hotspot is None:
+        hotspot = (rows // 2, cols // 2)
+    if not (0 <= hotspot[0] < rows and 0 <= hotspot[1] < cols):
+        raise ValueError(f"hotspot {hotspot} outside the grid")
+    rng = np.random.default_rng(seed)
+    pairs: List[Tuple[Coord, Coord]] = []
+    while len(pairs) < n_pairs:
+        s = (int(rng.integers(rows)), int(rng.integers(cols)))
+        if s != hotspot:
+            pairs.append((s, hotspot))
+    return pairs

@@ -1,0 +1,253 @@
+"""Wormhole reconfiguration of the S-topology (paper section 3.3).
+
+"The scaling is done by programming the switches through wormhole
+routing using on-chip routers ... Wormhole routing is used to store a
+reservation flag at each programmable switch to avoid a resource
+(cluster) allocation conflict among the scaling configurations."
+
+A scaling operation is two-phase, exactly like the worm:
+
+1. **Reserve** — the worm's head crawls the region path, planting the
+   reservation flag on every chain switch it will program and claiming
+   every cluster.  Hitting a flag or cluster owned by another in-flight
+   operation aborts the worm, which retreats and releases everything it
+   had taken (no partial configurations survive).
+2. **Commit** — the configuration data in the worm's body programs the
+   switches (chain the region), ownership transfers to the processor,
+   and the reservation flags clear.
+
+Down-scaling is the reverse: unchain and free, no reservation needed
+("the down-scale ... is possible ... by clearing active state").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+from repro.errors import AllocationConflictError, DefectError, RegionError
+from repro.noc.flit import make_packet
+from repro.noc.network import RouterNetwork
+from repro.noc.routing_algos import xy_path
+from repro.topology.regions import Region
+from repro.topology.s_topology import STopology
+
+__all__ = ["ScalingOperation", "WormholeConfigurator"]
+
+Coord = Tuple[int, int]
+
+_op_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class ScalingOperation:
+    """Record of one completed scaling (configuration) worm."""
+
+    op_id: int
+    owner: Hashable
+    region: Region
+    #: Router cycles spent delivering the configuration worm (0 when the
+    #: operation ran without a router network attached).
+    config_cycles: int
+    #: Switches programmed (chained) by the commit phase.
+    switches_programmed: int
+
+
+class WormholeConfigurator:
+    """Programs regions onto an :class:`STopology` with worm semantics.
+
+    Parameters
+    ----------
+    fabric:
+        The S-topology being (re)configured.
+    network:
+        Optional cycle-level router network.  When given, each scaling
+        operation also sends a real configuration worm (one flit per
+        switch to program) from ``origin`` to the region's first cluster
+        and reports the measured delivery latency.
+    origin:
+        Where configuration worms start — the supervising processor's
+        position (Figure 7(c) shows a preceding processor configuring its
+        successors).
+    """
+
+    def __init__(
+        self,
+        fabric: STopology,
+        network: Optional[RouterNetwork] = None,
+        origin: Coord = (0, 0),
+    ) -> None:
+        self.fabric = fabric
+        self.network = network
+        self.origin = origin
+
+    # -- up-scaling ---------------------------------------------------------
+
+    def configure(self, region: Region, owner: Hashable) -> ScalingOperation:
+        """Run a full reserve→commit scaling worm for ``region``.
+
+        Raises
+        ------
+        AllocationConflictError
+            If another in-flight worm holds any needed switch/cluster
+            (everything this worm took is rolled back first).
+        DefectError
+            If the region includes a defective cluster.
+        RegionError
+            If the region path leaves the fabric.
+        """
+        op_id = next(_op_ids)
+        worm_token = ("worm", op_id)
+        self._reserve(region, worm_token)
+        try:
+            if self.network is not None:
+                # phase 2a: take ownership, then let the worm's payload
+                # flits program the switches as they eject (§3.3)
+                for coord in region.path:
+                    self.fabric.cluster(coord).allocate(owner)
+                cycles, switches = self._deliver_worm(region)
+                self._verify_chained(region)
+                self._release_flags(region, worm_token)
+            else:
+                switches = self._commit(region, owner, worm_token)
+                cycles = 0
+        except Exception:
+            self._abort(region, worm_token)
+            raise
+        return ScalingOperation(op_id, owner, region, cycles, switches)
+
+    def _reserve(self, region: Region, token: Hashable) -> None:
+        """Phase 1: plant reservation flags; abort-and-rollback on conflict."""
+        taken: List[Tuple[Coord, Coord]] = []
+        claimed: List[Coord] = []
+        try:
+            for coord in region.path:
+                if coord not in self.fabric:
+                    raise RegionError(f"cluster {coord} outside the fabric")
+                cluster = self.fabric.cluster(coord)
+                if cluster.defective:
+                    raise DefectError(f"cluster {coord} is defective")
+                if cluster.owner is not None:
+                    raise AllocationConflictError(
+                        f"cluster {coord} owned by {cluster.owner!r}"
+                    )
+            for a, b in zip(region.path, region.path[1:]):
+                self.fabric.chain_switch(a, b).reserve(token)
+                taken.append((a, b))
+            if region.ring:
+                a, b = region.path[-1], region.path[0]
+                self.fabric.chain_switch(a, b).reserve(token)
+                taken.append((a, b))
+        except Exception:
+            for a, b in taken:
+                self.fabric.chain_switch(a, b).release_reservation(token)
+            raise
+
+    def _commit(self, region: Region, owner: Hashable, token: Hashable) -> int:
+        """Phase 2: program switches, take ownership, clear flags."""
+        for coord in region.path:
+            self.fabric.cluster(coord).allocate(owner)
+        region.chain_on(self.fabric)
+        switches = max(0, len(region.path) - 1) + (1 if region.ring else 0)
+        self._release_flags(region, token)
+        return switches
+
+    def _abort(self, region: Region, token: Hashable) -> None:
+        """Roll back a failed commit: unchain any programmed switches,
+        free clusters, clear flags."""
+        if all(coord in self.fabric for coord in region.path):
+            region.unchain_on(self.fabric)  # unchaining twice is a no-op
+        for coord in region.path:
+            if coord in self.fabric:
+                cluster = self.fabric.cluster(coord)
+                if cluster.owner is not None:
+                    cluster.free()
+        self._release_flags(region, token)
+
+    def _release_flags(self, region: Region, token: Hashable) -> None:
+        for a, b in zip(region.path, region.path[1:]):
+            self.fabric.chain_switch(a, b).release_reservation(token)
+        if region.ring:
+            self.fabric.chain_switch(
+                region.path[-1], region.path[0]
+            ).release_reservation(token)
+
+    def _deliver_worm(self, region: Region) -> Tuple[int, int]:
+        """Send the configuration worm whose payload flits *are* the
+        switch programming: each flit carries one chain instruction that
+        the destination cluster applies on ejection.
+
+        Returns ``(delivery_cycles, switches_programmed)``.
+        """
+        assert self.network is not None
+        start = self.network.cycle_count
+        edges: List[Tuple[Coord, Coord]] = list(
+            zip(region.path, region.path[1:])
+        )
+        if region.ring:
+            edges.append((region.path[-1], region.path[0]))
+        payloads: List[Tuple[str, Coord, Coord]] = [
+            ("chain", a, b) for a, b in edges
+        ]
+        applied = 0
+
+        def apply_payload(flit) -> None:
+            nonlocal applied
+            if not isinstance(flit.payload, tuple):
+                return
+            kind, a, b = flit.payload
+            if kind == "chain":
+                self.fabric.chain_switch(a, b).chain()
+                self.fabric.shift_switch(a, b).chain()
+                applied += 1
+
+        previous_hook = self.network.on_deliver
+        self.network.on_deliver = apply_payload
+        try:
+            packet = make_packet(
+                self.origin, region.path[0], payloads=payloads or [None]
+            )
+            self.network.inject(packet)
+            self.network.run_until_drained()
+            record = self.network.record_for(packet.packet_id)
+        finally:
+            self.network.on_deliver = previous_hook
+        cycles = (record.delivered_at - start) if record else 0
+        return cycles, applied
+
+    def _verify_chained(self, region: Region) -> None:
+        """Post-condition of a delivered worm: the region is one chained
+        component (single-cluster regions are trivially so)."""
+        component = self.fabric.chained_component(region.path[0])
+        if not set(region.path) <= component:
+            raise RegionError(
+                f"configuration worm left region at {region.path[0]} "
+                "partially chained"
+            )
+
+    # -- down-scaling --------------------------------------------------------
+
+    def release(self, region: Region, owner: Hashable) -> None:
+        """Down-scale: unchain the region and return clusters to the pool.
+
+        Raises
+        ------
+        AllocationConflictError
+            If any cluster in the region is not owned by ``owner``.
+        """
+        for coord in region.path:
+            cluster = self.fabric.cluster(coord)
+            if cluster.owner != owner:
+                raise AllocationConflictError(
+                    f"cluster {coord} owned by {cluster.owner!r}, not {owner!r}"
+                )
+        region.unchain_on(self.fabric)
+        for coord in region.path:
+            self.fabric.cluster(coord).free()
+
+    # -- helpers -----------------------------------------------------------
+
+    def route_length(self, region: Region) -> int:
+        """Hops the configuration worm travels from the origin to the region."""
+        return len(xy_path(self.origin, region.path[0])) - 1

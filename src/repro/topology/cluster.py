@@ -1,0 +1,110 @@
+"""The replicated S-topology cluster (paper Figure 4(b)).
+
+"The cluster ... is simply replicated" — it is the unit of scaling: a
+cluster holds enough compute and memory objects to form a *minimum
+adaptive processor* ("The segmentation of the interconnection network is
+to prepare a set of minimum adaptive processor having sufficient
+resources").  Figure 4(b) shows compute objects, memory objects and a
+system object; Table 4's AP composition fixes the default counts at 16
+compute (physical) objects and 16 memory objects per minimum AP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+from repro.errors import DefectError
+
+__all__ = ["ClusterResources", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterResources:
+    """Object counts inside one cluster.
+
+    The defaults mirror the Table 4 minimum AP: 16 physical objects and
+    16 memory objects, plus the single system object of Figure 4(b) that
+    hosts the control plane (WSRF & co.).
+    """
+
+    compute_objects: int = 16
+    memory_objects: int = 16
+    system_objects: int = 1
+
+    def __post_init__(self) -> None:
+        if self.compute_objects < 1:
+            raise ValueError("a cluster needs at least one compute object")
+        if self.memory_objects < 0:
+            raise ValueError("memory-object count cannot be negative")
+        if self.system_objects < 1:
+            raise ValueError("a cluster needs a system object")
+
+    @property
+    def total_objects(self) -> int:
+        return self.compute_objects + self.memory_objects + self.system_objects
+
+
+@dataclass
+class Cluster:
+    """One grid cell of the S-topology.
+
+    Attributes
+    ----------
+    coord:
+        ``(row, col)`` grid position.
+    resources:
+        Object counts (see :class:`ClusterResources`).
+    owner:
+        Token of the processor currently owning this cluster, or ``None``
+        when the cluster is in the *release* pool.
+    defective:
+        ``True`` once a defect has been detected; defective clusters are
+        excluded from allocation ("the failing AP can be removed from the
+        system", section 1).
+    """
+
+    coord: Tuple[int, int]
+    resources: ClusterResources = field(default_factory=ClusterResources)
+    owner: Optional[Hashable] = None
+    defective: bool = False
+
+    @property
+    def row(self) -> int:
+        return self.coord[0]
+
+    @property
+    def col(self) -> int:
+        return self.coord[1]
+
+    @property
+    def is_free(self) -> bool:
+        """Free = unowned and not defective."""
+        return self.owner is None and not self.defective
+
+    def allocate(self, owner: Hashable) -> None:
+        """Assign this cluster to a processor.
+
+        Raises
+        ------
+        DefectError
+            If the cluster is defective.
+        ValueError
+            If it is already owned by someone else.
+        """
+        if self.defective:
+            raise DefectError(f"cluster {self.coord} is defective")
+        if self.owner is not None and self.owner != owner:
+            raise ValueError(
+                f"cluster {self.coord} already owned by {self.owner!r}"
+            )
+        self.owner = owner
+
+    def free(self) -> None:
+        """Return the cluster to the release pool."""
+        self.owner = None
+
+    def mark_defective(self) -> None:
+        """Record a defect; the cluster drops out of future allocations."""
+        self.defective = True
+        self.owner = None

@@ -1,0 +1,82 @@
+"""3-D die stacking (paper Figure 6(d), section 3.2).
+
+"We can implement the VLSI processor using a die-stacking (chip-on-chip)
+by connecting the bottom and top side dies" — each grid position gains a
+vertical programmable switch joining the cluster on the bottom die to the
+cluster at the same position on the top die, so a linear array can
+continue onto the second die.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.s_topology import STopology
+from repro.topology.switches import BidirectionalSwitch
+
+__all__ = ["DieStack"]
+
+Coord = Tuple[int, int]
+Coord3 = Tuple[int, int, int]  # (die, row, col)
+
+
+class DieStack:
+    """Two (or more) stacked S-topology dies with vertical switches."""
+
+    def __init__(self, rows: int, cols: int, n_dies: int = 2) -> None:
+        if n_dies < 2:
+            raise TopologyError("a die stack needs at least two dies")
+        self.n_dies = n_dies
+        self.dies: List[STopology] = [STopology(rows, cols) for _ in range(n_dies)]
+        # one vertical switch per grid position per adjacent die pair
+        self._vias: Dict[Tuple[int, Coord], BidirectionalSwitch] = {
+            (d, (r, c)): BidirectionalSwitch(((d, r, c), (d + 1, r, c)))
+            for d in range(n_dies - 1)
+            for r in range(rows)
+            for c in range(cols)
+        }
+
+    @property
+    def rows(self) -> int:
+        return self.dies[0].rows
+
+    @property
+    def cols(self) -> int:
+        return self.dies[0].cols
+
+    def via(self, lower_die: int, coord: Coord) -> BidirectionalSwitch:
+        """The vertical switch above ``coord`` on die ``lower_die``."""
+        try:
+            return self._vias[(lower_die, coord)]
+        except KeyError:
+            raise TopologyError(
+                f"no via above die {lower_die} at {coord}"
+            ) from None
+
+    def chain_vertical(self, lower_die: int, coord: Coord) -> None:
+        """Chain the vertical switch so the two dies join at ``coord``."""
+        self.via(lower_die, coord).chain()
+
+    def chain_3d_path(self, path: List[Coord3]) -> None:
+        """Chain a path that may move within a die (adjacent grid steps) or
+        between vertically adjacent dies at the same grid position.
+
+        Raises
+        ------
+        TopologyError
+            On any step that is neither planar-adjacent nor a single
+            vertical hop.
+        """
+        for (d1, r1, c1), (d2, r2, c2) in zip(path, path[1:]):
+            if d1 == d2:
+                self.dies[d1].chain_path([(r1, c1), (r2, c2)])
+            elif abs(d1 - d2) == 1 and (r1, c1) == (r2, c2):
+                self.chain_vertical(min(d1, d2), (r1, c1))
+            else:
+                raise TopologyError(
+                    f"illegal 3-D step ({d1},{r1},{c1}) -> ({d2},{r2},{c2})"
+                )
+
+    def total_clusters(self) -> int:
+        return sum(len(d) for d in self.dies)

@@ -1,0 +1,75 @@
+"""Serpentine folding of the linear stack onto the 2-D grid (Figure 4(c)).
+
+The adaptive processor's array is strictly linear (it is a stack), but
+silicon is planar: "The linear network is folded into a 2D arrangement".
+The fold used by the paper's conceptual layout is the boustrophedon
+(serpentine, "S"-shaped) walk: row 0 left-to-right, row 1 right-to-left,
+and so on — which is what gives the S-topology its name and guarantees
+that *consecutive linear positions are always grid-adjacent*, so a stack
+shift never needs a long wire.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "serpentine_fold",
+    "serpentine_unfold",
+    "serpentine_order",
+    "fold_path_is_adjacent",
+]
+
+Coord = Tuple[int, int]
+
+
+def serpentine_fold(index: int, cols: int) -> Coord:
+    """Map a linear stack index to its ``(row, col)`` grid position.
+
+    Even rows run left→right, odd rows right→left.
+
+    Parameters
+    ----------
+    index:
+        Position in the linear (stack) order, 0 = top of stack.
+    cols:
+        Width of the grid.
+    """
+    if cols < 1:
+        raise ValueError("grid must have at least one column")
+    if index < 0:
+        raise ValueError("linear index cannot be negative")
+    row, offset = divmod(index, cols)
+    col = offset if row % 2 == 0 else cols - 1 - offset
+    return (row, col)
+
+
+def serpentine_unfold(coord: Coord, cols: int) -> int:
+    """Inverse of :func:`serpentine_fold`: grid position → linear index."""
+    row, col = coord
+    if cols < 1:
+        raise ValueError("grid must have at least one column")
+    if row < 0 or not 0 <= col < cols:
+        raise ValueError(f"coordinate {coord} outside a {cols}-wide grid")
+    offset = col if row % 2 == 0 else cols - 1 - col
+    return row * cols + offset
+
+
+def serpentine_order(rows: int, cols: int) -> List[Coord]:
+    """The full serpentine walk over a ``rows × cols`` grid, in stack order."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    return [serpentine_fold(i, cols) for i in range(rows * cols)]
+
+
+def fold_path_is_adjacent(path: Sequence[Coord]) -> bool:
+    """Check the defining property of a valid fold: every consecutive pair
+    of positions is Manhattan-adjacent (distance exactly 1).
+
+    This is the invariant the S-topology needs so that chain switches only
+    ever join neighbouring clusters.
+    """
+    for (r1, c1), (r2, c2) in zip(path, path[1:]):
+        if abs(r1 - r2) + abs(c1 - c2) != 1:
+            return False
+    return True

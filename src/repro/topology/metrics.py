@@ -1,0 +1,66 @@
+"""Distance and bandwidth metrics for topologies (paper sections 4 and 5).
+
+The paper assesses "delay in Manhattan-distance of the chip" and compares
+the S-topology against ring and mesh alternatives on latency scaling and
+bisection bandwidth (section 5).  These helpers are shared by the fabric,
+the baselines, and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "manhattan",
+    "path_hops",
+    "diameter",
+    "average_distance",
+    "bisection_width",
+]
+
+Coord = Tuple[int, int]
+
+
+def manhattan(a: Coord, b: Coord) -> int:
+    """Manhattan (L1) distance between two grid coordinates."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def path_hops(path: Sequence[Coord]) -> int:
+    """Number of hops along an explicit path (its length minus one)."""
+    return max(0, len(path) - 1)
+
+
+def diameter(coords: Iterable[Coord]) -> int:
+    """Largest pairwise Manhattan distance over a set of coordinates.
+
+    For an ``R × C`` grid this is ``(R-1) + (C-1)``.
+    """
+    coords = list(coords)
+    if len(coords) < 2:
+        return 0
+    return max(manhattan(a, b) for a, b in combinations(coords, 2))
+
+
+def average_distance(coords: Iterable[Coord]) -> float:
+    """Mean pairwise Manhattan distance over a set of coordinates."""
+    coords = list(coords)
+    if len(coords) < 2:
+        return 0.0
+    pairs = list(combinations(coords, 2))
+    return sum(manhattan(a, b) for a, b in pairs) / len(pairs)
+
+
+def bisection_width(rows: int, cols: int) -> int:
+    """Bisection width of an ``rows × cols`` mesh/grid fabric.
+
+    Cutting the grid in half across its longer dimension severs one link
+    per row (or column) of the shorter dimension — the "abundant bisection
+    bandwidth" section 5 credits the mesh with.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    if rows == 1 and cols == 1:
+        return 0
+    return min(rows, cols) if rows != cols else rows

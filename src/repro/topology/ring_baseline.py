@@ -1,0 +1,57 @@
+"""Baseline ring topology (paper section 5 comparator).
+
+"A ring topology has been recently used for multi-core processors ...
+Its latency is increased by the number of cores.  This technique is
+scalable for a small number of cores."
+
+The comparator quantifies that latency growth so the ablation bench can
+contrast it with the S-topology (where a ring is just one region shape
+among many and the fabric diameter grows as sqrt(N), not N).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+
+__all__ = ["RingTopology"]
+
+
+class RingTopology:
+    """A unidirectional or bidirectional ring of ``n`` cores."""
+
+    def __init__(self, n_cores: int, bidirectional: bool = True) -> None:
+        if n_cores < 2:
+            raise TopologyError("a ring needs at least two cores")
+        self.n_cores = n_cores
+        self.bidirectional = bidirectional
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count between two cores along the ring."""
+        self._check(src)
+        self._check(dst)
+        forward = (dst - src) % self.n_cores
+        if not self.bidirectional:
+            return forward
+        return min(forward, self.n_cores - forward)
+
+    def diameter(self) -> int:
+        """Worst-case hop count — grows linearly with core count."""
+        if self.bidirectional:
+            return self.n_cores // 2
+        return self.n_cores - 1
+
+    def average_hops(self) -> float:
+        """Mean hop count over all ordered pairs of distinct cores."""
+        n = self.n_cores
+        total = sum(
+            self.hops(0, d) for d in range(1, n)
+        )  # symmetry: same for every source
+        return total / (n - 1)
+
+    def bisection_width(self) -> int:
+        """Cutting a ring in half always severs exactly two links."""
+        return 2
+
+    def _check(self, core: int) -> None:
+        if not 0 <= core < self.n_cores:
+            raise TopologyError(f"core {core} outside ring of {self.n_cores}")

@@ -1,0 +1,42 @@
+"""Ring configurations on the S-topology (paper Figure 5, section 5).
+
+"The shape can form a ring topology in a 2D array" — a ring is a region
+whose chain path closes on itself.  Section 5 notes the practical value:
+the ring topologies used by commercial multi-cores (Cell EIB, Sandy
+Bridge) embed directly into the S-topology, so ring-based designs carry
+over.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import RegionError
+from repro.topology.regions import Region
+
+__all__ = ["rectangular_ring_path", "ring_region"]
+
+Coord = Tuple[int, int]
+
+
+def rectangular_ring_path(origin: Coord, height: int, width: int) -> List[Coord]:
+    """The perimeter walk of a ``height × width`` rectangle, clockwise from
+    ``origin`` (its top-left corner).
+
+    Both dimensions must be at least 2 so that the perimeter is a simple
+    cycle of distinct clusters.
+    """
+    if height < 2 or width < 2:
+        raise RegionError("a rectangular ring needs height >= 2 and width >= 2")
+    r0, c0 = origin
+    path: List[Coord] = []
+    path.extend((r0, c0 + c) for c in range(width))                      # top edge ->
+    path.extend((r0 + r, c0 + width - 1) for r in range(1, height))      # right edge v
+    path.extend((r0 + height - 1, c0 + c) for c in range(width - 2, -1, -1))  # bottom <-
+    path.extend((r0 + r, c0) for r in range(height - 2, 0, -1))          # left edge ^
+    return path
+
+
+def ring_region(origin: Coord, height: int, width: int) -> Region:
+    """A closed rectangular ring region (Figure 5)."""
+    return Region(tuple(rectangular_ring_path(origin, height, width)), ring=True)

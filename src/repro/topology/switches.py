@@ -1,0 +1,157 @@
+"""Programmable switches (paper Figure 6(b), 6(c) and section 3.2/3.3).
+
+Two switch flavours exist on the S-topology:
+
+* a **unidirectional** switch on the stack-shift interconnection network
+  (the stack only ever shifts from the top toward the bottom), and
+* a **bidirectional** switch on the chain interconnection network (the
+  dynamic CSD channels can carry traffic both ways).
+
+Each switch is controlled by a *programming register* — storing a value
+into the register chains or unchains the segments the switch joins.  The
+default state is **unchained** ("The default status of programmable
+switches is a 'unchained'").
+
+Wormhole reconfiguration (section 3.3) additionally "store[s] a
+reservation flag at each programmable switch to avoid a resource
+(cluster) allocation conflict among the scaling configurations"; the flag
+lives here as :attr:`ProgrammableSwitch.reserved_by`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+from repro.errors import AllocationConflictError
+
+__all__ = [
+    "SwitchState",
+    "ProgrammableSwitch",
+    "UnidirectionalSwitch",
+    "BidirectionalSwitch",
+]
+
+
+class SwitchState(enum.Enum):
+    """Programming-register value of a switch segment."""
+
+    UNCHAINED = 0
+    CHAINED = 1
+
+
+@dataclass
+class ProgrammableSwitch:
+    """A chain/unchain switch between two fabric endpoints.
+
+    Parameters
+    ----------
+    endpoints:
+        The two things this switch can join — typically a pair of cluster
+        coordinates.  Order matters for unidirectional switches (traffic
+        flows ``endpoints[0] -> endpoints[1]``).
+    bidirectional:
+        ``True`` for chain-network switches, ``False`` for stack-shift
+        switches.
+    """
+
+    endpoints: Tuple[Hashable, Hashable]
+    bidirectional: bool = False
+    state: SwitchState = SwitchState.UNCHAINED
+    #: Owner token of the in-flight scaling operation holding this switch,
+    #: or ``None`` when free.  See section 3.3 (wormhole reservation).
+    reserved_by: Optional[Hashable] = field(default=None)
+
+    # -- programming register -------------------------------------------
+
+    def program(self, state: SwitchState) -> None:
+        """Store ``state`` into the programming register."""
+        if not isinstance(state, SwitchState):
+            raise TypeError("state must be a SwitchState")
+        self.state = state
+
+    def chain(self) -> None:
+        """Program the switch to CHAINED."""
+        self.program(SwitchState.CHAINED)
+
+    def unchain(self) -> None:
+        """Program the switch back to its default UNCHAINED state."""
+        self.program(SwitchState.UNCHAINED)
+
+    @property
+    def is_chained(self) -> bool:
+        return self.state is SwitchState.CHAINED
+
+    # -- direction ---------------------------------------------------------
+
+    def passes(self, src: Hashable, dst: Hashable) -> bool:
+        """Whether a chained switch lets traffic flow ``src -> dst``.
+
+        An unchained switch passes nothing; a unidirectional switch only
+        passes in its forward orientation.
+        """
+        if not self.is_chained:
+            return False
+        if (src, dst) == self.endpoints:
+            return True
+        if self.bidirectional and (dst, src) == self.endpoints:
+            return True
+        return False
+
+    # -- wormhole reservation flag ------------------------------------------
+
+    @property
+    def is_reserved(self) -> bool:
+        return self.reserved_by is not None
+
+    def reserve(self, owner: Hashable) -> None:
+        """Set the reservation flag for a scaling operation.
+
+        Re-reserving with the same owner is idempotent (a worm may cross
+        its own reservation during retry); any other owner conflicts.
+
+        Raises
+        ------
+        AllocationConflictError
+            If another scaling operation already holds the flag.
+        """
+        if owner is None:
+            raise ValueError("reservation owner cannot be None")
+        if self.reserved_by is not None and self.reserved_by != owner:
+            raise AllocationConflictError(
+                f"switch {self.endpoints} reserved by {self.reserved_by!r}, "
+                f"wanted by {owner!r}"
+            )
+        self.reserved_by = owner
+
+    def release_reservation(self, owner: Hashable) -> None:
+        """Clear the reservation flag.
+
+        Raises
+        ------
+        AllocationConflictError
+            If the flag is held by a different owner.
+        """
+        if self.reserved_by is None:
+            return
+        if self.reserved_by != owner:
+            raise AllocationConflictError(
+                f"switch {self.endpoints} reserved by {self.reserved_by!r}, "
+                f"cannot be released by {owner!r}"
+            )
+        self.reserved_by = None
+
+
+class UnidirectionalSwitch(ProgrammableSwitch):
+    """Stack-shift network switch (Figure 6(b)): forward direction only."""
+
+    def __init__(self, endpoints: Tuple[Hashable, Hashable]):
+        super().__init__(endpoints=endpoints, bidirectional=False)
+
+
+class BidirectionalSwitch(ProgrammableSwitch):
+    """Chain network switch (Figure 6(c)): passes both directions."""
+
+    def __init__(self, endpoints: Tuple[Hashable, Hashable]):
+        super().__init__(endpoints=endpoints, bidirectional=True)

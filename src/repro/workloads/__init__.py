@@ -1,0 +1,54 @@
+"""Workloads: dataflow graphs, generators, and example programs.
+
+The paper evaluates with synthetic datapath configurations (Figure 3's
+locality-controlled random datapaths) and motivates the architecture
+with streaming and control-flow examples (Figure 7's conditional).  This
+package provides the application-side IR those experiments need:
+
+* :mod:`repro.workloads.dataflow` — a dataflow-graph IR convertible to a
+  configuration stream, an object library, and an executable datapath;
+* :mod:`repro.workloads.generators` — random DAGs with controlled
+  locality, streaming chains, and classic kernels (SAXPY, FIR, Horner);
+* :mod:`repro.workloads.programs` — the Figure 7 conditional program
+  partitioned into basic blocks;
+* :mod:`repro.workloads.traces` — object-reference traces with
+  controlled reuse distance for the CACHE-model benches.
+"""
+
+from repro.workloads.dataflow import DataflowGraph, DFNode
+from repro.workloads.generators import (
+    random_dag,
+    streaming_chain,
+    saxpy_graph,
+    fir_filter_graph,
+    horner_graph,
+)
+from repro.workloads.programs import (
+    BasicBlock,
+    PartitionedProgram,
+    figure7_program,
+)
+from repro.workloads.traces import (
+    geometric_reuse_trace,
+    looping_trace,
+    scan_trace,
+)
+from repro.workloads.objectcode import parse_object_code, emit_object_code
+
+__all__ = [
+    "DataflowGraph",
+    "DFNode",
+    "random_dag",
+    "streaming_chain",
+    "saxpy_graph",
+    "fir_filter_graph",
+    "horner_graph",
+    "BasicBlock",
+    "PartitionedProgram",
+    "figure7_program",
+    "geometric_reuse_trace",
+    "looping_trace",
+    "scan_trace",
+    "parse_object_code",
+    "emit_object_code",
+]

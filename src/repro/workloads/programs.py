@@ -1,0 +1,172 @@
+"""Basic-block partitioned programs (paper Figure 7).
+
+"The application can be partitioned into four atomic blocks ... The
+first processor sends data to either the second or third processor
+depending on the condition.  The second or third processor is activated
+and sends the result to the fourth processor."
+
+The example program::
+
+    if (x > y)
+        z = x + 1;
+    else
+        z = y + 2;
+    z = buff
+
+partitions into four blocks — condition, then-branch, else-branch, and
+merge — each small enough to run on one minimum AP, communicating
+through memory blocks (section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.ap.objects import Operation
+from repro.workloads.dataflow import DataflowGraph
+
+__all__ = ["BasicBlock", "PartitionedProgram", "figure7_program"]
+
+
+@dataclass
+class BasicBlock:
+    """One atomic block: a dataflow graph plus control-flow successors.
+
+    Attributes
+    ----------
+    name:
+        Block label ("cond", "then", ...).
+    graph:
+        The block's datapath.
+    input_ids:
+        Graph node IDs that receive values from predecessors (or program
+        inputs).
+    output_ids:
+        Graph node IDs whose values are sent onward.
+    successors:
+        ``[(condition, block_name)]`` — ``condition`` is the output key
+        whose truthiness picks the successor, or ``None`` for an
+        unconditional edge.
+    """
+
+    name: str
+    graph: DataflowGraph
+    input_ids: List[int] = field(default_factory=list)
+    output_ids: List[int] = field(default_factory=list)
+    successors: List[Tuple[Optional[Any], str]] = field(default_factory=list)
+
+    def run(self, inputs: Dict[int, Any]) -> Dict[int, Any]:
+        """Execute the block; returns ``{output_id: value}``."""
+        values = self.graph.execute(inputs=inputs)
+        return {oid: values[oid] for oid in self.output_ids}
+
+
+class PartitionedProgram:
+    """A control-flow graph of basic blocks with one entry block."""
+
+    def __init__(self, entry: str) -> None:
+        self.entry = entry
+        self._blocks: Dict[str, BasicBlock] = {}
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.name in self._blocks:
+            raise ConfigurationError(f"duplicate block {block.name!r}")
+        self._blocks[block.name] = block
+        return block
+
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise ConfigurationError(f"no block {name!r}") from None
+
+    def blocks(self) -> List[BasicBlock]:
+        return list(self._blocks.values())
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def validate(self) -> None:
+        """Check the entry exists and every successor is defined."""
+        if self.entry not in self._blocks:
+            raise ConfigurationError(f"entry block {self.entry!r} missing")
+        for block in self._blocks.values():
+            for _, succ in block.successors:
+                if succ not in self._blocks:
+                    raise ConfigurationError(
+                        f"block {block.name!r} targets unknown block {succ!r}"
+                    )
+
+
+def figure7_program(x_id: int = 100, y_id: int = 101) -> PartitionedProgram:
+    """The paper's Figure 7 example, partitioned into four atomic blocks.
+
+    Program inputs are delivered to the condition block under IDs
+    ``x_id`` and ``y_id``; the final buffered ``z`` is the merge block's
+    single output.
+    """
+    program = PartitionedProgram(entry="cond")
+
+    # Block 1: if (x > y) — sends x to "then" or y to "else"
+    cond = DataflowGraph()
+    cond.add(x_id, Operation.CONST, init_data=0)
+    cond.add(y_id, Operation.CONST, init_data=0)
+    cond.add(0, Operation.CMP_GT, sources=(x_id, y_id))
+    program.add_block(
+        BasicBlock(
+            name="cond",
+            graph=cond,
+            input_ids=[x_id, y_id],
+            output_ids=[0, x_id, y_id],
+            successors=[(0, "then"), (None, "else")],
+        )
+    )
+
+    # Block 2: t = x + 1; send t to buff
+    then_g = DataflowGraph()
+    then_g.add(x_id, Operation.CONST, init_data=0)
+    then_g.add(1, Operation.CONST, init_data=1)
+    then_g.add(2, Operation.IADD, sources=(x_id, 1))
+    program.add_block(
+        BasicBlock(
+            name="then",
+            graph=then_g,
+            input_ids=[x_id],
+            output_ids=[2],
+            successors=[(None, "merge")],
+        )
+    )
+
+    # Block 3: f = y + 2; send f to buff
+    else_g = DataflowGraph()
+    else_g.add(y_id, Operation.CONST, init_data=0)
+    else_g.add(1, Operation.CONST, init_data=2)
+    else_g.add(2, Operation.IADD, sources=(y_id, 1))
+    program.add_block(
+        BasicBlock(
+            name="else",
+            graph=else_g,
+            input_ids=[y_id],
+            output_ids=[2],
+            successors=[(None, "merge")],
+        )
+    )
+
+    # Block 4: z = buff
+    merge_g = DataflowGraph()
+    merge_g.add(0, Operation.CONST, init_data=0)  # buff
+    merge_g.add(1, Operation.PASS, sources=(0,))
+    program.add_block(
+        BasicBlock(
+            name="merge",
+            graph=merge_g,
+            input_ids=[0],
+            output_ids=[1],
+            successors=[],
+        )
+    )
+
+    program.validate()
+    return program

@@ -1,0 +1,48 @@
+"""Unit tests for channel-usage summaries."""
+
+import pytest
+
+from repro.analysis.channel_usage import summarize_series
+from repro.csd.simulator import SimulationResult, sweep_locality
+
+
+def result(n, used):
+    return SimulationResult(
+        n_objects=n,
+        locality_knob=0.5,
+        realized_locality=0.2,
+        used_channels=used,
+        highest_channel=used,
+        requests=n - 1,
+        blocked=0,
+    )
+
+
+class TestSummarize:
+    def test_aggregates(self):
+        summary = summarize_series([result(64, 10), result(64, 30)])
+        assert summary.n_objects == 64
+        assert summary.max_used == 30
+        assert summary.min_used == 10
+        assert summary.max_fraction == pytest.approx(30 / 64)
+
+    def test_paper_claims_flags(self):
+        good = summarize_series([result(64, 30)])
+        assert good.half_n_sufficient
+        assert good.never_used_full_n
+        bad = summarize_series([result(64, 64)])
+        assert not bad.never_used_full_n
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_series([])
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_series([result(64, 10), result(32, 10)])
+
+    def test_real_sweep_satisfies_paper(self):
+        series = sweep_locality(64, [1.0, 0.5, 0.0], n_trials=5)
+        summary = summarize_series(series)
+        assert summary.never_used_full_n
+        assert summary.half_n_sufficient

@@ -1,0 +1,45 @@
+"""Unit tests for the report formatter."""
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_columns_aligned(self):
+        out = format_table(["col"], [[1], [100]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2]) == 3
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159]])
+        assert "3.14" in out
+
+
+class TestFormatSeries:
+    def test_grouped_output(self):
+        out = format_series(
+            {16: [(1.0, 3), (0.0, 9)], 32: [(1.0, 4)]},
+            x_label="loc",
+            y_label="ch",
+            title="fig3",
+        )
+        assert out.splitlines()[0] == "fig3"
+        assert "[16]" in out and "[32]" in out
+        assert "loc=" in out and "ch=" in out

@@ -1,0 +1,68 @@
+"""Unit tests for distance profiling."""
+
+import pytest
+
+from repro.analysis.stack_distance import (
+    dependency_vs_stack_distance,
+    profile_stream,
+    profile_trace,
+)
+from repro.ap.config_stream import ConfigStream
+from repro.workloads.traces import looping_trace, scan_trace
+
+
+class TestProfileTrace:
+    def test_scan_profile(self):
+        profile = profile_trace(scan_trace(20))
+        assert profile.references == 20
+        assert profile.cold_misses == 20
+        assert profile.mean_distance == 0.0
+
+    def test_looping_profile(self):
+        profile = profile_trace(looping_trace(8, 4), capacities=(4, 8, 16))
+        assert profile.cold_misses == 8
+        assert profile.max_distance == 7
+        assert profile.hit_rates[16] > profile.hit_rates[4]
+
+    def test_required_capacity(self):
+        profile = profile_trace(looping_trace(8, 10), capacities=(4, 8, 16))
+        assert profile.required_capacity(0.5) == 8
+
+    def test_required_capacity_unreachable(self):
+        profile = profile_trace(scan_trace(10), capacities=(4, 8))
+        assert profile.required_capacity(0.5) == 8  # best available
+
+    def test_required_capacity_validation(self):
+        profile = profile_trace(scan_trace(5))
+        with pytest.raises(ValueError):
+            profile.required_capacity(1.5)
+
+    def test_empty_trace(self):
+        profile = profile_trace([])
+        assert profile.references == 0
+        assert profile.mean_distance == 0.0
+
+
+class TestProfileStream:
+    def test_uses_reference_trace(self):
+        stream = ConfigStream.from_pairs([(0, []), (1, [0]), (2, [0, 1])])
+        profile = profile_stream(stream, capacities=(4,))
+        assert profile.references == len(stream.reference_trace())
+        assert profile.cold_misses == 3  # objects 0, 1, 2
+
+
+class TestEquivalence:
+    def test_local_stream_small_distances(self):
+        # neighbour chains: tiny dependency AND stack distances
+        local = ConfigStream.from_pairs(
+            [(0, [])] + [(i, [i - 1]) for i in range(1, 20)]
+        )
+        # long-range chains: both metrics grow
+        spread = ConfigStream.from_pairs(
+            [(i, []) for i in range(10)]
+            + [(10 + i, [i]) for i in range(10)]
+        )
+        m_local = dependency_vs_stack_distance(local)
+        m_spread = dependency_vs_stack_distance(spread)
+        assert m_local["mean_dependency_distance"] < m_spread["mean_dependency_distance"]
+        assert m_local["mean_stack_distance"] < m_spread["mean_stack_distance"]

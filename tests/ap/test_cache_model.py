@@ -1,0 +1,103 @@
+"""Unit and property tests for the Mattson stack-distance model (§2.4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ap.cache_model import hit_rate_curve, hit_rate_for_capacity, stack_distances
+
+
+class TestStackDistances:
+    def test_cold_references_are_infinite(self):
+        assert stack_distances([1, 2, 3]) == [math.inf, math.inf, math.inf]
+
+    def test_immediate_reuse_distance_zero(self):
+        assert stack_distances([1, 1]) == [math.inf, 0.0]
+
+    def test_classic_example(self):
+        # trace a b c a: 'a' has two distinct items above it when re-referenced
+        assert stack_distances(["a", "b", "c", "a"])[-1] == 2.0
+
+    def test_lru_promotion_affects_distance(self):
+        # a b a b: second 'a' at distance 1, then 'b' at distance 1
+        assert stack_distances(["a", "b", "a", "b"])[2:] == [1.0, 1.0]
+
+    def test_empty_trace(self):
+        assert stack_distances([]) == []
+
+
+class TestHitRate:
+    def test_no_reuse_no_hits(self):
+        assert hit_rate_for_capacity([1, 2, 3, 4], capacity=4) == 0.0
+
+    def test_full_reuse(self):
+        trace = [1, 1, 1, 1]
+        assert hit_rate_for_capacity(trace, capacity=1) == 0.75
+
+    def test_capacity_threshold(self):
+        # distance-2 references need capacity > 2 to hit
+        trace = ["a", "b", "c", "a", "b", "c"]
+        assert hit_rate_for_capacity(trace, capacity=2) == 0.0
+        assert hit_rate_for_capacity(trace, capacity=3) == pytest.approx(0.5)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            hit_rate_for_capacity([1], 0)
+
+    def test_empty_trace(self):
+        assert hit_rate_for_capacity([], 4) == 0.0
+
+
+class TestHitRateCurve:
+    def test_matches_pointwise(self):
+        trace = [1, 2, 1, 3, 2, 1, 4, 1]
+        curve = hit_rate_curve(trace, [1, 2, 4, 8])
+        for cap, rate in curve.items():
+            assert rate == hit_rate_for_capacity(trace, cap)
+
+    def test_monotone_in_capacity(self):
+        # LRU inclusion property: bigger caches never hit less.
+        trace = [1, 2, 3, 1, 2, 3, 4, 5, 1, 2]
+        curve = hit_rate_curve(trace, range(1, 11))
+        rates = [curve[c] for c in range(1, 11)]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    def test_empty_trace_curve(self):
+        assert hit_rate_curve([], [1, 2]) == {1: 0.0, 2: 0.0}
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            hit_rate_curve([1], [0])
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(trace=st.lists(st.integers(0, 12), max_size=120))
+    def test_inclusion_property(self, trace):
+        curve = hit_rate_curve(trace, [1, 2, 4, 8, 16])
+        rates = [curve[c] for c in (1, 2, 4, 8, 16)]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=st.lists(st.integers(0, 12), max_size=120))
+    def test_huge_capacity_hits_everything_warm(self, trace):
+        distinct = len(set(trace))
+        if not trace:
+            return
+        rate = hit_rate_for_capacity(trace, capacity=max(distinct, 1))
+        expected = (len(trace) - distinct) / len(trace)
+        assert rate == pytest.approx(expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=st.lists(st.integers(0, 12), max_size=120))
+    def test_distances_match_paper_rule(self, trace):
+        """'To make a hit always occur, the stack distance has to be less
+        than or equal to C' (0-based: strictly less)."""
+        distances = stack_distances(trace)
+        for cap in (1, 3, 7):
+            hits = sum(1 for d in distances if d < cap)
+            assert hits / max(len(trace), 1) == pytest.approx(
+                hit_rate_for_capacity(trace, cap) if trace else 0.0
+            )

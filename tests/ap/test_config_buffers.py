@@ -1,0 +1,61 @@
+"""Unit tests for configuration-buffer batching (§2.3, Table 3's CFB x3)."""
+
+import pytest
+
+from repro.ap.config_stream import ConfigStream
+from repro.ap.objects import LogicalObject, Operation
+from repro.ap.pipeline import AdaptiveProcessor
+from repro.ap.virtual_hw import ObjectLibrary
+
+
+def library(n=8, latency=4):
+    return ObjectLibrary(
+        [LogicalObject(i, Operation.CONST, i) for i in range(n)],
+        load_latency=latency,
+    )
+
+
+def miss_heavy_stream():
+    """One element referencing six cold objects (sink + 5 sources...)"""
+    # elements with 1 sink each, all cold: 6 sequential misses in one run
+    return ConfigStream.from_pairs([(i, []) for i in range(6)])
+
+
+class TestDefaults:
+    def test_default_three_buffers(self):
+        ap = AdaptiveProcessor(8, library())
+        assert ap.config_buffers == AdaptiveProcessor.DEFAULT_CONFIG_BUFFERS == 3
+
+    def test_rejects_zero_buffers(self):
+        with pytest.raises(ValueError):
+            AdaptiveProcessor(8, library(), config_buffers=0)
+
+
+class TestBatching:
+    def test_more_buffers_fewer_stalls(self):
+        # an element missing 4 objects at once: sink + 3 sources
+        stream = ConfigStream.from_pairs([(3, [0, 1, 2])])
+        one = AdaptiveProcessor(8, library(), config_buffers=1)
+        four = AdaptiveProcessor(8, library(), config_buffers=4)
+        s_one = one.run(stream)
+        stream.rewind()
+        s_four = four.run(stream)
+        assert s_one.stall_cycles > s_four.stall_cycles
+
+    def test_batch_arithmetic(self):
+        # 4 misses, latency L, B buffers: stall = ceil(4/B)*L + 4 shifts
+        stream = ConfigStream.from_pairs([(3, [0, 1, 2])])
+        for buffers, expected_batches in [(1, 4), (2, 2), (3, 2), (4, 1)]:
+            ap = AdaptiveProcessor(
+                8, library(latency=5), config_buffers=buffers
+            )
+            stats = ap.run(stream)
+            stream.rewind()
+            assert stats.stall_cycles == expected_batches * 5 + 4
+
+    def test_single_miss_unaffected_by_buffer_count(self):
+        stream = ConfigStream.from_pairs([(0, [])])
+        a = AdaptiveProcessor(8, library(), config_buffers=1).run(stream)
+        stream.rewind()
+        b = AdaptiveProcessor(8, library(), config_buffers=3).run(stream)
+        assert a.stall_cycles == b.stall_cycles

@@ -1,0 +1,81 @@
+"""Unit tests for the global configuration data stream (sections 2.1, 2.4)."""
+
+import pytest
+
+from repro.errors import StreamFormatError
+from repro.ap.config_stream import ConfigElement, ConfigStream
+
+
+class TestConfigElement:
+    def test_referenced_ids_sink_first(self):
+        el = ConfigElement(5, (1, 2))
+        assert el.referenced_ids == (5, 1, 2)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(StreamFormatError):
+            ConfigElement(-1)
+        with pytest.raises(StreamFormatError):
+            ConfigElement(0, (-2,))
+
+    def test_self_chain_rejected(self):
+        with pytest.raises(StreamFormatError):
+            ConfigElement(3, (3,))
+
+    def test_sourceless_element_ok(self):
+        assert ConfigElement(3).sources == ()
+
+
+class TestPointer:
+    def test_fetch_advances(self):
+        stream = ConfigStream.from_pairs([(0, []), (1, [0])])
+        assert stream.fetch().sink == 0
+        assert stream.pointer == 1
+        assert stream.fetch().sink == 1
+        assert stream.exhausted
+
+    def test_fetch_past_end_raises(self):
+        stream = ConfigStream()
+        with pytest.raises(StreamFormatError):
+            stream.fetch()
+
+    def test_rewind(self):
+        stream = ConfigStream.from_pairs([(0, [])])
+        stream.fetch()
+        stream.rewind()
+        assert not stream.exhausted
+
+    def test_insert_at_pointer(self):
+        # The miss-handling insertion of section 2.2 (Request stage).
+        stream = ConfigStream.from_pairs([(0, []), (9, [0])])
+        stream.fetch()
+        stream.insert_at_pointer([ConfigElement(5), ConfigElement(6)])
+        assert [el.sink for el in stream] == [0, 5, 6, 9]
+        assert stream.fetch().sink == 5
+
+
+class TestContainer:
+    def test_len_iter_getitem(self):
+        stream = ConfigStream.from_pairs([(0, []), (1, [0]), (2, [1])])
+        assert len(stream) == 3
+        assert [el.sink for el in stream] == [0, 1, 2]
+        assert stream[1].sources == (0,)
+
+    def test_append(self):
+        stream = ConfigStream()
+        stream.append(ConfigElement(4))
+        assert len(stream) == 1
+
+
+class TestAnalysis:
+    def test_reference_trace_flattens(self):
+        stream = ConfigStream.from_pairs([(0, []), (2, [0, 1])])
+        assert stream.reference_trace() == [0, 2, 0, 1]
+
+    def test_dependency_distances(self):
+        # element 0 sinks id 0; element 2 uses id 0 -> distance 2
+        stream = ConfigStream.from_pairs([(0, []), (1, []), (2, [0]), (3, [1, 2])])
+        assert stream.dependency_distances() == [2, 2, 1]
+
+    def test_unproduced_sources_skipped(self):
+        stream = ConfigStream.from_pairs([(5, [99])])
+        assert stream.dependency_distances() == []

@@ -1,0 +1,136 @@
+"""Unit tests for datapath execution and release tokens (section 2.3)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ap.config_stream import ConfigStream
+from repro.ap.datapath import Datapath
+from repro.ap.objects import LogicalObject, Operation
+
+
+def const(i, v):
+    return LogicalObject(i, Operation.CONST, v)
+
+
+def binop(i, op=Operation.IADD):
+    return LogicalObject(i, op)
+
+
+class TestConstruction:
+    def test_add_validates_arity(self):
+        dp = Datapath()
+        with pytest.raises(ConfigurationError):
+            dp.add(binop(0), sources=[1])  # IADD needs 2
+
+    def test_duplicate_rejected(self):
+        dp = Datapath()
+        dp.add(const(0, 1))
+        with pytest.raises(ConfigurationError):
+            dp.add(const(0, 2))
+
+    def test_consumers_tracked(self):
+        dp = Datapath()
+        dp.add(const(0, 1))
+        dp.add(const(1, 2))
+        dp.add(binop(2), sources=[0, 1])
+        assert dp.node(0).consumers == [2]
+
+    def test_from_stream(self):
+        stream = ConfigStream.from_pairs([(0, []), (1, []), (2, [0, 1])])
+        lib = {0: const(0, 3), 1: const(1, 4), 2: binop(2)}
+        dp = Datapath.from_stream(stream, lib)
+        assert len(dp) == 3
+        assert dp.execute()[2] == 7
+
+    def test_from_stream_unknown_object(self):
+        stream = ConfigStream.from_pairs([(9, [])])
+        with pytest.raises(ConfigurationError):
+            Datapath.from_stream(stream, {})
+
+
+class TestTopology:
+    def test_topological_order_respects_deps(self):
+        dp = Datapath()
+        dp.add(const(0, 1))
+        dp.add(LogicalObject(1, Operation.NEG), sources=[0])
+        order = [n.object_id for n in dp.topological_order()]
+        assert order.index(0) < order.index(1)
+
+    def test_cycle_detected(self):
+        dp = Datapath()
+        dp.add(LogicalObject(0, Operation.PASS), sources=[1])
+        dp.add(LogicalObject(1, Operation.PASS), sources=[0])
+        with pytest.raises(ConfigurationError):
+            dp.topological_order()
+
+    def test_missing_source_detected(self):
+        dp = Datapath()
+        dp.add(LogicalObject(0, Operation.PASS), sources=[9])
+        with pytest.raises(ConfigurationError):
+            dp.topological_order()
+
+    def test_depth(self):
+        dp = Datapath()
+        dp.add(const(0, 1))
+        dp.add(LogicalObject(1, Operation.NEG), sources=[0])
+        dp.add(LogicalObject(2, Operation.NEG), sources=[1])
+        assert dp.depth() == 3
+
+    def test_empty_depth(self):
+        assert Datapath().depth() == 0
+
+
+class TestExecution:
+    def test_diamond_dataflow(self):
+        # 0 -> (1, 2) -> 3 : classic diamond
+        dp = Datapath()
+        dp.add(const(0, 5))
+        dp.add(LogicalObject(1, Operation.NEG), sources=[0])
+        dp.add(LogicalObject(2, Operation.ABS), sources=[0])
+        dp.add(binop(3), sources=[1, 2])
+        values = dp.execute()
+        assert values[3] == 0  # -5 + 5
+
+    def test_inputs_override(self):
+        dp = Datapath()
+        dp.add(const(0, 5))
+        dp.add(LogicalObject(1, Operation.NEG), sources=[0])
+        assert dp.execute(inputs={0: 10})[1] == -10
+
+    def test_float_pipeline(self):
+        dp = Datapath()
+        dp.add(const(0, 9.0))
+        dp.add(LogicalObject(1, Operation.SQRT), sources=[0])
+        dp.add(LogicalObject(2, Operation.FMUL), sources=[1, 1])
+        assert dp.execute()[2] == pytest.approx(9.0)
+
+
+class TestReleaseTokens:
+    def test_sources_release_after_all_consumers(self):
+        dp = Datapath()
+        dp.add(const(0, 1))
+        dp.add(LogicalObject(1, Operation.NEG), sources=[0])
+        dp.add(LogicalObject(2, Operation.ABS), sources=[0])
+        dp.execute()
+        n0 = dp.node(0)
+        # 0 releases only once BOTH consumers evaluated
+        assert n0.released_at == max(dp.node(1).evaluated_at, dp.node(2).evaluated_at)
+
+    def test_sinks_release_on_evaluation(self):
+        dp = Datapath()
+        dp.add(const(0, 1))
+        dp.execute()
+        assert dp.node(0).released_at == dp.node(0).evaluated_at
+
+    def test_released_order_earliest_first(self):
+        dp = Datapath()
+        dp.add(const(0, 1))
+        dp.add(LogicalObject(1, Operation.NEG), sources=[0])
+        dp.add(LogicalObject(2, Operation.NEG), sources=[1])
+        dp.execute()
+        order = dp.released_order()
+        assert order.index(0) < order.index(2)
+
+    def test_node_lookup_missing(self):
+        with pytest.raises(ConfigurationError):
+            Datapath().node(3)

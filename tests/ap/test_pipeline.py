@@ -1,0 +1,162 @@
+"""Unit and integration tests for the five-stage AP pipeline (§2.2, Fig. 1)."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.ap.config_stream import ConfigStream
+from repro.ap.objects import LogicalObject, Operation
+from repro.ap.pipeline import AdaptiveProcessor, Stage
+from repro.ap.virtual_hw import ObjectLibrary
+
+
+def library(n=16):
+    objs = [LogicalObject(0, Operation.CONST, 1), LogicalObject(1, Operation.CONST, 2)]
+    objs += [LogicalObject(i, Operation.IADD) for i in range(2, n)]
+    return ObjectLibrary(objs)
+
+
+def linear_stream(n):
+    """0, 1, then a chain of adds each consuming the two previous IDs."""
+    pairs = [(0, []), (1, [])]
+    pairs += [(i, [i - 2, i - 1]) for i in range(2, n)]
+    return ConfigStream.from_pairs(pairs)
+
+
+class TestColdConfiguration:
+    def test_all_cold_requests_miss(self):
+        ap = AdaptiveProcessor(8, library())
+        stats = ap.run(ConfigStream.from_pairs([(0, []), (1, [])]))
+        assert stats.elements == 2
+        assert stats.misses == 2
+        assert stats.hits == 0
+
+    def test_sources_hit_after_loading(self):
+        ap = AdaptiveProcessor(8, library())
+        stats = ap.run(linear_stream(4))
+        # element (2,[0,1]): 0 and 1 already resident -> 2 hits, 1 miss
+        assert stats.hits >= 4
+        assert stats.hit_rate > 0.4
+
+    def test_connections_formed(self):
+        ap = AdaptiveProcessor(8, library())
+        stats = ap.run(linear_stream(5))
+        assert stats.connections == 2 * 3  # three add elements, two sources
+        assert set(ap.configured_connections()) == {
+            (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)
+        }
+
+    def test_channels_counted(self):
+        ap = AdaptiveProcessor(8, library())
+        stats = ap.run(linear_stream(5))
+        assert stats.channels_used >= 1
+
+
+class TestCycleAccounting:
+    def test_empty_stream_zero_cycles(self):
+        ap = AdaptiveProcessor(8, library())
+        stats = ap.run(ConfigStream())
+        assert stats.total_cycles == 0
+
+    def test_pipeline_depth_floor(self):
+        # one element: fills the 5-stage pipe + its miss stall
+        ap = AdaptiveProcessor(8, library())
+        stats = ap.run(ConfigStream.from_pairs([(0, [])]))
+        assert stats.total_cycles >= AdaptiveProcessor.PIPELINE_DEPTH
+
+    def test_misses_cost_stalls(self):
+        cold = AdaptiveProcessor(8, library())
+        cold_stats = cold.run(linear_stream(6))
+        warm = AdaptiveProcessor(8, library())
+        warm.run(linear_stream(6))
+        # re-running over a warm stack: all hits, no stalls
+        rerun = warm.run(linear_stream(6))
+        assert rerun.misses == 0 or rerun.stall_cycles < cold_stats.stall_cycles
+
+    def test_higher_load_latency_costs_more(self):
+        fast = AdaptiveProcessor(8, ObjectLibrary([LogicalObject(0, Operation.CONST, 1)], load_latency=1))
+        slow = AdaptiveProcessor(8, ObjectLibrary([LogicalObject(0, Operation.CONST, 1)], load_latency=10))
+        s_fast = fast.run(ConfigStream.from_pairs([(0, [])]))
+        s_slow = slow.run(ConfigStream.from_pairs([(0, [])]))
+        assert s_slow.total_cycles > s_fast.total_cycles
+
+
+class TestVirtualHardware:
+    def test_eviction_writes_back_via_scheduler(self):
+        ap = AdaptiveProcessor(2, library())
+        ap.run(ConfigStream.from_pairs([(0, []), (1, [])]))
+        ap.release_object(0)
+        ap.release_object(1)
+        # two fresh objects displace the released ones
+        ap.run(ConfigStream.from_pairs([(2, []), (3, [])]))
+        assert ap.stack.eviction_count == 2
+        assert ap.scheduler.scheduled == 2
+        drained = ap.scheduler.drain_all()
+        assert {o.object_id for o in drained} == {0, 1}
+        assert ap.library.stores == 2
+
+    def test_protected_objects_survive_eviction_pressure(self):
+        # capacity 3: element (4,[0]) needs 0 resident while loading 4;
+        # the victim must be 1 or 2, never 0.
+        lib = library()
+        ap = AdaptiveProcessor(3, lib)
+        ap.run(ConfigStream.from_pairs([(0, []), (1, [])]))
+        ap.release_object(1)
+        ap.run(ConfigStream.from_pairs([(4, [0])]))
+        assert 0 in ap.stack and 4 in ap.stack
+
+    def test_working_set_overflow_raises(self):
+        # capacity 2 but an element needs 3 live objects at once
+        ap = AdaptiveProcessor(2, library())
+        with pytest.raises(CapacityError):
+            ap.run(ConfigStream.from_pairs([(2, [0, 1])]))
+
+
+class TestReleaseTokens:
+    def test_release_frees_wsrf_and_channels(self):
+        ap = AdaptiveProcessor(8, library())
+        ap.run(linear_stream(4))
+        before = len(ap.wsrf)
+        ap.release_object(0)
+        assert len(ap.wsrf) == before - 1
+        assert all(0 not in key for key in ap.configured_connections())
+
+    def test_release_unacquired_raises(self):
+        ap = AdaptiveProcessor(8, library())
+        with pytest.raises(ConfigurationError):
+            ap.release_object(0)
+
+
+class TestStageTrace:
+    def test_all_five_stages_recorded(self):
+        ap = AdaptiveProcessor(8, library(), trace_stages=True)
+        ap.run(ConfigStream.from_pairs([(0, [])]))
+        stages = [e.stage for e in ap.events]
+        assert stages[0] is Stage.POINTER_UPDATE
+        assert Stage.REQUEST in stages
+        assert stages[-1] is Stage.ACQUIREMENT
+
+    def test_trace_off_by_default(self):
+        ap = AdaptiveProcessor(8, library())
+        ap.run(ConfigStream.from_pairs([(0, [])]))
+        assert ap.events == []
+
+    def test_miss_detail_recorded(self):
+        ap = AdaptiveProcessor(8, library(), trace_stages=True)
+        ap.run(ConfigStream.from_pairs([(0, [])]))
+        request_events = [e for e in ap.events if e.stage is Stage.REQUEST]
+        assert any("miss" in e.detail for e in request_events)
+
+    def test_stage_cycles_monotone_per_element(self):
+        ap = AdaptiveProcessor(8, library(), trace_stages=True)
+        ap.run(linear_stream(3))
+        for idx in range(3):
+            cycles = [e.cycle for e in ap.events if e.element_index == idx]
+            assert cycles == sorted(cycles)
+
+
+class TestWSRFIntegration:
+    def test_acquired_positions_track_shifts(self):
+        ap = AdaptiveProcessor(8, library())
+        ap.run(linear_stream(5))
+        for entry in ap.wsrf.working_set():
+            assert ap.stack.position_of(entry.object_id) == entry.position

@@ -1,0 +1,184 @@
+"""Unit tests for the object stack (section 2.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.ap.objects import LogicalObject, Operation
+from repro.ap.stack import ObjectStack
+
+
+def obj(i):
+    return LogicalObject(i, Operation.PASS)
+
+
+class TestConstruction:
+    def test_capacity_validated(self):
+        with pytest.raises(CapacityError):
+            ObjectStack(0)
+
+    def test_physical_array_sized_to_capacity(self):
+        stack = ObjectStack(8)
+        assert len(stack.array) == 8
+        assert all(not pe.is_bound for pe in stack.array)
+
+
+class TestPush:
+    def test_placement_always_on_top(self):
+        stack = ObjectStack(4)
+        stack.push(obj(1))
+        stack.push(obj(2))
+        assert stack.position_of(2) == 0  # newest on top
+        assert stack.position_of(1) == 1  # shifted down
+
+    def test_push_binds_physical_objects(self):
+        stack = ObjectStack(4)
+        stack.push(obj(7))
+        assert stack.array[0].logical.object_id == 7
+
+    def test_eviction_from_bottom_when_full(self):
+        stack = ObjectStack(2)
+        stack.push(obj(1))
+        stack.push(obj(2))
+        evicted = stack.push(obj(3))
+        assert evicted.object_id == 1
+        assert stack.eviction_count == 1
+        assert 1 not in stack
+
+    def test_duplicate_push_rejected(self):
+        stack = ObjectStack(4)
+        stack.push(obj(1))
+        with pytest.raises(ConfigurationError):
+            stack.push(obj(1))
+
+    def test_shift_count_increments(self):
+        stack = ObjectStack(4)
+        stack.push(obj(1))
+        stack.push(obj(2))
+        assert stack.shift_count == 2
+
+
+class TestLRUTouch:
+    def test_touch_promotes_to_top(self):
+        stack = ObjectStack(4)
+        for i in (1, 2, 3):
+            stack.push(obj(i))
+        distance = stack.touch(1)
+        assert distance == 2
+        assert stack.position_of(1) == 0
+
+    def test_touch_top_is_distance_zero(self):
+        stack = ObjectStack(4)
+        stack.push(obj(1))
+        assert stack.touch(1) == 0
+
+    def test_touch_miss_raises(self):
+        with pytest.raises(ConfigurationError):
+            ObjectStack(4).touch(9)
+
+    def test_lru_eviction_order_after_touches(self):
+        stack = ObjectStack(3)
+        for i in (1, 2, 3):
+            stack.push(obj(i))
+        stack.touch(1)  # order now 1,3,2 top->bottom
+        evicted = stack.push(obj(4))
+        assert evicted.object_id == 2
+
+
+class TestStackDistance:
+    def test_distance_equals_position(self):
+        stack = ObjectStack(8)
+        for i in range(4):
+            stack.push(obj(i))
+        assert stack.stack_distance(3) == 0
+        assert stack.stack_distance(0) == 3
+
+    def test_miss_is_none(self):
+        assert ObjectStack(8).stack_distance(5) is None
+
+
+class TestEvictAndCandidates:
+    def test_explicit_evict(self):
+        stack = ObjectStack(4)
+        stack.push(obj(1))
+        stack.push(obj(2))
+        victim = stack.evict(1)
+        assert victim.object_id == 1
+        assert len(stack) == 1
+
+    def test_evict_missing_raises(self):
+        with pytest.raises(ConfigurationError):
+            ObjectStack(4).evict(1)
+
+    def test_bottom_candidates_bottom_first(self):
+        stack = ObjectStack(4)
+        for i in (1, 2, 3):
+            stack.push(obj(i))
+        assert [o.object_id for o in stack.bottom_candidates(2)] == [1, 2]
+
+    def test_bottom_candidates_zero(self):
+        assert ObjectStack(4).bottom_candidates(0) == []
+
+    def test_at_out_of_range(self):
+        with pytest.raises(CapacityError):
+            ObjectStack(4).at(4)
+
+    def test_at_empty_position(self):
+        stack = ObjectStack(4)
+        stack.push(obj(1))
+        assert stack.at(0).object_id == 1
+        assert stack.at(3) is None
+
+
+class TestWakeRelease:
+    def test_wake_marks_physical_active(self):
+        stack = ObjectStack(4)
+        stack.push(obj(1))
+        pe = stack.wake(1)
+        assert pe.active and pe.logical.object_id == 1
+
+    def test_active_travels_with_shift(self):
+        stack = ObjectStack(4)
+        stack.push(obj(1))
+        stack.wake(1)
+        stack.push(obj(2))  # 1 shifts to position 1
+        assert stack.array[1].active
+        assert not stack.array[0].active
+
+    def test_release_deactivates(self):
+        stack = ObjectStack(4)
+        stack.push(obj(1))
+        stack.wake(1)
+        stack.release(1)
+        assert not stack.array[0].active
+
+    def test_wake_miss_raises(self):
+        with pytest.raises(ConfigurationError):
+            ObjectStack(4).wake(9)
+
+    def test_eviction_clears_activity(self):
+        stack = ObjectStack(1)
+        stack.push(obj(1))
+        stack.wake(1)
+        stack.push(obj(2))  # evicts 1
+        assert not stack.array[0].active  # 2 never woken
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(ids=st.lists(st.integers(0, 30), min_size=1, max_size=60))
+    def test_stack_mirrors_reference_lru(self, ids):
+        """Pushing misses + touching hits must reproduce textbook LRU."""
+        stack = ObjectStack(8)
+        reference = []  # most recent first
+        for i in ids:
+            if i in stack:
+                stack.touch(i)
+                reference.remove(i)
+                reference.insert(0, i)
+            else:
+                stack.push(obj(i))
+                reference.insert(0, i)
+                reference = reference[:8]
+        assert [o.object_id for o in stack.contents()] == reference

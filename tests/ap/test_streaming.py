@@ -1,0 +1,80 @@
+"""Unit tests for streaming execution and the capacity rule (section 2.5)."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.ap.datapath import Datapath
+from repro.ap.objects import LogicalObject, Operation
+from repro.ap.streaming import StreamingExecutor
+
+
+def pipeline_datapath(stages=3):
+    """in -> NEG -> NEG -> ... (identity for even stage counts)."""
+    dp = Datapath()
+    dp.add(LogicalObject(0, Operation.CONST, 0))
+    for i in range(1, stages + 1):
+        dp.add(LogicalObject(i, Operation.NEG), sources=[i - 1])
+    return dp
+
+
+class TestCapacityRule:
+    def test_oversized_datapath_rejected(self):
+        dp = pipeline_datapath(stages=7)  # 8 objects
+        with pytest.raises(CapacityError):
+            StreamingExecutor(dp, capacity=4)
+
+    def test_exact_fit_allowed(self):
+        dp = pipeline_datapath(stages=3)  # 4 objects
+        StreamingExecutor(dp, capacity=4)
+
+    def test_capacity_validated(self):
+        with pytest.raises(CapacityError):
+            StreamingExecutor(Datapath(), capacity=0)
+
+
+class TestStreamingRun:
+    def test_outputs_per_record(self):
+        dp = pipeline_datapath(stages=2)  # NEG(NEG(x)) = x
+        ex = StreamingExecutor(dp, capacity=8)
+        run = ex.run([{0: v} for v in (1, 2, 3)])
+        assert [o[2] for o in run.outputs] == [1, 2, 3]
+
+    def test_default_outputs_are_sinks(self):
+        dp = pipeline_datapath(stages=2)
+        ex = StreamingExecutor(dp, capacity=8)
+        assert ex.output_ids == [2]
+
+    def test_explicit_outputs(self):
+        dp = pipeline_datapath(stages=2)
+        ex = StreamingExecutor(dp, capacity=8, output_ids=[1, 2])
+        run = ex.run([{0: 5}])
+        assert run.outputs[0] == {1: -5, 2: 5}
+
+    def test_empty_stream(self):
+        ex = StreamingExecutor(pipeline_datapath(1), capacity=8)
+        run = ex.run([])
+        assert run.outputs == []
+        assert run.stats.total_cycles == pipeline_datapath(1).depth()
+
+
+class TestThroughput:
+    def test_throughput_approaches_one(self):
+        dp = pipeline_datapath(stages=3)
+        ex = StreamingExecutor(dp, capacity=8)
+        short = ex.run([{0: i} for i in range(4)]).stats.throughput
+        long = ex.run([{0: i} for i in range(400)]).stats.throughput
+        assert long > short
+        assert long > 0.95
+
+    def test_deeper_pipeline_longer_fill(self):
+        shallow = StreamingExecutor(pipeline_datapath(2), capacity=16)
+        deep = StreamingExecutor(pipeline_datapath(10), capacity=16)
+        records = [{0: i} for i in range(5)]
+        assert deep.run(records).stats.total_cycles > shallow.run(records).stats.total_cycles
+
+    def test_stats_fields(self):
+        ex = StreamingExecutor(pipeline_datapath(2), capacity=8)
+        stats = ex.run([{0: 1}, {0: 2}]).stats
+        assert stats.records == 2
+        assert stats.datapath_depth == 3
+        assert stats.total_cycles == 3 + (2 - 1) + 1  # fill + extra records + drain

@@ -1,0 +1,79 @@
+"""Unit tests for the object library and swap scheduler (section 2.5)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ap.objects import LogicalObject, Operation
+from repro.ap.virtual_hw import ObjectLibrary, SwapScheduler
+
+
+def obj(i, data=None):
+    return LogicalObject(i, Operation.CONST if data is not None else Operation.PASS, data)
+
+
+class TestObjectLibrary:
+    def test_add_and_load(self):
+        lib = ObjectLibrary([obj(1), obj(2)])
+        loaded, latency = lib.load(1)
+        assert loaded.object_id == 1
+        assert latency == lib.load_latency
+        assert lib.loads == 1
+
+    def test_duplicate_add_rejected(self):
+        lib = ObjectLibrary([obj(1)])
+        with pytest.raises(ConfigurationError):
+            lib.add(obj(1))
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            ObjectLibrary().load(9)
+
+    def test_store_writes_back(self):
+        lib = ObjectLibrary()
+        latency = lib.store(obj(4, data=99))
+        assert latency == lib.load_latency
+        assert 4 in lib and lib.stores == 1
+
+    def test_store_overwrites_stale_copy(self):
+        lib = ObjectLibrary([obj(1, data=1)])
+        lib.store(obj(1, data=2))
+        assert lib.load(1)[0].init_data == 2
+
+    def test_latency_validated(self):
+        with pytest.raises(ValueError):
+            ObjectLibrary(load_latency=0)
+
+    def test_len_and_contains(self):
+        lib = ObjectLibrary([obj(1)])
+        assert len(lib) == 1 and 1 in lib and 2 not in lib
+
+
+class TestSwapScheduler:
+    def test_schedule_and_drain_one(self):
+        lib = ObjectLibrary()
+        sched = SwapScheduler(lib)
+        sched.schedule_store(obj(1))
+        sched.schedule_store(obj(2))
+        assert sched.backlog == 2
+        drained = sched.drain_one()
+        assert drained.object_id == 1  # FIFO
+        assert sched.backlog == 1
+        assert 1 in lib
+
+    def test_drain_empty_returns_none(self):
+        assert SwapScheduler(ObjectLibrary()).drain_one() is None
+
+    def test_drain_all(self):
+        lib = ObjectLibrary()
+        sched = SwapScheduler(lib)
+        for i in range(5):
+            sched.schedule_store(obj(i))
+        drained = sched.drain_all()
+        assert [o.object_id for o in drained] == list(range(5))
+        assert sched.backlog == 0
+        assert len(lib) == 5
+
+    def test_scheduled_counter(self):
+        sched = SwapScheduler(ObjectLibrary())
+        sched.schedule_store(obj(1))
+        assert sched.scheduled == 1

@@ -1,0 +1,85 @@
+"""Unit tests for the working-set register file (sections 2.2, 2.6.1)."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.ap.wsrf import DEFAULT_WSRF_ENTRIES, WSRF
+
+
+class TestCapacity:
+    def test_default_matches_table3(self):
+        # Table 3: 64b x40 registers in the WSRF.
+        assert DEFAULT_WSRF_ENTRIES == 40
+        assert WSRF().capacity == 40
+
+    def test_capacity_validated(self):
+        with pytest.raises(CapacityError):
+            WSRF(0)
+
+    def test_full_acquire_raises(self):
+        wsrf = WSRF(2)
+        wsrf.acquire(1, 0)
+        wsrf.acquire(2, 1)
+        with pytest.raises(CapacityError):
+            wsrf.acquire(3, 2)
+
+
+class TestAcquireRelease:
+    def test_acquire_and_lookup(self):
+        wsrf = WSRF()
+        entry = wsrf.acquire(5, position=3, channel=2)
+        assert wsrf.lookup(5) == entry
+        assert entry.position == 3 and entry.channel == 2
+        assert 5 in wsrf and len(wsrf) == 1
+
+    def test_lookup_miss_is_none(self):
+        assert WSRF().lookup(9) is None
+
+    def test_double_acquire_rejected(self):
+        wsrf = WSRF()
+        wsrf.acquire(5, 0)
+        with pytest.raises(ConfigurationError):
+            wsrf.acquire(5, 1)
+
+    def test_release(self):
+        wsrf = WSRF()
+        wsrf.acquire(5, 0)
+        wsrf.release(5)
+        assert 5 not in wsrf
+
+    def test_release_unacquired_raises(self):
+        with pytest.raises(ConfigurationError):
+            WSRF().release(5)
+
+    def test_release_frees_capacity(self):
+        wsrf = WSRF(1)
+        wsrf.acquire(1, 0)
+        wsrf.release(1)
+        wsrf.acquire(2, 0)  # no CapacityError
+
+
+class TestPositionTracking:
+    def test_update_position_keeps_channel(self):
+        wsrf = WSRF()
+        wsrf.acquire(5, 0, channel=3)
+        wsrf.update_position(5, 4)
+        entry = wsrf.lookup(5)
+        assert entry.position == 4 and entry.channel == 3
+
+    def test_update_unacquired_raises(self):
+        with pytest.raises(ConfigurationError):
+            WSRF().update_position(5, 1)
+
+
+class TestParallelSearch:
+    def test_verdicts_per_id(self):
+        wsrf = WSRF()
+        wsrf.acquire(1, 0)
+        wsrf.acquire(3, 1)
+        assert wsrf.parallel_search((1, 2, 3)) == {1: True, 2: False, 3: True}
+
+    def test_working_set_snapshot(self):
+        wsrf = WSRF()
+        wsrf.acquire(1, 0)
+        wsrf.acquire(2, 1)
+        assert {e.object_id for e in wsrf.working_set()} == {1, 2}

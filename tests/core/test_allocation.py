@@ -1,0 +1,90 @@
+"""Unit tests for cluster allocation strategies."""
+
+import pytest
+
+from repro.errors import RegionError
+from repro.core.allocation import ClusterAllocator
+from repro.topology.s_topology import STopology
+
+
+@pytest.fixture
+def fabric():
+    return STopology(4, 4)
+
+
+@pytest.fixture
+def alloc(fabric):
+    return ClusterAllocator(fabric)
+
+
+class TestSerpentine:
+    def test_first_fit_follows_fold_order(self, alloc):
+        region = alloc.find_serpentine(5)
+        assert region.path == ((0, 0), (0, 1), (0, 2), (0, 3), (1, 3))
+
+    def test_skips_occupied_runs(self, fabric, alloc):
+        fabric.cluster((0, 2)).allocate("X")
+        region = alloc.find_serpentine(4)
+        # the run restarts after the occupied cluster
+        assert (0, 2) not in region.clusters
+        assert region.path[0] == (0, 3)
+
+    def test_none_when_fragmented(self, fabric, alloc):
+        # occupy every other cluster in fold order: max run is 1
+        for i, coord in enumerate(fabric.linear_order()):
+            if i % 2 == 0:
+                fabric.cluster(coord).allocate("X")
+        assert alloc.find_serpentine(2) is None
+
+    def test_defective_clusters_break_runs(self, fabric, alloc):
+        fabric.cluster((0, 1)).mark_defective()
+        region = alloc.find_serpentine(3)
+        assert (0, 1) not in region.clusters
+
+
+class TestRectangle:
+    def test_compact_shape_preferred(self, alloc):
+        region = alloc.find_rectangle(4)
+        (r0, c0), (r1, c1) = region.bounding_box()
+        assert (r1 - r0 + 1, c1 - c0 + 1) == (2, 2)
+
+    def test_oversized_request_none(self, alloc):
+        assert alloc.find_rectangle(17) is None
+
+    def test_avoids_occupied(self, fabric, alloc):
+        fabric.cluster((0, 0)).allocate("X")
+        region = alloc.find_rectangle(4)
+        assert (0, 0) not in region.clusters
+
+    def test_exact_count_may_exceed_in_rectangle(self, alloc):
+        # 3 clusters fit a 1x3 rectangle exactly
+        region = alloc.find_rectangle(3)
+        assert len(region) == 3
+
+
+class TestAllocate:
+    def test_unknown_strategy(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.allocate(2, strategy="spiral")
+
+    def test_raises_when_impossible(self, fabric, alloc):
+        for cl in fabric.clusters():
+            cl.allocate("X")
+        with pytest.raises(RegionError):
+            alloc.allocate(1)
+
+    def test_zero_request_rejected(self, alloc):
+        with pytest.raises(RegionError):
+            alloc.allocate(0)
+
+
+class TestQueries:
+    def test_free_count(self, fabric, alloc):
+        assert alloc.free_count() == 16
+        fabric.cluster((0, 0)).allocate("X")
+        assert alloc.free_count() == 15
+
+    def test_largest_free_run(self, fabric, alloc):
+        assert alloc.largest_free_run() == 16
+        fabric.cluster((1, 3)).allocate("X")  # fold position 4
+        assert alloc.largest_free_run() == 11

@@ -1,0 +1,100 @@
+"""Unit tests for defect injection and tolerance (section 1)."""
+
+import pytest
+
+from repro.core.defects import DefectInjector
+from repro.core.states import ProcessorState
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.topology.regions import path_region
+
+
+@pytest.fixture
+def chip():
+    return VLSIProcessor(4, 4, with_network=False)
+
+
+class TestInjectAt:
+    def test_free_cluster_just_fails(self, chip):
+        inj = DefectInjector(chip)
+        report = inj.inject_at((3, 3))
+        assert report.affected_processor is None
+        assert chip.fabric.cluster((3, 3)).defective
+        assert inj.defective_count() == 1
+
+    def test_owned_cluster_takes_down_processor_and_remaps(self, chip):
+        chip.create_processor("A", n_clusters=2)
+        inj = DefectInjector(chip)
+        report = inj.inject_at(chip.processor("A").region.path[0])
+        assert report.affected_processor == "A"
+        assert report.remapped
+        # the replacement avoids the defective cluster
+        assert report.coord not in chip.processor("A").region.clusters
+        assert chip.processor("A").n_clusters == 2
+
+    def test_remap_disabled(self, chip):
+        chip.create_processor("A", n_clusters=2)
+        inj = DefectInjector(chip)
+        report = inj.inject_at(chip.processor("A").region.path[0], remap=False)
+        assert report.affected_processor == "A"
+        assert not report.remapped
+        assert "A" not in chip.processors
+
+    def test_remap_fails_when_fabric_full(self, chip):
+        chip.create_processor("A", n_clusters=8)
+        chip.create_processor("B", n_clusters=8)
+        inj = DefectInjector(chip)
+        report = inj.inject_at(chip.processor("A").region.path[0])
+        # 7 healthy free clusters remain after A released one went defective
+        # -> 8-cluster remap still possible? 16-1 defective -8 (B) = 7 free
+        assert not report.remapped
+        assert "A" not in chip.processors
+
+    def test_active_processor_torn_down(self, chip):
+        chip.create_processor("A", n_clusters=2)
+        chip.activate("A")
+        inj = DefectInjector(chip)
+        report = inj.inject_at(chip.processor("A").region.path[1])
+        assert report.affected_processor == "A"
+        # the remapped replacement starts INACTIVE
+        assert chip.processor("A").state.state is ProcessorState.INACTIVE
+
+
+class TestInjectRandom:
+    def test_injects_requested_count(self, chip):
+        inj = DefectInjector(chip, seed=7)
+        reports = inj.inject_random(3)
+        assert len(reports) == 3
+        assert inj.defective_count() == 3
+
+    def test_survivor_accounting(self, chip):
+        inj = DefectInjector(chip, seed=7)
+        inj.inject_random(5)
+        assert inj.surviving_capacity() == 16 - 5
+
+    def test_never_hits_same_cluster_twice(self, chip):
+        inj = DefectInjector(chip, seed=3)
+        reports = inj.inject_random(10)
+        coords = [r.coord for r in reports]
+        assert len(set(coords)) == len(coords)
+
+    def test_exhausts_gracefully(self, chip):
+        inj = DefectInjector(chip, seed=1)
+        reports = inj.inject_random(20)  # only 16 clusters exist
+        assert len(reports) == 16
+
+    def test_negative_count_rejected(self, chip):
+        with pytest.raises(ValueError):
+            DefectInjector(chip).inject_random(-1)
+
+
+class TestIntroScenario:
+    def test_degraded_chip_keeps_computing(self, chip):
+        """The section-1 narrative: failures shrink but never brick the
+        chip — remaining APs re-fuse around the holes."""
+        chip.create_processor("P1", region=path_region([(0, 0), (0, 1)]))
+        chip.create_processor("P2", region=path_region([(1, 0), (1, 1)]))
+        inj = DefectInjector(chip, seed=5)
+        inj.inject_at((1, 0))  # P2 fails, remaps elsewhere
+        assert set(chip.processors) == {"P1", "P2"}
+        assert chip.processor("P1").region.path == ((0, 0), (0, 1))
+        assert (1, 0) not in chip.processor("P2").region.clusters

@@ -1,0 +1,83 @@
+"""Unit tests for fabric defragmentation (section 5)."""
+
+import pytest
+
+from repro.core.defrag import Defragmenter
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.errors import RegionError
+
+
+def fragmented_chip():
+    """16 4-cluster processors fill an 8x8 chip; every other one freed."""
+    chip = VLSIProcessor(8, 8, with_network=False)
+    for i in range(16):
+        chip.create_processor(f"S{i}", n_clusters=4)
+    for i in range(0, 16, 2):
+        chip.destroy_processor(f"S{i}")
+    return chip
+
+
+class TestFragmentationMetric:
+    def test_empty_chip_not_fragmented(self):
+        chip = VLSIProcessor(4, 4, with_network=False)
+        assert Defragmenter(chip).fragmentation() == 0.0
+
+    def test_full_chip_not_fragmented(self):
+        chip = VLSIProcessor(4, 4, with_network=False)
+        chip.create_processor("A", n_clusters=16)
+        assert Defragmenter(chip).fragmentation() == 0.0
+
+    def test_checkerboard_is_fragmented(self):
+        chip = fragmented_chip()
+        defrag = Defragmenter(chip)
+        assert defrag.fragmentation() > 0.5
+
+
+class TestCompaction:
+    def test_compact_coalesces_free_space(self):
+        chip = fragmented_chip()
+        defrag = Defragmenter(chip)
+        with pytest.raises(RegionError):
+            chip.create_processor("BIG", n_clusters=32)
+        moves = defrag.compact_until_stable()
+        assert moves  # something moved
+        assert defrag.fragmentation() == 0.0
+        chip.create_processor("BIG", n_clusters=32)  # now fits
+
+    def test_processors_survive_compaction(self):
+        chip = fragmented_chip()
+        before = {n: p.n_clusters for n, p in chip.processors.items()}
+        Defragmenter(chip).compact_until_stable()
+        after = {n: p.n_clusters for n, p in chip.processors.items()}
+        assert before == after
+        # regions are intact chained components
+        for proc in chip.processors.values():
+            assert chip.fabric.chained_component(proc.region.path[0]) == set(
+                proc.region.path
+            )
+
+    def test_mailbox_contents_move_with_processor(self):
+        chip = fragmented_chip()
+        target = next(iter(chip.processors))
+        chip.processor(target).mailbox.deliver("ext", "k", 42)
+        Defragmenter(chip).compact_until_stable()
+        assert chip.processor(target).mailbox.read("k") == 42
+
+    def test_active_processors_stay_put(self):
+        chip = fragmented_chip()
+        pinned = "S7"
+        old_region = chip.processor(pinned).region
+        chip.activate(pinned)
+        Defragmenter(chip).compact_until_stable()
+        assert chip.processor(pinned).region == old_region
+
+    def test_stable_chip_no_moves(self):
+        chip = VLSIProcessor(4, 4, with_network=False)
+        chip.create_processor("A", n_clusters=4)
+        assert Defragmenter(chip).compact() == []
+
+    def test_idempotent(self):
+        chip = fragmented_chip()
+        defrag = Defragmenter(chip)
+        defrag.compact_until_stable()
+        assert defrag.compact() == []

@@ -1,0 +1,45 @@
+"""Unit tests for the supervisor deployment helper."""
+
+import pytest
+
+from repro.core.partition import deploy_program
+from repro.core.states import ProcessorState
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.errors import RegionError
+from repro.topology.cluster import ClusterResources
+from repro.workloads.programs import figure7_program
+
+
+class TestDeployProgram:
+    def test_deploys_and_runs_figure7(self):
+        chip = VLSIProcessor(8, 8, with_network=False)
+        executor = deploy_program(chip, figure7_program())
+        assert executor.run({100: 5, 101: 3}) == {1: 6}
+        assert executor.run({100: 2, 101: 9}) == {1: 11}
+
+    def test_one_processor_per_block(self):
+        chip = VLSIProcessor(8, 8, with_network=False)
+        deploy_program(chip, figure7_program(), name_prefix="Q")
+        assert set(chip.processors) == {"Q_cond", "Q_then", "Q_else", "Q_merge"}
+        for proc in chip.processors.values():
+            assert proc.state.state is ProcessorState.INACTIVE
+
+    def test_sizing_respects_block_demand(self):
+        # tiny clusters: 2 compute objects each -> the 3-object cond
+        # block needs 2 clusters
+        chip = VLSIProcessor(8, 8, ClusterResources(2, 2, 1), with_network=False)
+        deploy_program(chip, figure7_program())
+        assert chip.processor("P_cond").n_clusters == 2
+        assert chip.processor("P_merge").n_clusters == 1
+
+    def test_too_small_fabric_raises(self):
+        chip = VLSIProcessor(1, 2, with_network=False)
+        with pytest.raises(RegionError):
+            deploy_program(chip, figure7_program())
+
+    def test_serpentine_strategy(self):
+        chip = VLSIProcessor(8, 8, with_network=False)
+        executor = deploy_program(
+            chip, figure7_program(), strategy="serpentine"
+        )
+        assert executor.run({100: 1, 101: 0}) == {1: 2}

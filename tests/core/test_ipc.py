@@ -1,0 +1,82 @@
+"""Unit tests for inter-processor communication (section 3.4)."""
+
+import pytest
+
+from repro.errors import StateTransitionError
+from repro.core.ipc import Mailbox
+from repro.core.states import ProcessorStateMachine
+
+
+def inactive_machine():
+    sm = ProcessorStateMachine()
+    sm.configure()
+    return sm
+
+
+class TestDelivery:
+    def test_deliver_and_read(self):
+        sm = inactive_machine()
+        box = Mailbox(sm)
+        box.deliver("P0", key="x", value=5)
+        assert box.read("x") == 5
+        assert "x" in box and len(box) == 1
+
+    def test_deliver_to_active_rejected(self):
+        # "read and write protections in the scaled region are set" on
+        # activation: predecessors cannot write an ACTIVE processor.
+        sm = inactive_machine()
+        sm.activate()
+        with pytest.raises(StateTransitionError):
+            Mailbox(sm).deliver("P0", "x", 5)
+
+    def test_deliver_to_sleeping_rejected(self):
+        sm = inactive_machine()
+        sm.activate()
+        sm.sleep()
+        with pytest.raises(StateTransitionError):
+            Mailbox(sm).deliver("P0", "x", 5)
+
+    def test_deliver_to_released_rejected(self):
+        sm = ProcessorStateMachine()  # RELEASE
+        with pytest.raises(StateTransitionError):
+            Mailbox(sm).deliver("P0", "x", 5)
+
+    def test_owner_reads_while_active(self):
+        sm = inactive_machine()
+        box = Mailbox(sm)
+        box.deliver("P0", "x", 5)
+        sm.activate()
+        assert box.read("x") == 5  # owner access is unrestricted
+
+    def test_overwrite_latest_wins(self):
+        box = Mailbox(inactive_machine())
+        box.deliver("P0", "x", 1)
+        box.deliver("P1", "x", 2)
+        assert box.read("x") == 2
+
+
+class TestReadSemantics:
+    def test_read_missing_raises(self):
+        with pytest.raises(KeyError):
+            Mailbox(inactive_machine()).read("nope")
+
+    def test_peek_default(self):
+        assert Mailbox(inactive_machine()).peek("nope", default=7) == 7
+
+    def test_take_all_drains(self):
+        box = Mailbox(inactive_machine())
+        box.deliver("P0", "a", 1)
+        box.deliver("P0", "b", 2)
+        assert box.take_all() == {"a": 1, "b": 2}
+        assert len(box) == 0
+
+
+class TestLog:
+    def test_log_records_senders_in_order(self):
+        box = Mailbox(inactive_machine())
+        box.deliver("P0", "a", 1)
+        box.deliver("P1", "b", 2)
+        assert [(r.sender, r.key, r.value) for r in box.log] == [
+            ("P0", "a", 1),
+            ("P1", "b", 2),
+        ]

@@ -1,0 +1,108 @@
+"""Integration tests for Figure 7's partitioned execution."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.core.partition import ProgramExecutor
+from repro.core.states import ProcessorState
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.workloads.dataflow import DataflowGraph
+from repro.workloads.programs import BasicBlock, PartitionedProgram, figure7_program
+from repro.ap.objects import Operation
+
+
+@pytest.fixture
+def chip():
+    return VLSIProcessor(8, 8, with_network=False)
+
+
+def place_figure7(chip):
+    program = figure7_program()
+    placement = {}
+    for block in program.blocks():
+        proc = f"P_{block.name}"
+        chip.create_processor(proc, n_clusters=1)
+        placement[block.name] = proc
+    return program, placement
+
+
+class TestFigure7:
+    def test_then_branch(self, chip):
+        program, placement = place_figure7(chip)
+        ex = ProgramExecutor(chip, program, placement)
+        result = ex.run({100: 5, 101: 3})  # x > y -> z = x+1
+        assert result == {1: 6}
+
+    def test_else_branch(self, chip):
+        program, placement = place_figure7(chip)
+        ex = ProgramExecutor(chip, program, placement)
+        result = ex.run({100: 2, 101: 9})  # x <= y -> z = y+2
+        assert result == {1: 11}
+
+    def test_untaken_branch_never_executes(self, chip):
+        program, placement = place_figure7(chip)
+        ex = ProgramExecutor(chip, program, placement)
+        ex.run({100: 5, 101: 3})
+        blocks_run = [t.block for t in ex.trace]
+        assert blocks_run == ["cond", "then", "merge"]
+        assert "else" not in blocks_run
+
+    def test_processors_return_to_inactive(self, chip):
+        # pipelined execution: every processor ends INACTIVE, ready for
+        # the next wave of data
+        program, placement = place_figure7(chip)
+        ex = ProgramExecutor(chip, program, placement)
+        ex.run({100: 5, 101: 3})
+        for proc in placement.values():
+            assert chip.processor(proc).state.state is ProcessorState.INACTIVE
+
+    def test_back_to_back_waves(self, chip):
+        # the same configured processors run wave after wave (pipelining)
+        program, placement = place_figure7(chip)
+        ex = ProgramExecutor(chip, program, placement)
+        assert ex.run({100: 5, 101: 3}) == {1: 6}
+        assert ex.run({100: 0, 101: 0}) == {1: 2}  # else: 0+2
+        assert ex.run({100: 9, 101: 1}) == {1: 10}
+
+    def test_trace_records_io(self, chip):
+        program, placement = place_figure7(chip)
+        ex = ProgramExecutor(chip, program, placement)
+        ex.run({100: 5, 101: 3})
+        cond = ex.trace[0]
+        assert cond.inputs == {100: 5, 101: 3}
+        assert cond.outputs[0] is True
+
+
+class TestValidation:
+    def test_unplaced_block_rejected(self, chip):
+        program = figure7_program()
+        chip.create_processor("only", n_clusters=1)
+        with pytest.raises(ConfigurationError):
+            ProgramExecutor(chip, program, {"cond": "only"})
+
+    def test_unknown_processor_rejected(self, chip):
+        program = figure7_program()
+        placement = {b.name: "ghost" for b in program.blocks()}
+        with pytest.raises(ConfigurationError):
+            ProgramExecutor(chip, program, placement)
+
+
+class TestNonTerminating:
+    def test_loop_guard(self, chip):
+        # a block that unconditionally targets itself must trip max_steps
+        g = DataflowGraph()
+        g.add(0, Operation.CONST, init_data=1)
+        program = PartitionedProgram(entry="loop")
+        program.add_block(
+            BasicBlock(
+                name="loop",
+                graph=g,
+                input_ids=[],
+                output_ids=[0],
+                successors=[(None, "loop")],
+            )
+        )
+        chip.create_processor("P", n_clusters=1)
+        ex = ProgramExecutor(chip, program, {"loop": "P"})
+        with pytest.raises(SimulationError):
+            ex.run({}, max_steps=10)

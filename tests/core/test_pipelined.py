@@ -1,0 +1,88 @@
+"""Unit tests for wave-pipelined execution (Figure 7(d))."""
+
+import pytest
+
+from repro.core.pipelined import PipelinedExecutor
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.errors import ConfigurationError
+from repro.workloads.programs import figure7_program
+
+
+@pytest.fixture
+def setup():
+    chip = VLSIProcessor(8, 8, with_network=False)
+    program = figure7_program()
+    placement = {}
+    for block in program.blocks():
+        chip.create_processor(f"P_{block.name}", n_clusters=1)
+        placement[block.name] = f"P_{block.name}"
+    return chip, program, placement
+
+
+class TestCorrectness:
+    def test_single_wave(self, setup):
+        chip, program, placement = setup
+        ex = PipelinedExecutor(chip, program, placement)
+        stats = ex.run([{100: 5, 101: 3}])
+        assert ex.results() == [{1: 6}]
+        assert stats.waves == 1
+
+    def test_many_waves_in_order(self, setup):
+        chip, program, placement = setup
+        ex = PipelinedExecutor(chip, program, placement)
+        waves = [{100: x, 101: 3} for x in range(8)]
+        ex.run(waves)
+        # x<=3 -> else (y+2=5); x>3 -> then (x+1)
+        assert [r[1] for r in ex.results()] == [5, 5, 5, 5, 5, 6, 7, 8]
+
+    def test_mixed_branches_keep_wave_identity(self, setup):
+        chip, program, placement = setup
+        ex = PipelinedExecutor(chip, program, placement)
+        ex.run([{100: 9, 101: 0}, {100: 0, 101: 9}, {100: 9, 101: 0}])
+        assert [r[1] for r in ex.results()] == [10, 11, 10]
+        paths = [[b for _, b in r.path] for r in ex.records]
+        assert paths[0] == ["cond", "then", "merge"]
+        assert paths[1] == ["cond", "else", "merge"]
+
+    def test_unplaced_block_rejected(self, setup):
+        chip, program, _ = setup
+        with pytest.raises(ConfigurationError):
+            PipelinedExecutor(chip, program, {"cond": "P_cond"})
+
+
+class TestPipelining:
+    def test_waves_overlap(self, setup):
+        chip, program, placement = setup
+        ex = PipelinedExecutor(chip, program, placement)
+        stats = ex.run([{100: 9, 101: 0} for _ in range(10)])
+        # sequential would need 3 blocks x 10 waves = 30 block-steps of
+        # makespan; pipelined fill(3) + 10-1 + admission gaps stays well
+        # under that
+        assert stats.steps < 30
+        assert stats.block_executions == 30
+
+    def test_throughput_approaches_one_wave_per_step(self, setup):
+        chip, program, placement = setup
+        ex = PipelinedExecutor(chip, program, placement)
+        short = ex.run([{100: 9, 101: 0} for _ in range(3)]).throughput
+        long = ex.run([{100: 9, 101: 0} for _ in range(40)]).throughput
+        assert long > short
+        assert long > 0.45  # one admission every other step at worst
+
+    def test_no_processor_runs_two_waves_in_one_step(self, setup):
+        chip, program, placement = setup
+        ex = PipelinedExecutor(chip, program, placement)
+        ex.run([{100: 9, 101: 0} for _ in range(6)])
+        occupancy = {}
+        for rec in ex.records:
+            for step, block in rec.path:
+                key = (step, placement[block])
+                assert key not in occupancy, "processor double-booked"
+                occupancy[key] = rec.wave
+
+    def test_older_waves_have_priority(self, setup):
+        chip, program, placement = setup
+        ex = PipelinedExecutor(chip, program, placement)
+        ex.run([{100: 9, 101: 0} for _ in range(5)])
+        finish = [rec.path[-1][0] for rec in ex.records]
+        assert finish == sorted(finish)  # in-order completion

@@ -1,0 +1,98 @@
+"""Unit tests for the Figure 6(e) processor state machine."""
+
+import pytest
+
+from repro.errors import StateTransitionError
+from repro.core.states import ProcessorState, ProcessorStateMachine
+
+
+class TestLifecycle:
+    def test_starts_in_release(self):
+        # "the processor starts from and ends with the release state"
+        assert ProcessorStateMachine().state is ProcessorState.RELEASE
+
+    def test_full_happy_path(self):
+        sm = ProcessorStateMachine()
+        sm.configure()
+        assert sm.state is ProcessorState.INACTIVE
+        sm.activate()
+        assert sm.state is ProcessorState.ACTIVE
+        sm.sleep()
+        assert sm.state is ProcessorState.SLEEP
+        sm.wake()
+        sm.deactivate()
+        sm.release()
+        assert sm.state is ProcessorState.RELEASE
+
+    def test_active_can_release_directly(self):
+        sm = ProcessorStateMachine()
+        sm.configure()
+        sm.activate()
+        sm.release()
+        assert sm.state is ProcessorState.RELEASE
+
+    def test_history_recorded(self):
+        sm = ProcessorStateMachine()
+        sm.configure()
+        sm.activate()
+        assert sm.history == [
+            ProcessorState.RELEASE,
+            ProcessorState.INACTIVE,
+            ProcessorState.ACTIVE,
+        ]
+
+
+class TestIllegalTransitions:
+    @pytest.mark.parametrize(
+        "setup,target",
+        [
+            ([], ProcessorState.ACTIVE),     # release -> active skips config
+            ([], ProcessorState.SLEEP),      # release -> sleep
+            (["configure"], ProcessorState.SLEEP),  # inactive -> sleep
+            (["configure", "activate", "sleep"], ProcessorState.INACTIVE),
+            (["configure", "activate", "sleep"], ProcessorState.RELEASE),
+        ],
+    )
+    def test_rejected(self, setup, target):
+        sm = ProcessorStateMachine()
+        for step in setup:
+            getattr(sm, step)()
+        with pytest.raises(StateTransitionError):
+            sm.transition(target)
+
+    def test_self_transition_rejected(self):
+        sm = ProcessorStateMachine()
+        with pytest.raises(StateTransitionError):
+            sm.transition(ProcessorState.RELEASE)
+
+
+class TestProtectionSemantics:
+    def test_inactive_accepts_external_writes(self):
+        sm = ProcessorStateMachine()
+        sm.configure()
+        assert sm.accepts_external_writes
+        assert not sm.is_protected
+
+    def test_active_is_protected(self):
+        sm = ProcessorStateMachine()
+        sm.configure()
+        sm.activate()
+        assert sm.is_protected
+        assert not sm.accepts_external_writes
+        assert sm.can_execute
+
+    def test_sleep_is_protected_not_executing(self):
+        # "The sleep state is ready to execute and is read- and
+        # write-protected from others."
+        sm = ProcessorStateMachine()
+        sm.configure()
+        sm.activate()
+        sm.sleep()
+        assert sm.is_protected
+        assert not sm.can_execute
+
+    def test_release_not_allocated(self):
+        sm = ProcessorStateMachine()
+        assert not sm.is_allocated
+        sm.configure()
+        assert sm.is_allocated

@@ -1,0 +1,114 @@
+"""Unit and integration tests for the VLSIProcessor façade."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RegionError, StateTransitionError
+from repro.core.states import ProcessorState
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.topology.cluster import ClusterResources
+from repro.topology.regions import rectangle_region
+
+
+@pytest.fixture
+def chip():
+    return VLSIProcessor(8, 8, with_network=False)
+
+
+class TestCreateProcessor:
+    def test_creates_inactive_processor(self, chip):
+        p = chip.create_processor("A", n_clusters=4)
+        assert p.state.state is ProcessorState.INACTIVE
+        assert p.n_clusters == 4
+        assert chip.free_clusters() == 60
+
+    def test_duplicate_name_rejected(self, chip):
+        chip.create_processor("A")
+        with pytest.raises(ConfigurationError):
+            chip.create_processor("A")
+
+    def test_explicit_region(self, chip):
+        region = rectangle_region((4, 4), 2, 2)
+        p = chip.create_processor("A", region=region)
+        assert p.region is region
+
+    def test_exhaustion_raises(self, chip):
+        chip.create_processor("A", n_clusters=64)
+        with pytest.raises(RegionError):
+            chip.create_processor("B", n_clusters=1)
+
+    def test_with_network_measures_config_cycles(self):
+        chip = VLSIProcessor(8, 8, with_network=True)
+        p = chip.create_processor("A", n_clusters=4)
+        assert p.config_cycles > 0
+
+
+class TestProcessorInstance:
+    def test_capacity_uses_cluster_resources(self, chip):
+        p = chip.create_processor("A", n_clusters=2)
+        assert p.capacity(ClusterResources()) == 32  # 2 x 16 compute objects
+
+    def test_span_of_rectangle(self, chip):
+        p = chip.create_processor("A", region=rectangle_region((0, 0), 2, 4))
+        assert p.span() == 4  # (2-1)+(4-1)
+
+
+class TestLifecycleControl:
+    def test_activate_deactivate(self, chip):
+        chip.create_processor("A")
+        chip.activate("A")
+        assert chip.processor("A").state.can_execute
+        chip.deactivate("A")
+        assert chip.processor("A").state.accepts_external_writes
+
+    def test_sleep_wake(self, chip):
+        chip.create_processor("A")
+        chip.activate("A")
+        chip.sleep("A")
+        assert chip.processor("A").state.state is ProcessorState.SLEEP
+        chip.wake("A")
+        assert chip.processor("A").state.can_execute
+
+    def test_destroy_returns_clusters(self, chip):
+        chip.create_processor("A", n_clusters=4)
+        chip.destroy_processor("A")
+        assert chip.free_clusters() == 64
+        with pytest.raises(ConfigurationError):
+            chip.processor("A")
+
+    def test_destroy_sleeping_processor(self, chip):
+        chip.create_processor("A")
+        chip.activate("A")
+        chip.sleep("A")
+        chip.destroy_processor("A")  # wake -> release path
+        assert chip.free_clusters() == 64
+
+
+class TestSend:
+    def test_send_between_processors(self, chip):
+        chip.create_processor("A")
+        chip.create_processor("B")
+        chip.send("A", "B", key="x", value=42)
+        assert chip.processor("B").mailbox.read("x") == 42
+
+    def test_send_to_active_rejected(self, chip):
+        chip.create_processor("A")
+        chip.create_processor("B")
+        chip.activate("B")
+        with pytest.raises(StateTransitionError):
+            chip.send("A", "B", "x", 1)
+
+    def test_send_from_unknown_rejected(self, chip):
+        chip.create_processor("B")
+        with pytest.raises(ConfigurationError):
+            chip.send("ghost", "B", "x", 1)
+
+
+class TestFabricQueries:
+    def test_utilization(self, chip):
+        assert chip.utilization() == 0.0
+        chip.create_processor("A", n_clusters=16)
+        assert chip.utilization() == pytest.approx(0.25)
+
+    def test_render_shows_owners(self, chip):
+        chip.create_processor("Alpha", n_clusters=3)
+        assert chip.render().splitlines()[0].startswith("A A A")

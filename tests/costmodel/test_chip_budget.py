@@ -1,0 +1,83 @@
+"""Unit tests for die budgeting (Table 4 "Available # of APs" column)."""
+
+import pytest
+
+from repro.costmodel.areas import APComposition, ap_area
+from repro.costmodel.chip_budget import (
+    ChipBudget,
+    DEFAULT_DIE_AREA_CM2,
+    PAPER_TABLE4_APS,
+    available_aps,
+)
+from repro.costmodel.technology import node_for_feature, node_for_year
+
+
+class TestChipBudget:
+    def test_default_die_is_1cm2(self):
+        assert DEFAULT_DIE_AREA_CM2 == 1.0
+        assert ChipBudget().die_area_cm2 == 1.0
+
+    def test_rejects_nonpositive_die(self):
+        with pytest.raises(ValueError):
+            ChipBudget(die_area_cm2=0.0)
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            ChipBudget(utilization=0.0)
+        with pytest.raises(ValueError):
+            ChipBudget(utilization=1.5)
+
+    def test_aps_scale_with_die_area(self):
+        node = node_for_year(2012)
+        assert ChipBudget(die_area_cm2=3.0).aps(node) >= 3 * ChipBudget().aps(node) - 3
+
+    def test_utilization_reduces_count(self):
+        node = node_for_year(2010)
+        assert ChipBudget(utilization=0.5).aps(node) <= ChipBudget().aps(node) // 2 + 1
+
+    def test_leftover_nonnegative_and_less_than_one_ap(self):
+        budget = ChipBudget()
+        for year in range(2010, 2016):
+            node = node_for_year(year)
+            leftover = budget.leftover_lambda2(node)
+            assert 0 <= leftover < ap_area()
+
+    def test_physical_objects_is_16_per_ap(self):
+        node = node_for_year(2010)
+        budget = ChipBudget()
+        assert budget.physical_objects(node) == 16 * budget.aps(node)
+
+
+class TestPaperReproduction:
+    @pytest.mark.parametrize("feature_nm,paper_aps", sorted(PAPER_TABLE4_APS.items()))
+    def test_ap_count_within_two_of_paper(self, feature_nm, paper_aps):
+        # The paper used finer-grained ITRS node data than the round feature
+        # sizes it prints; with lambda = 0.4 F the counts land within +/-2
+        # at every node (exact at 45/40/25 nm).  Recorded in EXPERIMENTS.md.
+        assert abs(available_aps(feature_nm) - paper_aps) <= 2
+
+    def test_counts_grow_monotonically(self):
+        counts = [available_aps(f) for f in sorted(PAPER_TABLE4_APS, reverse=True)]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_exact_at_anchor_nodes(self):
+        assert available_aps(45.0) == 12
+        assert available_aps(40.0) == 16
+        assert available_aps(25.0) == 41
+
+    def test_classic_lambda_half_undercounts(self):
+        # Motivates the 0.4 calibration: lambda = F/2 yields ~8 APs at 45 nm
+        # where the paper prints 12.
+        assert available_aps(45.0, lambda_factor=0.5) < PAPER_TABLE4_APS[45.0]
+
+
+class TestCustomComposition:
+    def test_smaller_ap_packs_more(self):
+        small = APComposition(4, 4)
+        assert available_aps(45.0, composition=small) > available_aps(45.0)
+
+    def test_fpu_heavy_mix(self):
+        # More FPUs / fewer memory blocks shrinks the AP (memory is 2x PO),
+        # so more APs fit.
+        fpu_heavy = APComposition(16, 8)
+        assert available_aps(45.0, composition=fpu_heavy) > available_aps(45.0)

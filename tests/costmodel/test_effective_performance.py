@@ -1,0 +1,42 @@
+"""Unit tests for the effective-vs-peak performance model (section 2)."""
+
+import pytest
+
+from repro.costmodel.performance import effective_gops
+
+
+class TestEffectiveGops:
+    def test_perfect_utilisation(self):
+        # 16 objects, 100 cycles, 1600 ops -> efficiency 1
+        out = effective_gops(1600, 100, wire_delay_ns=1.0, n_objects=16)
+        assert out["efficiency"] == pytest.approx(1.0)
+        assert out["effective_gops"] == pytest.approx(out["peak_gops"])
+
+    def test_half_utilisation(self):
+        out = effective_gops(800, 100, wire_delay_ns=1.0, n_objects=16)
+        assert out["efficiency"] == pytest.approx(0.5)
+
+    def test_peak_matches_table4_formula(self):
+        # one AP at the 2010 node: 16 objects / 1.08 ns
+        out = effective_gops(0, 1, wire_delay_ns=1.08, n_objects=16)
+        assert out["peak_gops"] == pytest.approx(16 / 1.08)
+
+    def test_zero_cycles(self):
+        out = effective_gops(0, 0, wire_delay_ns=1.0)
+        assert out["effective_gops"] == 0.0
+        assert out["efficiency"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_gops(-1, 10, 1.0)
+        with pytest.raises(ValueError):
+            effective_gops(1, 10, 0.0)
+        with pytest.raises(ValueError):
+            effective_gops(1, 10, 1.0, n_objects=0)
+
+    def test_faster_clock_raises_both(self):
+        slow = effective_gops(100, 100, wire_delay_ns=2.0)
+        fast = effective_gops(100, 100, wire_delay_ns=1.0)
+        assert fast["peak_gops"] == 2 * slow["peak_gops"]
+        assert fast["effective_gops"] == 2 * slow["effective_gops"]
+        assert fast["efficiency"] == slow["efficiency"]

@@ -1,0 +1,98 @@
+"""Unit tests for the peak-GOPS model (Table 4 and section 4.1)."""
+
+import pytest
+
+from repro.costmodel.areas import APComposition
+from repro.costmodel.performance import (
+    PAPER_TABLE4_GOPS,
+    PerformancePoint,
+    gpu_area_comparison,
+    peak_gops,
+    table4,
+)
+
+
+class TestPeakGops:
+    def test_basic_formula(self):
+        # 12 APs x 16 objects / 1.08 ns = 177.8 GOPS (Table 4 2010 row).
+        assert peak_gops(12, 1.08) == pytest.approx(177.77, abs=0.1)
+
+    def test_zero_aps_zero_gops(self):
+        assert peak_gops(0, 1.0) == 0.0
+
+    def test_rejects_negative_aps(self):
+        with pytest.raises(ValueError):
+            peak_gops(-1, 1.0)
+
+    def test_rejects_nonpositive_delay(self):
+        with pytest.raises(ValueError):
+            peak_gops(1, 0.0)
+
+    def test_simd_knob(self):
+        # The paper's figure is "without both of SIMD features and fused
+        # operations"; a 2-wide SIMD would double it.
+        assert peak_gops(12, 1.08, ops_per_object_per_cycle=2.0) == pytest.approx(
+            2 * peak_gops(12, 1.08)
+        )
+
+    def test_composition_knob(self):
+        assert peak_gops(12, 1.08, APComposition(32, 8)) == pytest.approx(
+            2 * peak_gops(12, 1.08)
+        )
+
+
+class TestTable4:
+    def test_six_rows_in_year_order(self):
+        rows = table4()
+        assert [r.year for r in rows] == list(range(2010, 2016))
+
+    @pytest.mark.parametrize("feature_nm,paper_gops", sorted(PAPER_TABLE4_GOPS.items()))
+    def test_gops_within_ten_percent(self, feature_nm, paper_gops):
+        row = next(r for r in table4() if r.feature_nm == feature_nm)
+        assert row.peak_gops == pytest.approx(paper_gops, rel=0.10)
+
+    def test_2012_headline_number(self):
+        # Abstract/conclusion: "a pure 64bit 276 GOPS ... on current process
+        # technology" (2012 / 36 nm).  Our model gives 251 (AP count 19 vs 21);
+        # within the 10 % band.
+        row = next(r for r in table4() if r.year == 2012)
+        assert row.peak_gops == pytest.approx(276, rel=0.10)
+
+    def test_gops_trend_up_overall(self):
+        rows = table4()
+        assert rows[-1].peak_gops > 2 * rows[0].peak_gops
+
+    def test_clock_ghz_reciprocal(self):
+        for r in table4():
+            assert r.clock_ghz == pytest.approx(1.0 / r.wire_delay_ns)
+
+    def test_total_physical_objects_consistent(self):
+        for r in table4():
+            assert r.total_physical_objects == 16 * r.available_aps
+
+    def test_custom_die_area(self):
+        big = table4(die_area_cm2=2.0)
+        small = table4(die_area_cm2=1.0)
+        for b, s in zip(big, small):
+            assert b.available_aps >= s.available_aps
+
+
+class TestPerformancePoint:
+    def test_frozen_dataclass(self):
+        p = PerformancePoint(2010, 45.0, 12, 1.08, 177.8)
+        with pytest.raises(AttributeError):
+            p.peak_gops = 0.0
+
+
+class TestGpuComparison:
+    def test_three_times_area_about_three_times_fpus(self):
+        cmp = gpu_area_comparison(36.0)
+        assert cmp["fpu_ratio"] == pytest.approx(3.0, rel=0.12)
+
+    def test_gops_scale_with_fpus(self):
+        cmp = gpu_area_comparison(36.0)
+        assert cmp["gops_3cm2"] > 2.5 * cmp["gops_1cm2"]
+
+    def test_delay_is_node_delay(self):
+        cmp = gpu_area_comparison(45.0)
+        assert cmp["wire_delay_ns"] == pytest.approx(1.08)

@@ -1,0 +1,91 @@
+"""Unit tests for process-node geometry (ITRS roadmap, λ design rules)."""
+
+import pytest
+
+from repro.costmodel.technology import (
+    ITRS_NODES,
+    LAMBDA_FACTOR,
+    ProcessNode,
+    all_nodes,
+    lambda_nm,
+    node_for_feature,
+    node_for_year,
+)
+
+
+class TestProcessNode:
+    def test_lambda_default_factor(self):
+        node = ProcessNode(2010, 45.0)
+        assert node.lambda_nm() == pytest.approx(0.4 * 45.0)
+
+    def test_lambda_custom_factor(self):
+        node = ProcessNode(2010, 45.0)
+        assert node.lambda_nm(0.5) == pytest.approx(22.5)
+
+    def test_lambda_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            ProcessNode(2010, 45.0).lambda_nm(0.0)
+
+    def test_rejects_nonpositive_feature(self):
+        with pytest.raises(ValueError):
+            ProcessNode(2010, 0.0)
+
+    def test_lambda2_per_cm2(self):
+        node = ProcessNode(2015, 25.0)  # lambda = 10 nm, lambda^2 = 100 nm^2
+        assert node.lambda2_per_cm2() == pytest.approx(1e12)
+
+    def test_scaled_area_roundtrip(self):
+        node = ProcessNode(2010, 45.0)
+        area_cm2 = node.scaled_area_cm2(1e10)
+        assert area_cm2 * node.lambda2_per_cm2() == pytest.approx(1e10)
+
+    def test_scaled_area_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ProcessNode(2010, 45.0).scaled_area_cm2(-1.0)
+
+
+class TestRoadmap:
+    def test_six_nodes(self):
+        assert len(ITRS_NODES) == 6
+
+    def test_years_and_features_match_table4(self):
+        expected = {2010: 45.0, 2011: 40.0, 2012: 36.0, 2013: 32.0, 2014: 28.0, 2015: 25.0}
+        assert {y: n.feature_nm for y, n in ITRS_NODES.items()} == expected
+
+    def test_node_for_year(self):
+        assert node_for_year(2012).feature_nm == 36.0
+
+    def test_node_for_year_out_of_range(self):
+        with pytest.raises(KeyError):
+            node_for_year(2009)
+        with pytest.raises(KeyError):
+            node_for_year(2016)
+
+    def test_all_nodes_sorted_by_year(self):
+        years = [n.year for n in all_nodes()]
+        assert years == sorted(years) == list(range(2010, 2016))
+
+    def test_feature_sizes_monotonically_shrink(self):
+        feats = [n.feature_nm for n in all_nodes()]
+        assert all(a > b for a, b in zip(feats, feats[1:]))
+
+
+class TestNodeForFeature:
+    def test_known_feature_returns_roadmap_node(self):
+        node = node_for_feature(28.0)
+        assert node.year == 2014
+
+    def test_unknown_feature_builds_adhoc_node(self):
+        node = node_for_feature(65.0)
+        assert node.year == 0
+        assert node.feature_nm == 65.0
+
+    def test_lambda_nm_helper(self):
+        assert lambda_nm(25.0) == pytest.approx(10.0)
+        assert lambda_nm(25.0, 0.5) == pytest.approx(12.5)
+
+
+class TestLambdaFactorCalibration:
+    def test_default_factor_is_point_four(self):
+        # Back-solved from Table 4; see DESIGN.md "Key calibration notes".
+        assert LAMBDA_FACTOR == pytest.approx(0.4)

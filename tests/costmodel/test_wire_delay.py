@@ -1,0 +1,84 @@
+"""Unit tests for the global-wire RC delay model (Table 4 delay column)."""
+
+import math
+
+import pytest
+
+from repro.costmodel.areas import physical_object_budget
+from repro.costmodel.wire_delay import (
+    ITRS2007_GLOBAL_WIRE,
+    PAPER_TABLE4_DELAY_NS,
+    WireParameters,
+    elmore_delay_s,
+    global_wire_delay_ns,
+    wire_length_um,
+)
+
+
+class TestWireParameters:
+    def test_rc_product_units(self):
+        # 1 ohm/um and 1 fF/um -> r=1e6 ohm/m, c=1e-9 F/m -> rc=1e-3 s/m^2
+        p = WireParameters(1.0, 1.0)
+        assert p.rc_s_per_m2 == pytest.approx(1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            WireParameters(0.0, 1.0)
+        with pytest.raises(ValueError):
+            WireParameters(1.0, -1.0)
+
+
+class TestWireLength:
+    def test_is_sqrt_of_po_area_times_lambda(self):
+        side_lambda = math.sqrt(physical_object_budget().total_lambda2)
+        # at 25 nm, lambda = 10 nm
+        assert wire_length_um(25.0) == pytest.approx(side_lambda * 10e-3)
+
+    def test_scales_linearly_with_lambda(self):
+        assert wire_length_um(45.0) / wire_length_um(25.0) == pytest.approx(45.0 / 25.0)
+
+    def test_order_of_magnitude(self):
+        # A few hundred micrometres -- a genuine global wire.
+        for f in PAPER_TABLE4_DELAY_NS:
+            assert 100 < wire_length_um(f) < 1000
+
+
+class TestElmoreDelay:
+    def test_quadratic_in_length(self):
+        p = WireParameters(100.0, 0.2)
+        assert elmore_delay_s(p, 200.0) == pytest.approx(4 * elmore_delay_s(p, 100.0))
+
+    def test_zero_length_zero_delay(self):
+        assert elmore_delay_s(WireParameters(1, 1), 0.0) == 0.0
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            elmore_delay_s(WireParameters(1, 1), -1.0)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("feature_nm,delay_ns", sorted(PAPER_TABLE4_DELAY_NS.items()))
+    def test_reproduces_paper_delays_exactly(self, feature_nm, delay_ns):
+        assert global_wire_delay_ns(feature_nm) == pytest.approx(delay_ns, rel=1e-9)
+
+    def test_resistance_monotone_as_wires_shrink(self):
+        feats = sorted(ITRS2007_GLOBAL_WIRE, reverse=True)  # 45 ... 25
+        rs = [ITRS2007_GLOBAL_WIRE[f].resistance_ohm_per_um for f in feats]
+        assert all(a < b for a, b in zip(rs, rs[1:]))
+
+    def test_capacitance_is_typical_global_wire(self):
+        for p in ITRS2007_GLOBAL_WIRE.values():
+            assert p.capacitance_ff_per_um == pytest.approx(0.2)
+
+    def test_interpolated_node_between_neighbours(self):
+        d = global_wire_delay_ns(38.0)  # between 40 and 36 nm
+        lo, hi = sorted((PAPER_TABLE4_DELAY_NS[40.0], PAPER_TABLE4_DELAY_NS[36.0]))
+        # delay depends on L^2 * r(F); loosely bracketed by the neighbours
+        assert 0.8 * lo < d < 1.25 * hi
+
+    def test_extrapolation_below_25nm_runs(self):
+        assert global_wire_delay_ns(20.0) > 0
+
+    def test_custom_lambda_factor_changes_delay(self):
+        # Larger lambda -> longer wire -> more delay (same node rc).
+        assert global_wire_delay_ns(45.0, 0.5) > global_wire_delay_ns(45.0, 0.4)

@@ -1,0 +1,103 @@
+"""Unit tests for chained CSD networks across APs (section 2.6.1)."""
+
+import pytest
+
+from repro.errors import ChannelAllocationError, ConfigurationError, TopologyError
+from repro.csd.chained import ChainedCSD
+from repro.ap.wsrf import WSRF
+
+
+@pytest.fixture
+def fused():
+    """Three fused 8-object APs."""
+    return ChainedCSD([8, 8, 8], n_channels=4)
+
+
+class TestConstruction:
+    def test_segments_and_junctions(self, fused):
+        assert len(fused.segments) == 3
+        assert fused.total_objects() == 24
+        assert fused.is_junction_chained(0)
+        assert fused.is_junction_chained(1)
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            ChainedCSD([])
+        with pytest.raises(TopologyError):
+            ChainedCSD([8, 1])
+
+    def test_default_channels(self):
+        net = ChainedCSD([16, 8])
+        assert len(net.segments[0].pool) == 8
+
+
+class TestIntraSegment:
+    def test_local_connect(self, fused):
+        conn = fused.connect((1, 2), (1, 5))
+        assert not conn.crosses_junction
+        assert set(conn.legs) == {1}
+        assert fused.used_channels_per_segment() == [0, 1, 0]
+
+    def test_disconnect_releases(self, fused):
+        conn = fused.connect((0, 0), (0, 7))
+        fused.disconnect(conn)
+        assert fused.used_channels_per_segment() == [0, 0, 0]
+        with pytest.raises(ChannelAllocationError):
+            fused.disconnect(conn)
+
+
+class TestCrossSegment:
+    def test_adjacent_segment_connect(self, fused):
+        conn = fused.connect((0, 6), (1, 2))
+        assert conn.crosses_junction
+        assert set(conn.legs) == {0, 1}
+        assert fused.used_channels_per_segment() == [1, 1, 0]
+
+    def test_spanning_connect_occupies_middle(self, fused):
+        conn = fused.connect((0, 3), (2, 4))
+        assert set(conn.legs) == {0, 1, 2}
+        # the whole middle segment is crossed
+        channel, span = conn.legs[1]
+        assert (span.lo, span.hi) == (0, 7)
+
+    def test_unchained_junction_blocks(self, fused):
+        fused.unchain_junction(1)
+        fused.connect((0, 1), (1, 3))  # junction 0 still chained
+        with pytest.raises(TopologyError):
+            fused.connect((1, 1), (2, 3))
+        fused.chain_junction(1)
+        fused.connect((1, 1), (2, 3))
+
+    def test_allocation_rollback_on_partial_failure(self):
+        # saturate segment 1 so a spanning connect fails mid-way
+        net = ChainedCSD([8, 8, 8], n_channels=1)
+        net.connect((1, 0), (1, 7))  # fills segment 1's only channel
+        before = net.used_channels_per_segment()
+        with pytest.raises(ChannelAllocationError):
+            net.connect((0, 3), (2, 4))
+        assert net.used_channels_per_segment() == before  # legs rolled back
+
+    def test_position_validation(self, fused):
+        with pytest.raises(TopologyError):
+            fused.connect((0, 8), (1, 0))
+        with pytest.raises(TopologyError):
+            fused.connect((3, 0), (0, 0))
+        with pytest.raises(ConfigurationError):
+            fused.connect((1, 1), (1, 1))
+
+
+class TestParallelWSRFSearch:
+    def test_search_across_segments(self, fused):
+        wsrfs = [WSRF(), WSRF(), WSRF()]
+        wsrfs[2].acquire(77, position=5)
+        fused.attach_wsrfs(wsrfs)
+        assert fused.parallel_search(77) == (2, 5)
+        assert fused.parallel_search(1) is None
+
+    def test_wsrf_count_must_match(self, fused):
+        with pytest.raises(ConfigurationError):
+            fused.attach_wsrfs([WSRF()])
+
+    def test_search_without_wsrfs(self, fused):
+        with pytest.raises(ConfigurationError):
+            fused.parallel_search(1)

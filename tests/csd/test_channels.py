@@ -1,0 +1,153 @@
+"""Unit tests for segmented channels and spans (section 2.6.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ChannelAllocationError
+from repro.csd.channels import Channel, ChannelPool, Span
+
+
+class TestSpan:
+    def test_between_orders_endpoints(self):
+        assert Span.between(5, 2) == Span(2, 5)
+
+    def test_between_rejects_equal(self):
+        with pytest.raises(ValueError):
+            Span.between(3, 3)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Span(5, 5)
+        with pytest.raises(ValueError):
+            Span(5, 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Span(-1, 2)
+
+    def test_len_and_contains(self):
+        s = Span(2, 5)
+        assert len(s) == 3
+        assert 2 in s and 4 in s
+        assert 5 not in s and 1 not in s
+
+    def test_overlap_cases(self):
+        assert Span(0, 3).overlaps(Span(2, 5))
+        assert not Span(0, 3).overlaps(Span(3, 5))  # half-open: touching is fine
+        assert Span(0, 10).overlaps(Span(4, 5))
+
+    def test_shifted(self):
+        assert Span(2, 5).shifted(3) == Span(5, 8)
+
+    @given(
+        a=st.integers(0, 100), b=st.integers(0, 100),
+        c=st.integers(0, 100), d=st.integers(0, 100),
+    )
+    def test_overlap_symmetric(self, a, b, c, d):
+        if a == b or c == d:
+            return
+        s1 = Span(min(a, b), max(a, b))
+        s2 = Span(min(c, d), max(c, d))
+        assert s1.overlaps(s2) == s2.overlaps(s1)
+
+
+class TestChannel:
+    def test_occupy_and_release(self):
+        ch = Channel(0, 15)
+        ch.occupy(Span(0, 5), "c1")
+        assert not ch.is_idle
+        assert ch.span_of("c1") == Span(0, 5)
+        ch.release("c1")
+        assert ch.is_idle
+
+    def test_overlapping_occupy_rejected(self):
+        ch = Channel(0, 15)
+        ch.occupy(Span(0, 5), "c1")
+        with pytest.raises(ChannelAllocationError):
+            ch.occupy(Span(4, 8), "c2")
+
+    def test_disjoint_spans_share_channel(self):
+        # The defining CSD property: segmentation lets one channel carry
+        # several non-overlapping communications.
+        ch = Channel(0, 15)
+        ch.occupy(Span(0, 5), "c1")
+        ch.occupy(Span(5, 10), "c2")
+        ch.occupy(Span(10, 15), "c3")
+        assert set(ch.occupants) == {"c1", "c2", "c3"}
+
+    def test_span_past_end_not_free(self):
+        ch = Channel(0, 10)
+        assert not ch.is_span_free(Span(8, 12))
+
+    def test_double_occupy_same_owner_rejected(self):
+        ch = Channel(0, 15)
+        ch.occupy(Span(0, 2), "c1")
+        with pytest.raises(ChannelAllocationError):
+            ch.occupy(Span(5, 7), "c1")
+
+    def test_release_unknown_owner_raises(self):
+        with pytest.raises(ChannelAllocationError):
+            Channel(0, 15).release("ghost")
+
+    def test_utilization(self):
+        ch = Channel(0, 10)
+        ch.occupy(Span(0, 5), "c1")
+        assert ch.utilization() == pytest.approx(0.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Channel(-1, 10)
+        with pytest.raises(ValueError):
+            Channel(0, 0)
+
+
+class TestChannelShift:
+    def test_shift_moves_all_spans(self):
+        ch = Channel(0, 15)
+        ch.occupy(Span(0, 3), "c1")
+        ch.occupy(Span(5, 8), "c2")
+        evicted = ch.shift_all(2)
+        assert evicted == []
+        assert ch.span_of("c1") == Span(2, 5)
+        assert ch.span_of("c2") == Span(7, 10)
+
+    def test_shift_evicts_past_bottom(self):
+        ch = Channel(0, 10)
+        ch.occupy(Span(7, 10), "deep")
+        ch.occupy(Span(0, 2), "shallow")
+        evicted = ch.shift_all(1)
+        assert evicted == ["deep"]
+        assert ch.span_of("shallow") == Span(1, 3)
+
+    def test_uniform_shift_never_collides(self):
+        ch = Channel(0, 20)
+        ch.occupy(Span(0, 5), "a")
+        ch.occupy(Span(5, 10), "b")
+        ch.occupy(Span(10, 14), "c")
+        ch.shift_all(3)  # must not raise
+        assert len(ch.occupants) == 3
+
+
+class TestChannelPool:
+    def test_pool_iteration_and_indexing(self):
+        pool = ChannelPool(4, 10)
+        assert len(pool) == 4
+        assert pool[2].index == 2
+        assert [ch.index for ch in pool] == [0, 1, 2, 3]
+
+    def test_free_channels_for(self):
+        pool = ChannelPool(3, 10)
+        pool[0].occupy(Span(0, 5), "x")
+        assert pool.free_channels_for(Span(2, 4)) == [1, 2]
+        assert pool.free_channels_for(Span(6, 8)) == [0, 1, 2]
+
+    def test_used_channel_count(self):
+        pool = ChannelPool(3, 10)
+        assert pool.used_channel_count() == 0
+        pool[1].occupy(Span(0, 1), "x")
+        assert pool.used_channel_count() == 1
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            ChannelPool(0, 10)

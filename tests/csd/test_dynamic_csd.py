@@ -1,0 +1,148 @@
+"""Unit tests for the dynamic CSD protocol (Figure 2, section 2.6.2)."""
+
+import pytest
+
+from repro.errors import ChannelAllocationError
+from repro.csd.dynamic_csd import DynamicCSDNetwork
+
+
+class TestConstruction:
+    def test_default_channels_is_half_n(self):
+        # The Figure 3 finding baked in as the default provisioning.
+        assert len(DynamicCSDNetwork(64).pool) == 32
+
+    def test_explicit_channels(self):
+        assert len(DynamicCSDNetwork(16, n_channels=4).pool) == 4
+
+    def test_segments_are_n_minus_one(self):
+        assert DynamicCSDNetwork(16).pool.n_segments == 15
+
+    def test_rejects_tiny_array(self):
+        with pytest.raises(ValueError):
+            DynamicCSDNetwork(1)
+
+
+class TestConnect:
+    def test_first_connection_gets_channel_zero(self):
+        net = DynamicCSDNetwork(16)
+        conn = net.connect(source=2, sink=5)
+        assert conn.channel == 0
+        assert conn.span.lo == 2 and conn.span.hi == 5
+
+    def test_overlapping_connections_use_distinct_channels(self):
+        net = DynamicCSDNetwork(16)
+        c1 = net.connect(0, 8)
+        c2 = net.connect(4, 12)
+        assert c1.channel != c2.channel
+
+    def test_disjoint_connections_share_channel_zero(self):
+        net = DynamicCSDNetwork(16)
+        c1 = net.connect(0, 4)
+        c2 = net.connect(8, 12)
+        assert c1.channel == c2.channel == 0
+
+    def test_exhaustion_raises(self):
+        net = DynamicCSDNetwork(8, n_channels=1)
+        net.connect(0, 7)
+        with pytest.raises(ChannelAllocationError):
+            net.connect(1, 6)
+
+    def test_position_validation(self):
+        net = DynamicCSDNetwork(8)
+        with pytest.raises(ValueError):
+            net.connect(0, 8)
+        with pytest.raises(ValueError):
+            net.connect(3, 3)
+
+    def test_connection_bookkeeping(self):
+        net = DynamicCSDNetwork(16)
+        conn = net.connect(1, 3)
+        assert conn in net.connections
+        assert net.used_channels() == 1
+
+
+class TestDisconnect:
+    def test_release_token_frees_channel(self):
+        net = DynamicCSDNetwork(8, n_channels=1)
+        conn = net.connect(0, 7)
+        net.disconnect(conn)
+        assert net.used_channels() == 0
+        net.connect(1, 6)  # reusable now
+
+    def test_double_disconnect_raises(self):
+        net = DynamicCSDNetwork(8)
+        conn = net.connect(0, 3)
+        net.disconnect(conn)
+        with pytest.raises(ChannelAllocationError):
+            net.disconnect(conn)
+
+
+class TestFanout:
+    def test_broadcast_occupies_covering_span(self):
+        # Section 2.6.2: fan-out consumes the span over all sinks.
+        net = DynamicCSDNetwork(16)
+        conn = net.connect_fanout(4, (2, 9, 6))
+        assert conn.span.lo == 2 and conn.span.hi == 9
+        assert conn.sinks == (2, 9, 6)
+
+    def test_fanout_needs_sinks(self):
+        with pytest.raises(ValueError):
+            DynamicCSDNetwork(16).connect_fanout(4, ())
+
+    def test_source_cannot_be_sink(self):
+        with pytest.raises(ValueError):
+            DynamicCSDNetwork(16).connect_fanout(4, (4, 6))
+
+
+class TestStackShift:
+    def test_shift_moves_connection_positions(self):
+        net = DynamicCSDNetwork(16)
+        net.connect(2, 5)
+        evicted = net.stack_shift(1)
+        assert evicted == []
+        (conn,) = net.connections
+        assert conn.source == 3 and conn.sink == 6
+        assert conn.span.lo == 3 and conn.span.hi == 6
+
+    def test_shift_keeps_channel_assignment(self):
+        # Section 2.6.2: "the decision to select the channel ... [is]
+        # unnecessary for this sequence" -- the channel never changes.
+        net = DynamicCSDNetwork(16)
+        conn = net.connect(2, 5)
+        net.stack_shift(1)
+        (shifted,) = net.connections
+        assert shifted.channel == conn.channel
+
+    def test_shift_evicts_bottom_connection(self):
+        net = DynamicCSDNetwork(8)
+        net.connect(5, 7)  # span [5,7) on 7 segments
+        evicted = net.stack_shift(1)
+        assert len(evicted) == 1
+        assert net.connections == ()
+
+    def test_shift_zero_is_noop(self):
+        net = DynamicCSDNetwork(8)
+        net.connect(0, 3)
+        assert net.stack_shift(0) == []
+        assert len(net.connections) == 1
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicCSDNetwork(8).stack_shift(-1)
+
+    def test_many_connections_shift_coherently(self):
+        net = DynamicCSDNetwork(32)
+        conns = [net.connect(i * 4, i * 4 + 2) for i in range(6)]
+        net.stack_shift(2)
+        for old, new in zip(conns, sorted(net.connections, key=lambda c: c.conn_id)):
+            assert new.source == old.source + 2
+            assert new.sink == old.sink + 2
+
+
+class TestStatistics:
+    def test_highest_used_channel(self):
+        net = DynamicCSDNetwork(16)
+        assert net.highest_used_channel() == 0
+        net.connect(0, 8)
+        net.connect(4, 12)
+        assert net.highest_used_channel() == 2

@@ -1,0 +1,57 @@
+"""Unit tests for the Figure 2 priority encoder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.csd.priority_encoder import PriorityEncoder
+
+
+class TestGrant:
+    def test_grants_lowest_index(self):
+        enc = PriorityEncoder(8)
+        assert enc.grant([5, 2, 7]) == 2
+
+    def test_no_requests_no_grant(self):
+        assert PriorityEncoder(8).grant([]) is None
+
+    def test_single_request(self):
+        assert PriorityEncoder(8).grant([7]) == 7
+
+    def test_out_of_width_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityEncoder(4).grant([4])
+        with pytest.raises(ValueError):
+            PriorityEncoder(4).grant([-1])
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            PriorityEncoder(0)
+
+    @given(reqs=st.lists(st.integers(0, 31), max_size=32))
+    def test_grant_is_minimum(self, reqs):
+        enc = PriorityEncoder(32)
+        granted = enc.grant(reqs)
+        if reqs:
+            assert granted == min(reqs)
+        else:
+            assert granted is None
+
+
+class TestGrantVector:
+    def test_lowest_set_bit(self):
+        enc = PriorityEncoder(4)
+        assert enc.grant_vector([False, True, True, False]) == 1
+
+    def test_all_clear(self):
+        assert PriorityEncoder(4).grant_vector([False] * 4) is None
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            PriorityEncoder(4).grant_vector([True] * 3)
+
+    @given(bits=st.lists(st.booleans(), min_size=16, max_size=16))
+    def test_vector_matches_index_form(self, bits):
+        enc = PriorityEncoder(16)
+        as_indices = [i for i, b in enumerate(bits) if b]
+        assert enc.grant_vector(bits) == enc.grant(as_indices)

@@ -1,0 +1,88 @@
+"""Stateful property testing of the dynamic CSD network (hypothesis).
+
+Random interleavings of connect / disconnect / stack-shift must never
+violate the network's physical invariants:
+
+* no two live connections overlap on the same channel;
+* every live span lies inside the segment range;
+* used-channel accounting matches the live-connection set;
+* a stack shift preserves relative span order on every channel.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import ChannelAllocationError
+from repro.csd.dynamic_csd import DynamicCSDNetwork
+
+N_OBJECTS = 16
+N_CHANNELS = 6  # deliberately scarce so exhaustion paths are exercised
+
+
+class CSDMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.net = DynamicCSDNetwork(N_OBJECTS, n_channels=N_CHANNELS)
+        self.live = {}
+
+    @rule(
+        a=st.integers(0, N_OBJECTS - 1),
+        b=st.integers(0, N_OBJECTS - 1),
+    )
+    def connect(self, a, b):
+        if a == b:
+            return
+        try:
+            conn = self.net.connect(a, b)
+        except ChannelAllocationError:
+            return  # legitimate exhaustion
+        self.live[conn.conn_id] = conn
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def disconnect(self, data):
+        conn_id = data.draw(st.sampled_from(sorted(self.live)))
+        self.net.disconnect(self.live.pop(conn_id))
+
+    @rule(amount=st.integers(1, 3))
+    def shift(self, amount):
+        evicted = self.net.stack_shift(amount)
+        for conn in evicted:
+            self.live.pop(conn.conn_id, None)
+        # surviving records replaced with shifted copies
+        self.live = {c.conn_id: c for c in self.net.connections}
+
+    @invariant()
+    def no_overlap_per_channel(self):
+        by_channel = {}
+        for conn in self.net.connections:
+            by_channel.setdefault(conn.channel, []).append(conn.span)
+        for spans in by_channel.values():
+            for i, s1 in enumerate(spans):
+                for s2 in spans[i + 1 :]:
+                    assert not s1.overlaps(s2)
+
+    @invariant()
+    def spans_in_range(self):
+        for conn in self.net.connections:
+            assert 0 <= conn.span.lo < conn.span.hi <= N_OBJECTS - 1
+
+    @invariant()
+    def accounting_consistent(self):
+        assert set(c.conn_id for c in self.net.connections) == set(self.live)
+        channels_live = {c.channel for c in self.net.connections}
+        assert self.net.used_channels() == len(channels_live)
+
+    @invariant()
+    def endpoints_match_spans(self):
+        for conn in self.net.connections:
+            lo = min(conn.source, *conn.sinks)
+            hi = max(conn.source, *conn.sinks)
+            assert (conn.span.lo, conn.span.hi) == (lo, hi)
+
+
+TestCSDStateful = CSDMachine.TestCase
+TestCSDStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

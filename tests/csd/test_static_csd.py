@@ -1,0 +1,63 @@
+"""Unit tests for the unsegmented baseline network."""
+
+import pytest
+
+from repro.errors import ChannelAllocationError
+from repro.csd.static_csd import StaticCSDNetwork
+
+
+class TestStaticBaseline:
+    def test_default_channels_is_n(self):
+        # Without segmentation, demand grows linearly with object count.
+        assert StaticCSDNetwork(16).n_channels == 16
+
+    def test_each_connection_takes_whole_channel(self):
+        net = StaticCSDNetwork(16)
+        c1 = net.connect(0, 1)
+        c2 = net.connect(14, 15)  # disjoint span, still a new channel
+        assert c1.channel != c2.channel
+        assert net.used_channels() == 2
+
+    def test_exhaustion(self):
+        net = StaticCSDNetwork(8, n_channels=2)
+        net.connect(0, 1)
+        net.connect(2, 3)
+        with pytest.raises(ChannelAllocationError):
+            net.connect(4, 5)
+
+    def test_disconnect_recycles_channel(self):
+        net = StaticCSDNetwork(8, n_channels=1)
+        conn = net.connect(0, 1)
+        net.disconnect(conn)
+        assert net.used_channels() == 0
+        net.connect(2, 3)
+
+    def test_disconnect_stale_raises(self):
+        net = StaticCSDNetwork(8)
+        conn = net.connect(0, 1)
+        net.disconnect(conn)
+        with pytest.raises(ChannelAllocationError):
+            net.disconnect(conn)
+
+    def test_validation(self):
+        net = StaticCSDNetwork(8)
+        with pytest.raises(ValueError):
+            net.connect(3, 3)
+        with pytest.raises(ValueError):
+            net.connect(0, 9)
+        with pytest.raises(ValueError):
+            StaticCSDNetwork(1)
+
+    def test_static_needs_more_channels_than_dynamic(self):
+        # The motivating comparison of section 2.6: configure the same
+        # short-span datapath on both networks.
+        from repro.csd.dynamic_csd import DynamicCSDNetwork
+
+        pairs = [(i, i + 1) for i in range(0, 14, 2)]  # 7 disjoint neighbours
+        static = StaticCSDNetwork(16)
+        dynamic = DynamicCSDNetwork(16, n_channels=16)
+        for s, k in pairs:
+            static.connect(s, k)
+            dynamic.connect(s, k)
+        assert static.used_channels() == 7
+        assert dynamic.used_channels() == 1

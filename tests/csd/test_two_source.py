@@ -1,0 +1,63 @@
+"""Unit tests for the two-source CSD model (§2.6.2 sets it aside)."""
+
+import pytest
+
+from repro.csd.locality import ChainingRequest, LocalityWorkload
+from repro.csd.simulator import CSDSimulator
+
+
+class TestChainingRequestSources:
+    def test_one_source_default(self):
+        req = ChainingRequest(sink=3, source=5)
+        assert req.sources == (5,)
+
+    def test_two_source(self):
+        req = ChainingRequest(sink=3, source=5, source2=1)
+        assert req.sources == (5, 1)
+
+
+class TestTwoSourceWorkload:
+    def test_every_request_has_two_sources(self):
+        wl = LocalityWorkload(32, 0.5, seed=3)
+        for req in wl.requests_two_source(100):
+            assert req.source2 is not None
+            assert req.source != req.sink
+            assert req.source2 != req.sink
+
+    def test_sources_in_range(self):
+        wl = LocalityWorkload(16, 0.0, seed=9)
+        for req in wl.requests_two_source(100):
+            assert 0 <= req.source < 16
+            assert 0 <= req.source2 < 16
+
+    def test_default_count(self):
+        assert len(LocalityWorkload(32, 0.5, seed=1).requests_two_source()) == 31
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            LocalityWorkload(16, 0.5).requests_two_source(0)
+
+
+class TestTwoSourceSimulation:
+    def test_two_source_uses_more_channels(self):
+        sim = CSDSimulator(64, seed=11)
+        one = sim.run_trial(0.0, two_source=False)
+        two = sim.run_trial(0.0, two_source=True)
+        assert two.used_channels > one.used_channels
+
+    def test_two_source_roughly_doubles_demand(self):
+        sim = CSDSimulator(128, seed=5)
+        one = sim.run_trial(0.0)
+        two = sim.run_trial(0.0, two_source=True)
+        assert 1.3 < two.used_channels / one.used_channels < 2.5
+
+    def test_two_source_never_blocks_with_2n_channels(self):
+        for loc in (0.0, 0.5, 1.0):
+            res = CSDSimulator(64, seed=2).run_trial(loc, two_source=True)
+            assert res.blocked == 0
+
+    def test_locality_still_helps(self):
+        sim = CSDSimulator(64, seed=4)
+        local = sim.run_trial(1.0, two_source=True)
+        random = sim.run_trial(0.0, two_source=True)
+        assert local.used_channels < random.used_channels / 2

@@ -1,0 +1,136 @@
+"""Integration: whole-chip scenarios crossing every package boundary."""
+
+import pytest
+
+from repro.ap.pipeline import AdaptiveProcessor
+from repro.ap.streaming import StreamingExecutor
+from repro.core.defects import DefectInjector
+from repro.core.partition import ProgramExecutor
+from repro.core.scaling import ScalingController
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.errors import CapacityError, RegionError
+from repro.workloads.generators import horner_graph, random_dag, saxpy_graph
+from repro.workloads.programs import figure7_program
+
+
+class TestApplicationOnScaledProcessor:
+    """An application's resource demand drives the processor's scale."""
+
+    def test_capacity_follows_region(self):
+        chip = VLSIProcessor(8, 8, with_network=False)
+        scaler = ScalingController(chip)
+        app = horner_graph([1.0] * 12)  # 12 coeffs -> 35 objects
+        datapath = app.to_datapath()
+
+        proc = chip.create_processor("H", n_clusters=1)
+        cap = proc.capacity(chip.fabric.resources)
+        assert len(datapath) > cap  # too big to stream on one cluster
+        with pytest.raises(CapacityError):
+            StreamingExecutor(datapath, capacity=cap)
+
+        needed = -(-len(datapath) // chip.fabric.resources.compute_objects)
+        scaler.up_scale("H", needed - 1)
+        cap = chip.processor("H").capacity(chip.fabric.resources)
+        executor = StreamingExecutor(datapath, capacity=cap)
+        run = executor.run([{0: float(x)} for x in range(10)])
+        out = executor.output_ids[0]
+        # p(x) = sum(x^k) for k=0..11 with all-ones coefficients
+        assert run.outputs[1][out] == pytest.approx(12.0)  # x=1: twelve 1s
+
+    def test_pipeline_configures_within_scaled_capacity(self):
+        chip = VLSIProcessor(8, 8, with_network=False)
+        proc = chip.create_processor("P", n_clusters=4)
+        cap = proc.capacity(chip.fabric.resources)  # 64
+        app = random_dag(50, locality=0.7, seed=41)
+        # a fused AP aggregates the WSRFs of its clusters (one system
+        # object each, 40 entries apiece)
+        ap = AdaptiveProcessor(
+            capacity=cap,
+            library=app.to_library(),
+            wsrf_capacity=40 * proc.n_clusters,
+        )
+        stats = ap.run(app.to_config_stream())
+        assert stats.misses == 50  # every object cold-loaded once
+        assert stats.channels_used <= cap // 2  # the Figure 3 rule holds
+
+
+class TestMultiTenantChurn:
+    """Several applications share the fabric; processors come and go."""
+
+    def test_create_destroy_cycles_leave_no_leaks(self):
+        chip = VLSIProcessor(8, 8, with_network=False)
+        for round_ in range(10):
+            names = [f"r{round_}_{i}" for i in range(4)]
+            for name in names:
+                chip.create_processor(name, n_clusters=4)
+            for name in names:
+                chip.destroy_processor(name)
+        assert chip.free_clusters() == 64
+        assert all(not sw.is_chained for sw in chip.fabric.all_switches())
+        assert all(not sw.is_reserved for sw in chip.fabric.all_switches())
+
+    def test_fragmentation_then_big_allocation(self):
+        chip = VLSIProcessor(8, 8, with_network=False)
+        # fill the chip with 16 small processors, free every other one
+        for i in range(16):
+            chip.create_processor(f"S{i}", n_clusters=4)
+        for i in range(0, 16, 2):
+            chip.destroy_processor(f"S{i}")
+        assert chip.free_clusters() == 32
+        # a 32-cluster serpentine run does NOT exist (fragmented) ...
+        with pytest.raises(RegionError):
+            chip.create_processor("BIG", n_clusters=32, strategy="serpentine")
+        # ... but freed 4-cluster islands are immediately reusable
+        chip.create_processor("NEW", n_clusters=4)
+        assert chip.processor("NEW").n_clusters == 4
+
+    def test_program_execution_beside_scaling_churn(self):
+        chip = VLSIProcessor(8, 8, with_network=False)
+        scaler = ScalingController(chip)
+        program = figure7_program()
+        placement = {}
+        for block in program.blocks():
+            chip.create_processor(f"P_{block.name}", n_clusters=2)
+            placement[block.name] = f"P_{block.name}"
+        executor = ProgramExecutor(chip, program, placement)
+        # an unrelated tenant scales up and down between waves
+        chip.create_processor("tenant", n_clusters=2)
+        for x in range(4):
+            assert executor.run({100: x, 101: 1})[1] in (2, 3, x + 1)
+            if x % 2 == 0:
+                scaler.up_scale("tenant", 1)
+            else:
+                scaler.down_scale("tenant", 1)
+        assert chip.processor("tenant").n_clusters == 2
+
+
+class TestDefectsDuringOperation:
+    def test_defect_strikes_running_system(self):
+        chip = VLSIProcessor(8, 8, with_network=False)
+        program = figure7_program()
+        placement = {}
+        for block in program.blocks():
+            chip.create_processor(f"P_{block.name}", n_clusters=2)
+            placement[block.name] = f"P_{block.name}"
+        executor = ProgramExecutor(chip, program, placement)
+        assert executor.run({100: 5, 101: 3})[1] == 6
+
+        # a defect hits the then-processor between waves; it remaps
+        injector = DefectInjector(chip, seed=3)
+        victim = chip.processor("P_then").region.path[0]
+        report = injector.inject_at(victim)
+        assert report.remapped
+        # the program keeps running on the remapped placement
+        assert executor.run({100: 5, 101: 3})[1] == 6
+
+    def test_saxpy_survives_heavy_attrition(self):
+        chip = VLSIProcessor(8, 8, with_network=False)
+        injector = DefectInjector(chip, seed=13)
+        injector.inject_random(20, remap=False)  # 20 dead clusters
+        # the fabric still hosts a working processor + app
+        proc = chip.create_processor("S", n_clusters=2)
+        app = saxpy_graph()
+        cap = proc.capacity(chip.fabric.resources)
+        executor = StreamingExecutor(app.to_datapath(), capacity=cap)
+        run = executor.run([{1: 2.0, 2: 1.0}])
+        assert run.outputs[0][4] == 5.0  # 2*2 + 1

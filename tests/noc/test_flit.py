@@ -1,0 +1,50 @@
+"""Unit tests for flits and packets."""
+
+import pytest
+
+from repro.noc.flit import FlitType, make_packet
+
+
+class TestMakePacket:
+    def test_single_flit_is_head_tail(self):
+        p = make_packet((0, 0), (1, 1))
+        assert len(p) == 1
+        assert p.flits[0].ftype is FlitType.HEAD_TAIL
+        assert p.flits[0].is_head and p.flits[0].is_tail
+
+    def test_multi_flit_structure(self):
+        p = make_packet((0, 0), (1, 1), payloads=["a", "b", "c", "d"])
+        types = [f.ftype for f in p.flits]
+        assert types == [FlitType.HEAD, FlitType.BODY, FlitType.BODY, FlitType.TAIL]
+
+    def test_two_flit_packet_head_then_tail(self):
+        p = make_packet((0, 0), (1, 1), payloads=[1, 2])
+        assert [f.ftype for f in p.flits] == [FlitType.HEAD, FlitType.TAIL]
+
+    def test_payloads_preserved_in_order(self):
+        p = make_packet((0, 0), (1, 1), payloads=["x", "y"])
+        assert p.payloads == ["x", "y"]
+        assert [f.seq for f in p.flits] == [0, 1]
+
+    def test_n_flits_argument(self):
+        p = make_packet((0, 0), (1, 1), n_flits=3)
+        assert len(p) == 3
+        assert p.payloads == [None, None, None]
+
+    def test_n_flits_payload_mismatch(self):
+        with pytest.raises(ValueError):
+            make_packet((0, 0), (1, 1), payloads=[1], n_flits=2)
+
+    def test_empty_payloads_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet((0, 0), (1, 1), payloads=[])
+
+    def test_packet_ids_unique(self):
+        a = make_packet((0, 0), (1, 1))
+        b = make_packet((0, 0), (1, 1))
+        assert a.packet_id != b.packet_id
+
+    def test_flits_carry_endpoints(self):
+        p = make_packet((2, 3), (4, 5), payloads=[1, 2])
+        for f in p.flits:
+            assert f.src == (2, 3) and f.dst == (4, 5)

@@ -1,0 +1,64 @@
+"""Unit tests for XY routing and the port model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.noc.routing_algos import OPPOSITE, Port, neighbor_via, xy_next_port, xy_path
+from repro.topology.metrics import manhattan
+
+coords = st.tuples(st.integers(0, 15), st.integers(0, 15))
+
+
+class TestXYNextPort:
+    def test_corrects_column_first(self):
+        assert xy_next_port((0, 0), (3, 3)) is Port.EAST
+        assert xy_next_port((0, 3), (3, 0)) is Port.WEST
+
+    def test_then_row(self):
+        assert xy_next_port((0, 3), (3, 3)) is Port.SOUTH
+        assert xy_next_port((3, 3), (0, 3)) is Port.NORTH
+
+    def test_local_at_destination(self):
+        assert xy_next_port((2, 2), (2, 2)) is Port.LOCAL
+
+
+class TestNeighborVia:
+    def test_directions(self):
+        assert neighbor_via((2, 2), Port.NORTH) == (1, 2)
+        assert neighbor_via((2, 2), Port.SOUTH) == (3, 2)
+        assert neighbor_via((2, 2), Port.EAST) == (2, 3)
+        assert neighbor_via((2, 2), Port.WEST) == (2, 1)
+
+    def test_local_has_no_neighbor(self):
+        with pytest.raises(RoutingError):
+            neighbor_via((2, 2), Port.LOCAL)
+
+    def test_opposite_is_involutive(self):
+        for port, opp in OPPOSITE.items():
+            assert OPPOSITE[opp] is port
+
+
+class TestXYPath:
+    def test_l_shaped_route(self):
+        assert xy_path((0, 0), (2, 2)) == [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
+
+    def test_trivial_route(self):
+        assert xy_path((1, 1), (1, 1)) == [(1, 1)]
+
+    @given(src=coords, dst=coords)
+    def test_path_length_is_manhattan(self, src, dst):
+        path = xy_path(src, dst)
+        assert len(path) - 1 == manhattan(src, dst)
+
+    @given(src=coords, dst=coords)
+    def test_path_steps_are_unit(self, src, dst):
+        path = xy_path(src, dst)
+        for a, b in zip(path, path[1:]):
+            assert manhattan(a, b) == 1
+
+    @given(src=coords, dst=coords)
+    def test_path_endpoints(self, src, dst):
+        path = xy_path(src, dst)
+        assert path[0] == src and path[-1] == dst

@@ -1,0 +1,57 @@
+"""Unit tests for the synthetic traffic generators."""
+
+import pytest
+
+from repro.noc.traffic import hotspot_pairs, neighbor_pairs, uniform_random_pairs
+from repro.topology.metrics import manhattan
+
+
+class TestUniformRandom:
+    def test_count_and_distinct_endpoints(self):
+        pairs = uniform_random_pairs(8, 8, 100, seed=1)
+        assert len(pairs) == 100
+        assert all(s != d for s, d in pairs)
+
+    def test_in_bounds(self):
+        for s, d in uniform_random_pairs(4, 6, 200, seed=2):
+            for r, c in (s, d):
+                assert 0 <= r < 4 and 0 <= c < 6
+
+    def test_reproducible(self):
+        assert uniform_random_pairs(8, 8, 20, seed=3) == uniform_random_pairs(
+            8, 8, 20, seed=3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_random_pairs(0, 8, 10)
+        with pytest.raises(ValueError):
+            uniform_random_pairs(1, 1, 10)
+        with pytest.raises(ValueError):
+            uniform_random_pairs(8, 8, 0)
+
+
+class TestNeighbor:
+    def test_all_pairs_one_hop(self):
+        for s, d in neighbor_pairs(8, 8, 200, seed=5):
+            assert manhattan(s, d) == 1
+
+    def test_in_bounds(self):
+        for s, d in neighbor_pairs(2, 2, 100, seed=7):
+            for r, c in (s, d):
+                assert 0 <= r < 2 and 0 <= c < 2
+
+
+class TestHotspot:
+    def test_default_hotspot_is_center(self):
+        pairs = hotspot_pairs(8, 8, 50, seed=9)
+        assert all(d == (4, 4) for _, d in pairs)
+
+    def test_custom_hotspot(self):
+        pairs = hotspot_pairs(4, 4, 30, hotspot=(0, 0), seed=9)
+        assert all(d == (0, 0) for _, d in pairs)
+        assert all(s != (0, 0) for s, _ in pairs)
+
+    def test_hotspot_must_be_on_grid(self):
+        with pytest.raises(ValueError):
+            hotspot_pairs(4, 4, 10, hotspot=(4, 4))

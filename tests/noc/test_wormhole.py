@@ -1,0 +1,131 @@
+"""Unit tests for two-phase wormhole reconfiguration (section 3.3)."""
+
+import pytest
+
+from repro.errors import AllocationConflictError, DefectError, RegionError
+from repro.noc.network import RouterNetwork
+from repro.noc.wormhole import WormholeConfigurator
+from repro.topology.regions import path_region, rectangle_region
+from repro.topology.rings import ring_region
+from repro.topology.s_topology import STopology
+
+
+@pytest.fixture
+def fabric():
+    return STopology(8, 8)
+
+
+@pytest.fixture
+def cfg(fabric):
+    return WormholeConfigurator(fabric)
+
+
+class TestConfigure:
+    def test_region_chained_and_owned(self, fabric, cfg):
+        region = rectangle_region((1, 1), 2, 2)
+        op = cfg.configure(region, owner="P1")
+        assert op.switches_programmed == 3
+        assert fabric.chained_component((1, 1)) == set(region.path)
+        assert all(fabric.cluster(c).owner == "P1" for c in region.path)
+
+    def test_reservation_flags_cleared_after_commit(self, fabric, cfg):
+        region = rectangle_region((0, 0), 2, 3)
+        cfg.configure(region, owner="P1")
+        for a, b in zip(region.path, region.path[1:]):
+            assert not fabric.chain_switch(a, b).is_reserved
+
+    def test_ring_region_closes(self, fabric, cfg):
+        region = ring_region((2, 2), 3, 3)
+        op = cfg.configure(region, owner="R")
+        assert op.switches_programmed == len(region.path)  # closed cycle
+        assert fabric.chain_switch(region.path[-1], region.path[0]).is_chained
+
+    def test_occupied_cluster_conflicts(self, fabric, cfg):
+        cfg.configure(rectangle_region((0, 0), 2, 2), owner="P1")
+        with pytest.raises(AllocationConflictError):
+            cfg.configure(path_region([(1, 1), (1, 2)]), owner="P2")
+
+    def test_conflict_rolls_back_everything(self, fabric, cfg):
+        cfg.configure(path_region([(2, 2), (2, 3)]), owner="P1")
+        # P2 wants a path whose *last* cluster is P1's: must roll back fully
+        with pytest.raises(AllocationConflictError):
+            cfg.configure(path_region([(2, 0), (2, 1), (2, 2)]), owner="P2")
+        assert fabric.cluster((2, 0)).is_free
+        assert fabric.cluster((2, 1)).is_free
+        assert not fabric.chain_switch((2, 0), (2, 1)).is_chained
+        assert not fabric.chain_switch((2, 0), (2, 1)).is_reserved
+
+    def test_defective_cluster_rejected(self, fabric, cfg):
+        fabric.cluster((3, 3)).mark_defective()
+        with pytest.raises(DefectError):
+            cfg.configure(path_region([(3, 2), (3, 3)]), owner="P1")
+        assert fabric.cluster((3, 2)).is_free
+
+    def test_region_outside_fabric(self, cfg):
+        with pytest.raises(RegionError):
+            cfg.configure(path_region([(7, 7), (8, 7)]), owner="P1")
+
+
+class TestRelease:
+    def test_release_returns_clusters(self, fabric, cfg):
+        region = rectangle_region((4, 4), 2, 2)
+        cfg.configure(region, owner="P1")
+        cfg.release(region, owner="P1")
+        assert all(fabric.cluster(c).is_free for c in region.path)
+        assert fabric.chained_component((4, 4)) == {(4, 4)}
+
+    def test_release_wrong_owner_rejected(self, fabric, cfg):
+        region = rectangle_region((4, 4), 2, 2)
+        cfg.configure(region, owner="P1")
+        with pytest.raises(AllocationConflictError):
+            cfg.release(region, owner="P2")
+
+    def test_reconfigure_after_release(self, fabric, cfg):
+        region = rectangle_region((4, 4), 2, 2)
+        cfg.configure(region, owner="P1")
+        cfg.release(region, owner="P1")
+        cfg.configure(region, owner="P2")  # must succeed
+        assert fabric.cluster((4, 4)).owner == "P2"
+
+
+class TestWithRouterNetwork:
+    def test_config_cycles_measured(self, fabric):
+        net = RouterNetwork(8, 8)
+        cfg = WormholeConfigurator(fabric, network=net, origin=(0, 0))
+        region = rectangle_region((4, 4), 2, 2)
+        op = cfg.configure(region, owner="P1")
+        # worm: 4 payload flits over 8 hops -> at least 8 cycles
+        assert op.config_cycles >= 8
+
+    def test_farther_regions_cost_more_cycles(self, fabric):
+        net = RouterNetwork(8, 8)
+        cfg = WormholeConfigurator(fabric, network=net, origin=(0, 0))
+        near = cfg.configure(path_region([(0, 1), (0, 2)]), owner="A")
+        far = cfg.configure(path_region([(7, 6), (7, 7)]), owner="B")
+        assert far.config_cycles > near.config_cycles
+
+    def test_route_length_helper(self, fabric):
+        cfg = WormholeConfigurator(fabric, origin=(0, 0))
+        assert cfg.route_length(path_region([(3, 4), (3, 5)])) == 7
+
+
+class TestScalingSequence:
+    def test_up_then_down_scale_cycle(self, fabric, cfg):
+        """Figure 7's lifecycle: configure four processors, release two,
+        fuse the freed area into a bigger one."""
+        p1 = rectangle_region((0, 0), 2, 2)
+        p2 = rectangle_region((0, 2), 2, 2)
+        p3 = rectangle_region((2, 0), 2, 2)
+        p4 = rectangle_region((2, 2), 2, 2)
+        for i, reg in enumerate([p1, p2, p3, p4]):
+            cfg.configure(reg, owner=f"P{i}")
+        # release the bottom two and fuse their area into one 2x4 processor
+        cfg.release(p3, owner="P2")
+        cfg.release(p4, owner="P3")
+        fused = rectangle_region((2, 0), 2, 4)
+        op = cfg.configure(fused, owner="BIG")
+        assert op.switches_programmed == 7
+        assert fabric.chained_component((2, 0)) == set(fused.path)
+        # the untouched processors are unaffected
+        assert fabric.cluster((0, 0)).owner == "P0"
+        assert fabric.cluster((0, 2)).owner == "P1"

@@ -1,0 +1,46 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestTableCommand:
+    @pytest.mark.parametrize("number", [1, 2, 3])
+    def test_area_tables(self, number, capsys):
+        assert main(["table", str(number)]) == 0
+        out = capsys.readouterr().out
+        assert "Total" in out
+        assert "lambda^2" in out
+
+    def test_table4(self, capsys):
+        assert main(["table", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Peak GOPS" in out
+        assert "2010" in out and "2015" in out
+
+    def test_unknown_table_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["table", "9"])
+
+
+class TestFig3Command:
+    def test_small_sweep(self, capsys):
+        assert main(["fig3", "--n-objects", "16", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Nobject=16" in out
+        assert "used_channels=" in out
+
+
+class TestChipCommand:
+    def test_summary(self, capsys):
+        assert main(["chip", "--rows", "4", "--cols", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4x4 S-topology: 16 clusters" in out
+        assert "minimum AP" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,80 @@
+"""Unit tests for the section-5 comparator topologies (ring, mesh)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.mesh import MeshTopology
+from repro.topology.ring_baseline import RingTopology
+
+
+class TestRingTopology:
+    def test_needs_two_cores(self):
+        with pytest.raises(TopologyError):
+            RingTopology(1)
+
+    def test_bidirectional_takes_shorter_way(self):
+        ring = RingTopology(8)
+        assert ring.hops(0, 7) == 1
+        assert ring.hops(0, 4) == 4
+
+    def test_unidirectional_forward_only(self):
+        ring = RingTopology(8, bidirectional=False)
+        assert ring.hops(0, 7) == 7
+        assert ring.hops(7, 0) == 1
+
+    def test_diameter_grows_linearly(self):
+        # Section 5: "Its latency is increased by the number of cores."
+        assert RingTopology(64).diameter() == 2 * RingTopology(32).diameter()
+
+    def test_average_hops_grows_linearly(self):
+        small = RingTopology(16).average_hops()
+        large = RingTopology(64).average_hops()
+        assert large > 3.5 * small
+
+    def test_bisection_always_two(self):
+        assert RingTopology(8).bisection_width() == 2
+        assert RingTopology(256).bisection_width() == 2
+
+    def test_out_of_range_core(self):
+        with pytest.raises(TopologyError):
+            RingTopology(4).hops(0, 4)
+
+
+class TestMeshTopology:
+    def test_hops_is_manhattan(self):
+        mesh = MeshTopology(8, 8)
+        assert mesh.hops((0, 0), (3, 4)) == 7
+
+    def test_xy_route_column_first(self):
+        mesh = MeshTopology(4, 4)
+        route = mesh.xy_route((0, 0), (2, 2))
+        assert route == [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
+
+    def test_xy_route_degenerate(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.xy_route((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_diameter_grows_as_sqrt_of_tiles(self):
+        # Mesh scales better than ring: diameter ~ 2*sqrt(N).
+        assert MeshTopology(8, 8).diameter() == 14
+        assert MeshTopology(16, 16).diameter() == 30
+
+    def test_mesh_beats_ring_at_scale(self):
+        n = 64
+        assert MeshTopology(8, 8).diameter() < RingTopology(n).diameter() + n // 2
+
+    def test_bisection_abundant_vs_ring(self):
+        # Section 5: mesh "has an abundant bisection bandwidth".
+        assert MeshTopology(16, 16).bisection_width() > RingTopology(256).bisection_width()
+
+    def test_host_placement_cost_linear(self):
+        mesh = MeshTopology(8, 8)
+        assert mesh.host_placement_cost(10) == 20
+        with pytest.raises(ValueError):
+            mesh.host_placement_cost(-1)
+
+    def test_bounds_checked(self):
+        with pytest.raises(TopologyError):
+            MeshTopology(4, 4).hops((0, 0), (4, 0))
+        with pytest.raises(TopologyError):
+            MeshTopology(0, 4)

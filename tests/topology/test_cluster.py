@@ -1,0 +1,80 @@
+"""Unit tests for the replicated cluster (Figure 4(b))."""
+
+import pytest
+
+from repro.errors import DefectError
+from repro.topology.cluster import Cluster, ClusterResources
+
+
+class TestClusterResources:
+    def test_defaults_match_table4_minimum_ap(self):
+        res = ClusterResources()
+        assert res.compute_objects == 16
+        assert res.memory_objects == 16
+        assert res.system_objects == 1
+
+    def test_total_objects(self):
+        assert ClusterResources().total_objects == 33
+        assert ClusterResources(4, 2, 1).total_objects == 7
+
+    def test_needs_compute_object(self):
+        with pytest.raises(ValueError):
+            ClusterResources(compute_objects=0)
+
+    def test_needs_system_object(self):
+        with pytest.raises(ValueError):
+            ClusterResources(system_objects=0)
+
+    def test_memory_can_be_zero_but_not_negative(self):
+        assert ClusterResources(memory_objects=0).memory_objects == 0
+        with pytest.raises(ValueError):
+            ClusterResources(memory_objects=-1)
+
+
+class TestClusterLifecycle:
+    def test_starts_free(self):
+        cl = Cluster((2, 3))
+        assert cl.is_free
+        assert cl.owner is None
+        assert not cl.defective
+        assert (cl.row, cl.col) == (2, 3)
+
+    def test_allocate_and_free(self):
+        cl = Cluster((0, 0))
+        cl.allocate("P1")
+        assert not cl.is_free
+        assert cl.owner == "P1"
+        cl.free()
+        assert cl.is_free
+
+    def test_reallocate_same_owner_ok(self):
+        cl = Cluster((0, 0))
+        cl.allocate("P1")
+        cl.allocate("P1")  # idempotent
+        assert cl.owner == "P1"
+
+    def test_double_allocate_conflicts(self):
+        cl = Cluster((0, 0))
+        cl.allocate("P1")
+        with pytest.raises(ValueError):
+            cl.allocate("P2")
+
+
+class TestDefects:
+    def test_defective_cluster_not_free(self):
+        cl = Cluster((0, 0))
+        cl.mark_defective()
+        assert not cl.is_free
+
+    def test_defect_evicts_owner(self):
+        # Section 1: "the failing AP can be removed from the system".
+        cl = Cluster((0, 0))
+        cl.allocate("P1")
+        cl.mark_defective()
+        assert cl.owner is None
+
+    def test_allocate_defective_raises(self):
+        cl = Cluster((0, 0))
+        cl.mark_defective()
+        with pytest.raises(DefectError):
+            cl.allocate("P1")

@@ -1,0 +1,61 @@
+"""Unit tests for 3-D die stacking (Figure 6(d))."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.die_stack import DieStack
+
+
+class TestConstruction:
+    def test_two_dies_default(self):
+        stack = DieStack(4, 4)
+        assert stack.n_dies == 2
+        assert stack.total_clusters() == 32
+        assert (stack.rows, stack.cols) == (4, 4)
+
+    def test_needs_two_dies(self):
+        with pytest.raises(TopologyError):
+            DieStack(4, 4, n_dies=1)
+
+    def test_three_die_stack(self):
+        stack = DieStack(2, 2, n_dies=3)
+        assert stack.total_clusters() == 12
+        # vias exist between die 0-1 and die 1-2
+        assert not stack.via(0, (0, 0)).is_chained
+        assert not stack.via(1, (0, 0)).is_chained
+
+
+class TestVias:
+    def test_chain_vertical(self):
+        stack = DieStack(2, 2)
+        stack.chain_vertical(0, (1, 1))
+        assert stack.via(0, (1, 1)).is_chained
+
+    def test_missing_via_raises(self):
+        stack = DieStack(2, 2)
+        with pytest.raises(TopologyError):
+            stack.via(1, (0, 0))  # only 2 dies: vias exist on level 0 only
+        with pytest.raises(TopologyError):
+            stack.via(0, (5, 5))
+
+
+class Test3DPaths:
+    def test_path_crossing_dies(self):
+        # "connecting the bottom and top side dies" -- a linear array can
+        # continue on the second die.
+        stack = DieStack(2, 2)
+        path = [(0, 0, 0), (0, 0, 1), (1, 0, 1), (1, 1, 1)]
+        stack.chain_3d_path(path)
+        assert stack.dies[0].chain_switch((0, 0), (0, 1)).is_chained
+        assert stack.via(0, (0, 1)).is_chained
+        assert stack.dies[1].chain_switch((0, 1), (1, 1)).is_chained
+
+    def test_illegal_diagonal_die_hop(self):
+        stack = DieStack(2, 2)
+        with pytest.raises(TopologyError):
+            stack.chain_3d_path([(0, 0, 0), (1, 0, 1)])
+
+    def test_illegal_double_die_hop(self):
+        stack = DieStack(2, 2, n_dies=3)
+        with pytest.raises(TopologyError):
+            stack.chain_3d_path([(0, 0, 0), (2, 0, 0)])

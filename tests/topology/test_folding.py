@@ -1,0 +1,99 @@
+"""Unit and property tests for the serpentine fold (Figure 4(c))."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.folding import (
+    fold_path_is_adjacent,
+    serpentine_fold,
+    serpentine_order,
+    serpentine_unfold,
+)
+
+
+class TestSerpentineFold:
+    def test_first_row_left_to_right(self):
+        assert [serpentine_fold(i, 4) for i in range(4)] == [
+            (0, 0), (0, 1), (0, 2), (0, 3)
+        ]
+
+    def test_second_row_right_to_left(self):
+        assert [serpentine_fold(i, 4) for i in range(4, 8)] == [
+            (1, 3), (1, 2), (1, 1), (1, 0)
+        ]
+
+    def test_single_column_degenerates_to_vertical_line(self):
+        assert [serpentine_fold(i, 1) for i in range(3)] == [(0, 0), (1, 0), (2, 0)]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            serpentine_fold(0, 0)
+        with pytest.raises(ValueError):
+            serpentine_fold(-1, 4)
+
+
+class TestSerpentineUnfold:
+    def test_inverse_of_fold_examples(self):
+        assert serpentine_unfold((1, 3), 4) == 4
+        assert serpentine_unfold((0, 0), 4) == 0
+
+    def test_rejects_out_of_grid(self):
+        with pytest.raises(ValueError):
+            serpentine_unfold((0, 4), 4)
+        with pytest.raises(ValueError):
+            serpentine_unfold((-1, 0), 4)
+
+
+class TestSerpentineOrder:
+    def test_8x8_covers_grid_once(self):
+        # Figure 4(a) shows an 8x8 S-topology.
+        order = serpentine_order(8, 8)
+        assert len(order) == 64
+        assert len(set(order)) == 64
+
+    def test_order_is_grid_adjacent(self):
+        # The invariant that makes the fold an "S": consecutive stack
+        # positions always sit in adjacent clusters.
+        assert fold_path_is_adjacent(serpentine_order(8, 8))
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            serpentine_order(0, 5)
+
+
+class TestFoldPathIsAdjacent:
+    def test_detects_jump(self):
+        assert not fold_path_is_adjacent([(0, 0), (0, 2)])
+
+    def test_detects_diagonal(self):
+        assert not fold_path_is_adjacent([(0, 0), (1, 1)])
+
+    def test_empty_and_singleton_paths_ok(self):
+        assert fold_path_is_adjacent([])
+        assert fold_path_is_adjacent([(3, 3)])
+
+
+# --- property-based: fold/unfold are inverse bijections ----------------------
+
+grid_dims = st.integers(min_value=1, max_value=32)
+
+
+class TestFoldProperties:
+    @given(cols=grid_dims, index=st.integers(min_value=0, max_value=2047))
+    def test_unfold_inverts_fold(self, cols, index):
+        assert serpentine_unfold(serpentine_fold(index, cols), cols) == index
+
+    @given(rows=grid_dims, cols=grid_dims)
+    def test_order_is_bijective_and_adjacent(self, rows, cols):
+        order = serpentine_order(rows, cols)
+        assert len(set(order)) == rows * cols
+        assert fold_path_is_adjacent(order)
+        # every coordinate is inside the grid
+        assert all(0 <= r < rows and 0 <= c < cols for r, c in order)
+
+    @given(cols=grid_dims, index=st.integers(min_value=0, max_value=2047))
+    def test_consecutive_indices_adjacent(self, cols, index):
+        a = serpentine_fold(index, cols)
+        b = serpentine_fold(index + 1, cols)
+        assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1

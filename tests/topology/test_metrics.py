@@ -1,0 +1,85 @@
+"""Unit tests for topology metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.metrics import (
+    average_distance,
+    bisection_width,
+    diameter,
+    manhattan,
+    path_hops,
+)
+
+coords = st.tuples(
+    st.integers(min_value=-50, max_value=50), st.integers(min_value=-50, max_value=50)
+)
+
+
+class TestManhattan:
+    def test_examples(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+        assert manhattan((2, 2), (2, 2)) == 0
+
+    @given(a=coords, b=coords)
+    def test_symmetry(self, a, b):
+        assert manhattan(a, b) == manhattan(b, a)
+
+    @given(a=coords, b=coords, c=coords)
+    def test_triangle_inequality(self, a, b, c):
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c)
+
+    @given(a=coords, b=coords)
+    def test_nonnegative_and_identity(self, a, b):
+        d = manhattan(a, b)
+        assert d >= 0
+        assert (d == 0) == (a == b)
+
+
+class TestPathHops:
+    def test_examples(self):
+        assert path_hops([(0, 0), (0, 1), (0, 2)]) == 2
+        assert path_hops([(0, 0)]) == 0
+        assert path_hops([]) == 0
+
+
+class TestDiameter:
+    def test_grid_diameter(self):
+        grid = [(r, c) for r in range(8) for c in range(8)]
+        assert diameter(grid) == 14  # (8-1)+(8-1)
+
+    def test_degenerate(self):
+        assert diameter([]) == 0
+        assert diameter([(1, 1)]) == 0
+
+
+class TestAverageDistance:
+    def test_two_points(self):
+        assert average_distance([(0, 0), (0, 3)]) == 3.0
+
+    def test_grows_with_grid(self):
+        small = [(r, c) for r in range(2) for c in range(2)]
+        large = [(r, c) for r in range(8) for c in range(8)]
+        assert average_distance(large) > average_distance(small)
+
+    def test_degenerate(self):
+        assert average_distance([(0, 0)]) == 0.0
+
+
+class TestBisectionWidth:
+    def test_square_grid(self):
+        assert bisection_width(8, 8) == 8
+
+    def test_rectangle(self):
+        assert bisection_width(4, 8) == 4
+
+    def test_single_node(self):
+        assert bisection_width(1, 1) == 0
+
+    def test_line(self):
+        assert bisection_width(1, 10) == 1
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            bisection_width(0, 4)

@@ -1,0 +1,101 @@
+"""Unit tests for programmable switches (Figure 6(b),(c); section 3.3)."""
+
+import pytest
+
+from repro.errors import AllocationConflictError
+from repro.topology.switches import (
+    BidirectionalSwitch,
+    ProgrammableSwitch,
+    SwitchState,
+    UnidirectionalSwitch,
+)
+
+A, B = (0, 0), (0, 1)
+
+
+class TestDefaultState:
+    def test_default_is_unchained(self):
+        # Paper: "The default status of programmable switches is a 'unchained'".
+        assert not ProgrammableSwitch((A, B)).is_chained
+        assert not UnidirectionalSwitch((A, B)).is_chained
+        assert not BidirectionalSwitch((A, B)).is_chained
+
+
+class TestProgramming:
+    def test_chain_unchain_roundtrip(self):
+        sw = ProgrammableSwitch((A, B))
+        sw.chain()
+        assert sw.is_chained
+        sw.unchain()
+        assert not sw.is_chained
+
+    def test_program_requires_switch_state(self):
+        with pytest.raises(TypeError):
+            ProgrammableSwitch((A, B)).program(1)
+
+    def test_program_explicit_states(self):
+        sw = ProgrammableSwitch((A, B))
+        sw.program(SwitchState.CHAINED)
+        assert sw.state is SwitchState.CHAINED
+
+
+class TestDirectionality:
+    def test_unchained_passes_nothing(self):
+        sw = BidirectionalSwitch((A, B))
+        assert not sw.passes(A, B)
+        assert not sw.passes(B, A)
+
+    def test_unidirectional_forward_only(self):
+        sw = UnidirectionalSwitch((A, B))
+        sw.chain()
+        assert sw.passes(A, B)
+        assert not sw.passes(B, A)
+
+    def test_bidirectional_both_ways(self):
+        sw = BidirectionalSwitch((A, B))
+        sw.chain()
+        assert sw.passes(A, B)
+        assert sw.passes(B, A)
+
+    def test_unrelated_endpoints_never_pass(self):
+        sw = BidirectionalSwitch((A, B))
+        sw.chain()
+        assert not sw.passes(A, (5, 5))
+
+
+class TestReservationFlag:
+    def test_free_by_default(self):
+        assert not ProgrammableSwitch((A, B)).is_reserved
+
+    def test_reserve_and_release(self):
+        sw = ProgrammableSwitch((A, B))
+        sw.reserve("worm-1")
+        assert sw.is_reserved
+        sw.release_reservation("worm-1")
+        assert not sw.is_reserved
+
+    def test_reserve_is_idempotent_for_same_owner(self):
+        sw = ProgrammableSwitch((A, B))
+        sw.reserve("worm-1")
+        sw.reserve("worm-1")  # must not raise
+        assert sw.reserved_by == "worm-1"
+
+    def test_conflicting_reservation_raises(self):
+        # Section 3.3: the flag exists exactly to make this conflict visible.
+        sw = ProgrammableSwitch((A, B))
+        sw.reserve("worm-1")
+        with pytest.raises(AllocationConflictError):
+            sw.reserve("worm-2")
+
+    def test_wrong_owner_release_raises(self):
+        sw = ProgrammableSwitch((A, B))
+        sw.reserve("worm-1")
+        with pytest.raises(AllocationConflictError):
+            sw.release_reservation("worm-2")
+
+    def test_release_unreserved_is_noop(self):
+        ProgrammableSwitch((A, B)).release_reservation("anyone")
+
+    def test_none_owner_rejected(self):
+        with pytest.raises(ValueError):
+            ProgrammableSwitch((A, B)).reserve(None)

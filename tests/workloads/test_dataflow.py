@@ -1,0 +1,77 @@
+"""Unit tests for the dataflow-graph IR."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ap.objects import Operation
+from repro.workloads.dataflow import DataflowGraph, DFNode
+
+
+def small_graph():
+    g = DataflowGraph()
+    g.add(0, Operation.CONST, init_data=3)
+    g.add(1, Operation.CONST, init_data=4)
+    g.add(2, Operation.IADD, sources=(0, 1))
+    return g
+
+
+class TestConstruction:
+    def test_add_and_lookup(self):
+        g = small_graph()
+        assert len(g) == 3
+        assert g.node(2).sources == (0, 1)
+        assert 2 in g and 9 not in g
+
+    def test_duplicate_rejected(self):
+        g = small_graph()
+        with pytest.raises(ConfigurationError):
+            g.add(0, Operation.PASS, sources=(1,))
+
+    def test_missing_node_raises(self):
+        with pytest.raises(ConfigurationError):
+            DataflowGraph().node(0)
+
+    def test_iteration_in_definition_order(self):
+        g = small_graph()
+        assert [n.node_id for n in g] == [0, 1, 2]
+
+
+class TestLowering:
+    def test_to_config_stream(self):
+        stream = small_graph().to_config_stream()
+        assert len(stream) == 3
+        assert stream[2].sink == 2
+        assert stream[2].sources == (0, 1)
+
+    def test_to_library(self):
+        lib = small_graph().to_library()
+        assert len(lib) == 3
+        assert lib.load(0)[0].init_data == 3
+
+    def test_to_datapath_executes(self):
+        assert small_graph().to_datapath().execute()[2] == 7
+
+    def test_to_datapath_rejects_bad_arity(self):
+        g = DataflowGraph()
+        g.add(0, Operation.IADD, sources=(1,))
+        with pytest.raises(ConfigurationError):
+            g.to_datapath()
+
+    def test_execute_with_inputs(self):
+        assert small_graph().execute(inputs={0: 10})[2] == 14
+
+
+class TestAnalysis:
+    def test_input_output_ids(self):
+        g = small_graph()
+        assert g.input_ids() == [0, 1]
+        assert g.output_ids() == [2]
+
+    def test_edge_count(self):
+        assert small_graph().edge_count() == 2
+
+    def test_dfnode_to_logical(self):
+        node = DFNode(5, Operation.CONST, init_data=1.5)
+        logical = node.to_logical()
+        assert logical.object_id == 5
+        assert logical.init_data == 1.5

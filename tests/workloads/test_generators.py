@@ -1,0 +1,123 @@
+"""Unit tests for workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generators import (
+    fir_filter_graph,
+    horner_graph,
+    random_dag,
+    saxpy_graph,
+    streaming_chain,
+)
+
+
+class TestRandomDag:
+    def test_reproducible(self):
+        a = random_dag(20, seed=1)
+        b = random_dag(20, seed=1)
+        assert [(n.node_id, n.operation, n.sources) for n in a] == [
+            (n.node_id, n.operation, n.sources) for n in b
+        ]
+
+    def test_always_executable(self):
+        for loc in (0.0, 0.5, 1.0):
+            g = random_dag(30, locality=loc, seed=7)
+            values = g.execute()
+            assert len(values) == 30
+
+    def test_local_graphs_have_short_dependencies(self):
+        local = random_dag(60, locality=1.0, seed=3)
+        spread = random_dag(60, locality=0.0, seed=3)
+        def mean_dist(g):
+            dists = [n.node_id - s for n in g for s in n.sources]
+            return sum(dists) / max(len(dists), 1)
+        assert mean_dist(local) < mean_dist(spread)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_dag(1)
+        with pytest.raises(ValueError):
+            random_dag(10, locality=2.0)
+        with pytest.raises(ValueError):
+            random_dag(10, n_inputs=10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(3, 40),
+        loc=st.floats(0.0, 1.0),
+        seed=st.integers(0, 100),
+    )
+    def test_property_valid_dag(self, n, loc, seed):
+        g = random_dag(n, locality=loc, seed=seed)
+        for node in g:
+            for s in node.sources:
+                assert s < node.node_id  # strictly backward edges = acyclic
+        g.to_datapath()  # validates
+
+
+class TestStreamingChain:
+    def test_depth_and_shape(self):
+        g = streaming_chain(5)
+        assert len(g) == 7  # input + coefficient + 5 stages
+        assert g.to_datapath().depth() == 6
+
+    def test_sources_are_coeff_or_previous_stage(self):
+        g = streaming_chain(4)
+        for node in g:
+            if node.node_id < 2:
+                continue  # the two inputs
+            prev_stage = 0 if node.node_id == 2 else node.node_id - 1
+            assert set(node.sources) == {prev_stage, 1}
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            streaming_chain(0)
+
+
+class TestSaxpy:
+    def test_computes_ax_plus_y(self):
+        g = saxpy_graph()
+        values = g.execute(inputs={1: 3.0, 2: 1.0})  # a=2 baked in
+        assert values[4] == 7.0
+
+    def test_io_ids(self):
+        g = saxpy_graph()
+        assert set(g.input_ids()) == {0, 1, 2}
+        assert g.output_ids() == [4]
+
+
+class TestFirFilter:
+    def test_computes_dot_product(self):
+        g = fir_filter_graph([0.5, 0.25, 0.25])
+        # x = [4, 8, 8] -> 0.5*4 + 0.25*8 + 0.25*8 = 6
+        out = g.output_ids()[0]
+        values = g.execute(inputs={0: 4.0, 1: 8.0, 2: 8.0})
+        assert values[out] == pytest.approx(6.0)
+
+    def test_single_tap(self):
+        g = fir_filter_graph([2.0])
+        out = g.output_ids()[0]
+        assert g.execute(inputs={0: 3.0})[out] == 6.0
+
+    def test_rejects_no_taps(self):
+        with pytest.raises(ValueError):
+            fir_filter_graph([])
+
+
+class TestHorner:
+    def test_evaluates_polynomial(self):
+        # p(x) = 2x^2 + 3x + 4, coefficients high-to-low
+        g = horner_graph([2.0, 3.0, 4.0])
+        out = g.output_ids()[0]
+        assert g.execute(inputs={0: 5.0})[out] == pytest.approx(2 * 25 + 15 + 4)
+
+    def test_depth_grows_linearly(self):
+        shallow = horner_graph([1.0, 1.0]).to_datapath().depth()
+        deep = horner_graph([1.0] * 10).to_datapath().depth()
+        assert deep > shallow + 10
+
+    def test_rejects_single_coefficient(self):
+        with pytest.raises(ValueError):
+            horner_graph([1.0])

@@ -1,0 +1,74 @@
+"""Unit tests for partitioned programs (Figure 7)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ap.objects import Operation
+from repro.workloads.dataflow import DataflowGraph
+from repro.workloads.programs import BasicBlock, PartitionedProgram, figure7_program
+
+
+class TestFigure7Program:
+    def test_four_blocks(self):
+        program = figure7_program()
+        assert len(program) == 4
+        assert {b.name for b in program.blocks()} == {"cond", "then", "else", "merge"}
+
+    def test_entry_is_cond(self):
+        assert figure7_program().entry == "cond"
+
+    def test_cond_block_compares(self):
+        cond = figure7_program().block("cond")
+        out = cond.run({100: 5, 101: 3})
+        assert out[0] is True
+        out = cond.run({100: 1, 101: 3})
+        assert out[0] is False
+
+    def test_then_block_adds_one(self):
+        then = figure7_program().block("then")
+        assert then.run({100: 5}) == {2: 6}
+
+    def test_else_block_adds_two(self):
+        els = figure7_program().block("else")
+        assert els.run({101: 9}) == {2: 11}
+
+    def test_merge_block_buffers(self):
+        merge = figure7_program().block("merge")
+        assert merge.run({0: 42}) == {1: 42}
+
+    def test_successor_structure(self):
+        program = figure7_program()
+        cond = program.block("cond")
+        assert [s for _, s in cond.successors] == ["then", "else"]
+        assert program.block("merge").successors == []
+
+    def test_custom_input_ids(self):
+        program = figure7_program(x_id=7, y_id=8)
+        out = program.block("cond").run({7: 10, 8: 3})
+        assert out[0] is True
+
+
+class TestPartitionedProgram:
+    def test_duplicate_block_rejected(self):
+        program = PartitionedProgram(entry="a")
+        g = DataflowGraph()
+        g.add(0, Operation.CONST, init_data=1)
+        program.add_block(BasicBlock("a", g, [], [0]))
+        with pytest.raises(ConfigurationError):
+            program.add_block(BasicBlock("a", g, [], [0]))
+
+    def test_missing_block_lookup(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedProgram(entry="a").block("a")
+
+    def test_validate_missing_entry(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedProgram(entry="nope").validate()
+
+    def test_validate_dangling_successor(self):
+        program = PartitionedProgram(entry="a")
+        g = DataflowGraph()
+        g.add(0, Operation.CONST, init_data=1)
+        program.add_block(BasicBlock("a", g, [], [0], successors=[(None, "ghost")]))
+        with pytest.raises(ConfigurationError):
+            program.validate()

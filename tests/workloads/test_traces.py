@@ -1,0 +1,59 @@
+"""Unit tests for reference-trace generators."""
+
+import pytest
+
+from repro.ap.cache_model import hit_rate_for_capacity
+from repro.workloads.traces import geometric_reuse_trace, looping_trace, scan_trace
+
+
+class TestGeometricReuse:
+    def test_length_and_range(self):
+        trace = geometric_reuse_trace(200, 32, seed=1)
+        assert len(trace) == 200
+        assert all(0 <= t < 32 for t in trace)
+
+    def test_reproducible(self):
+        assert geometric_reuse_trace(100, 16, seed=5) == geometric_reuse_trace(
+            100, 16, seed=5
+        )
+
+    def test_higher_reuse_higher_hit_rate(self):
+        hot = geometric_reuse_trace(500, 64, p_reuse=0.95, seed=2)
+        cold = geometric_reuse_trace(500, 64, p_reuse=0.05, seed=2)
+        assert hit_rate_for_capacity(hot, 8) > hit_rate_for_capacity(cold, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_reuse_trace(-1, 8)
+        with pytest.raises(ValueError):
+            geometric_reuse_trace(10, 0)
+        with pytest.raises(ValueError):
+            geometric_reuse_trace(10, 8, p_reuse=1.5)
+
+
+class TestLoopingTrace:
+    def test_structure(self):
+        assert looping_trace(3, 2) == [0, 1, 2, 0, 1, 2]
+
+    def test_lru_pathology(self):
+        # capacity N hits everything after the first lap; N-1 hits nothing
+        trace = looping_trace(8, 10)
+        assert hit_rate_for_capacity(trace, 8) == pytest.approx(9 * 8 / 80)
+        assert hit_rate_for_capacity(trace, 7) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            looping_trace(0, 1)
+
+
+class TestScanTrace:
+    def test_no_reuse(self):
+        trace = scan_trace(50)
+        assert hit_rate_for_capacity(trace, 1000) == 0.0
+
+    def test_structure(self):
+        assert scan_trace(3) == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scan_trace(-1)

@@ -10,6 +10,8 @@ The package is organised by architectural layer (see DESIGN.md):
 * :mod:`repro.core` — the VLSI processor itself: scaling, states, IPC (§3)
 * :mod:`repro.workloads` — dataflow graphs, generators, example programs
 * :mod:`repro.analysis` — stack-distance / channel-usage analysis and reporting
+* :mod:`repro.telemetry` — counters/timers/event traces threaded through the
+  simulators' hot paths (``python -m repro fig3 --stats`` reports them)
 """
 
 from repro._version import __version__

@@ -5,6 +5,7 @@ Usage::
     python -m repro table 1          # Tables 1-3 (area budgets)
     python -m repro table 4          # Table 4 (APs / delay / GOPS)
     python -m repro fig3             # Figure 3 channel-demand series
+    python -m repro fig3 --workers 4 --stats  # parallel sweep + telemetry
     python -m repro chip --rows 8 --cols 8   # fabric summary
 
 The heavier experiments (Figures 1-7 with cycle-level simulation, the
@@ -18,6 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import telemetry
 from repro.analysis.reporting import format_series, format_table
 from repro.costmodel.areas import (
     control_objects_budget,
@@ -25,7 +27,6 @@ from repro.costmodel.areas import (
     physical_object_budget,
 )
 from repro.costmodel.performance import table4
-from repro.csd.simulator import sweep_locality
 
 __all__ = ["main"]
 
@@ -63,12 +64,26 @@ def _cmd_table(number: int) -> int:
     return 0
 
 
-def _cmd_fig3(n_objects: List[int], trials: int) -> int:
+def _cmd_fig3(
+    n_objects: List[int],
+    trials: int,
+    workers: Optional[int] = None,
+    stats: bool = False,
+) -> int:
+    from repro.csd.simulator import figure3_series
+
     localities = [1.0, 0.8, 0.6, 0.4, 0.2, 0.0]
+    if stats:
+        telemetry.reset()  # report only this sweep's counters
+    raw = figure3_series(
+        localities=localities,
+        n_trials=trials,
+        n_objects_list=n_objects,
+        workers=workers,
+    )
     series = {
         f"Nobject={n}": [
-            (p.locality_knob, p.used_channels)
-            for p in sweep_locality(n, localities, n_trials=trials)
+            (p.locality_knob, p.used_channels) for p in raw[n]
         ]
         for n in n_objects
     }
@@ -76,6 +91,15 @@ def _cmd_fig3(n_objects: List[int], trials: int) -> int:
         series, x_label="locality", y_label="used_channels",
         title="Figure 3: Locality versus Number of Used Channels",
     ))
+    if stats:
+        reg = telemetry.get_registry()
+        print()
+        print(
+            f"grants={reg.counter('csd.connect.grants').value}  "
+            f"blocks={reg.counter('csd.connect.blocks').value}  "
+            f"rollbacks={reg.counter('chained.connect.rollbacks').value}"
+        )
+        telemetry.TextSink(sys.stdout).emit(reg)
     return 0
 
 
@@ -109,6 +133,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--n-objects", type=int, nargs="+", default=[16, 64, 256]
     )
     p_fig3.add_argument("--trials", type=int, default=5)
+    p_fig3.add_argument(
+        "--workers", type=int, default=None,
+        help="fan locality points out over N worker processes "
+        "(bit-identical to the serial sweep)",
+    )
+    p_fig3.add_argument(
+        "--stats", action="store_true",
+        help="print the repro.telemetry summary (grants, blocks, "
+        "rollbacks, per-phase timings) after the sweep",
+    )
 
     p_chip = sub.add_parser("chip", help="summarise a fabric")
     p_chip.add_argument("--rows", type=int, default=8)
@@ -118,7 +152,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table":
         return _cmd_table(args.number)
     if args.command == "fig3":
-        return _cmd_fig3(args.n_objects, args.trials)
+        return _cmd_fig3(
+            args.n_objects, args.trials, workers=args.workers, stats=args.stats
+        )
     if args.command == "chip":
         return _cmd_chip(args.rows, args.cols)
     return 2  # pragma: no cover

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Sequence
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "format_telemetry"]
 
 
 def format_table(
@@ -52,6 +52,41 @@ def format_series(
         for x, y in series[key]:
             lines.append(f"  {x_label}={_cell(x):>8}  {y_label}={_cell(y)}")
     return "\n".join(lines)
+
+
+def format_telemetry(snapshot: Dict[str, Any], title: str = "") -> str:
+    """Render a telemetry registry snapshot as counter/timer tables.
+
+    Zero-valued instruments are elided so a sweep's summary shows only
+    the paths that actually fired.
+    """
+    sections: List[str] = []
+    counters = [
+        (name, value)
+        for name, value in snapshot.get("counters", {}).items()
+        if value
+    ]
+    if counters:
+        sections.append(
+            format_table(["Counter", "Count"], counters, title=title)
+        )
+    timers = [
+        (name, stats["calls"], f"{stats['total_s']:.4f}",
+         f"{stats['total_s'] / stats['calls'] * 1e3:.3f}")
+        for name, stats in snapshot.get("timers", {}).items()
+        if stats["calls"]
+    ]
+    if timers:
+        sections.append(
+            format_table(
+                ["Timer", "Calls", "Total [s]", "Mean [ms]"],
+                timers,
+                title="" if counters else title,
+            )
+        )
+    if not sections:
+        return f"{title}\n(no events recorded)" if title else "(no events recorded)"
+    return "\n\n".join(sections)
 
 
 def _cell(value: Any) -> str:

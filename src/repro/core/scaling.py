@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+from repro import telemetry
 from repro.errors import (
     ConfigurationError,
     RegionError,
@@ -54,19 +55,21 @@ class ScalingController:
         if extra_clusters < 1:
             raise ValueError("need at least one extra cluster")
         instance = self._inactive(name)
-        extension = self._find_extension(instance.region, extra_clusters)
-        if extension is None:
-            raise RegionError(
-                f"no free {extra_clusters}-cluster extension adjacent to "
-                f"{name!r}'s tail {instance.region.path[-1]}"
-            )
-        ext_region = path_region(extension)
-        self.vlsi.configurator.configure(ext_region, owner=name)
-        # chain the junction: old tail -> new head
-        tail, head = instance.region.path[-1], extension[0]
-        self.vlsi.fabric.chain_switch(tail, head).chain()
-        self.vlsi.fabric.shift_switch(tail, head).chain()
-        instance.region = Region(instance.region.path + tuple(extension))
+        with telemetry.scope("scaling.up_scale"):
+            extension = self._find_extension(instance.region, extra_clusters)
+            if extension is None:
+                raise RegionError(
+                    f"no free {extra_clusters}-cluster extension adjacent to "
+                    f"{name!r}'s tail {instance.region.path[-1]}"
+                )
+            ext_region = path_region(extension)
+            self.vlsi.configurator.configure(ext_region, owner=name)
+            # chain the junction: old tail -> new head
+            tail, head = instance.region.path[-1], extension[0]
+            self.vlsi.fabric.chain_switch(tail, head).chain()
+            self.vlsi.fabric.shift_switch(tail, head).chain()
+            instance.region = Region(instance.region.path + tuple(extension))
+        telemetry.counter("scaling.up_scales").inc()
         return instance
 
     def _find_extension(
@@ -116,17 +119,19 @@ class ScalingController:
                 f"dropping {drop_clusters} of {len(instance.region)} "
                 "clusters leaves nothing; destroy the processor instead"
             )
-        keep = instance.region.path[:-drop_clusters]
-        dropped = instance.region.path[-drop_clusters:]
-        # unchain the junction and the dropped sub-path, then free clusters
-        junction = (keep[-1], dropped[0])
-        self.vlsi.fabric.chain_switch(*junction).unchain()
-        self.vlsi.fabric.shift_switch(*junction).unchain()
-        if len(dropped) > 1:
-            self.vlsi.fabric.unchain_path(list(dropped))
-        for coord in dropped:
-            self.vlsi.fabric.cluster(coord).free()
-        instance.region = Region(keep)
+        with telemetry.scope("scaling.down_scale"):
+            keep = instance.region.path[:-drop_clusters]
+            dropped = instance.region.path[-drop_clusters:]
+            # unchain the junction and the dropped sub-path, then free clusters
+            junction = (keep[-1], dropped[0])
+            self.vlsi.fabric.chain_switch(*junction).unchain()
+            self.vlsi.fabric.shift_switch(*junction).unchain()
+            if len(dropped) > 1:
+                self.vlsi.fabric.unchain_path(list(dropped))
+            for coord in dropped:
+                self.vlsi.fabric.cluster(coord).free()
+            instance.region = Region(keep)
+        telemetry.counter("scaling.down_scales").inc()
         return instance
 
     # -- fusion / splitting ---------------------------------------------------
@@ -150,24 +155,26 @@ class ScalingController:
         name = fused_name or first
         if name != first and name != second and name in self.vlsi.processors:
             raise ConfigurationError(f"processor {name!r} already exists")
-        # chain the junction and unify ownership
-        self.vlsi.fabric.chain_switch(tail, head).chain()
-        self.vlsi.fabric.shift_switch(tail, head).chain()
-        for coord in b.region.path:
-            cluster = self.vlsi.fabric.cluster(coord)
-            cluster.free()
-            cluster.allocate(name)
-        if name != first:
-            for coord in a.region.path:
+        with telemetry.scope("scaling.fuse"):
+            # chain the junction and unify ownership
+            self.vlsi.fabric.chain_switch(tail, head).chain()
+            self.vlsi.fabric.shift_switch(tail, head).chain()
+            for coord in b.region.path:
                 cluster = self.vlsi.fabric.cluster(coord)
                 cluster.free()
                 cluster.allocate(name)
-        fused_region = Region(a.region.path + b.region.path)
-        del self.vlsi.processors[second]
-        del self.vlsi.processors[first]
-        fused = ProcessorInstance(name=name, region=fused_region)
-        fused.state.configure()
-        self.vlsi.processors[name] = fused
+            if name != first:
+                for coord in a.region.path:
+                    cluster = self.vlsi.fabric.cluster(coord)
+                    cluster.free()
+                    cluster.allocate(name)
+            fused_region = Region(a.region.path + b.region.path)
+            del self.vlsi.processors[second]
+            del self.vlsi.processors[first]
+            fused = ProcessorInstance(name=name, region=fused_region)
+            fused.state.configure()
+            self.vlsi.processors[name] = fused
+        telemetry.counter("scaling.fuses").inc()
         return fused
 
     def split(
@@ -189,22 +196,24 @@ class ScalingController:
                 raise ConfigurationError(f"processor {new!r} already exists")
         if head_name == tail_name:
             raise ConfigurationError("split halves need distinct names")
-        head_path = instance.region.path[:at]
-        tail_path = instance.region.path[at:]
-        junction = (head_path[-1], tail_path[0])
-        self.vlsi.fabric.chain_switch(*junction).unchain()
-        self.vlsi.fabric.shift_switch(*junction).unchain()
-        del self.vlsi.processors[name]
-        halves = []
-        for new_name, path in ((head_name, head_path), (tail_name, tail_path)):
-            for coord in path:
-                cluster = self.vlsi.fabric.cluster(coord)
-                cluster.free()
-                cluster.allocate(new_name)
-            inst = ProcessorInstance(name=new_name, region=Region(path))
-            inst.state.configure()
-            self.vlsi.processors[new_name] = inst
-            halves.append(inst)
+        with telemetry.scope("scaling.split"):
+            head_path = instance.region.path[:at]
+            tail_path = instance.region.path[at:]
+            junction = (head_path[-1], tail_path[0])
+            self.vlsi.fabric.chain_switch(*junction).unchain()
+            self.vlsi.fabric.shift_switch(*junction).unchain()
+            del self.vlsi.processors[name]
+            halves = []
+            for new_name, path in ((head_name, head_path), (tail_name, tail_path)):
+                for coord in path:
+                    cluster = self.vlsi.fabric.cluster(coord)
+                    cluster.free()
+                    cluster.allocate(new_name)
+                inst = ProcessorInstance(name=new_name, region=Region(path))
+                inst.state.configure()
+                self.vlsi.processors[new_name] = inst
+                halves.append(inst)
+        telemetry.counter("scaling.splits").inc()
         return halves[0], halves[1]
 
     # -- helpers -----------------------------------------------------------

@@ -20,6 +20,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import ChannelAllocationError, ConfigurationError, TopologyError
 from repro.csd.channels import Span
 from repro.csd.dynamic_csd import DynamicCSDNetwork
@@ -32,8 +33,12 @@ __all__ = ["CrossConnection", "ChainedCSD"]
 class CrossConnection:
     """A chaining that may cross segment junctions.
 
-    ``legs`` maps segment index → (channel, span) for every segment the
-    chaining occupies.
+    ``legs`` maps segment index → (channel, span) for every segment in
+    which the chaining actually occupies segments.  A terminal sitting
+    directly at the junction-adjacent edge of its segment crosses no
+    segments there and contributes no leg — a chaining between the two
+    objects immediately either side of a junction uses only the
+    junction itself and has no legs at all.
     """
 
     conn_id: int
@@ -103,9 +108,11 @@ class ChainedCSD:
         """Chain ``source=(segment, pos)`` to ``sink=(segment, pos)``.
 
         A cross-segment chaining needs every junction along the way
-        chained, and a free span in every crossed segment: from the
-        source to its segment's edge, whole intermediate segments, and
-        from the sink's segment edge to the sink.
+        chained, and a free span in every segment it actually crosses:
+        from the source to its segment's edge, whole intermediate
+        segments, and from the sink's segment edge to the sink.  A
+        terminal sitting directly at the junction-adjacent edge crosses
+        no segments in its own segment and consumes no channel there.
 
         Raises
         ------
@@ -127,6 +134,7 @@ class ChainedCSD:
                     f"junction {j} is unchained; segments {s_seg} and "
                     f"{k_seg} belong to different processors"
                 )
+        telemetry.counter("chained.connect.requests").inc()
         legs = self._legs(source, sink)
         made: List[Tuple[int, int, Span, Tuple[str, int]]] = []
         try:
@@ -143,9 +151,17 @@ class ChainedCSD:
                 net.pool[granted].occupy(span, leg_id)
                 made.append((seg_idx, granted, span, leg_id))
         except ChannelAllocationError:
+            telemetry.counter("chained.connect.blocks").inc()
+            if made:
+                telemetry.counter("chained.connect.rollbacks").inc(len(made))
+                telemetry.event(
+                    "chained.rollback", source=source, sink=sink,
+                    legs_rolled_back=len(made),
+                )
             for seg_idx, granted, _span, leg_id in made:
                 self.segments[seg_idx].pool[granted].release(leg_id)
             raise
+        telemetry.counter("chained.connect.grants").inc()
         conn_id = next(self._ids)
         conn = CrossConnection(
             conn_id,
@@ -166,6 +182,7 @@ class ChainedCSD:
             self.segments[seg_idx].pool[channel].release(leg_ids[seg_idx])
         del self._conns[conn.conn_id]
         del self._leg_ids[conn.conn_id]
+        telemetry.counter("chained.disconnects").inc()
 
     def _legs(
         self, source: Tuple[int, int], sink: Tuple[int, int]
@@ -177,16 +194,17 @@ class ChainedCSD:
             return {s_seg: Span.between(s_pos, k_pos)}
         (lo_seg, lo_pos), (hi_seg, hi_pos) = sorted([source, sink])
         legs: Dict[int, Span] = {}
-        # leg in the low segment: from the position to the high edge
+        # leg in the low segment: from the position to the high edge; a
+        # terminal already at the edge crosses no segments here at all
         lo_n = self.segments[lo_seg].n_objects
-        legs[lo_seg] = Span(lo_pos, lo_n - 1) if lo_pos < lo_n - 1 else Span(
-            lo_n - 2, lo_n - 1
-        )
+        if lo_pos < lo_n - 1:
+            legs[lo_seg] = Span(lo_pos, lo_n - 1)
         # whole intermediate segments
         for seg in range(lo_seg + 1, hi_seg):
             legs[seg] = Span(0, self.segments[seg].n_objects - 1)
         # leg in the high segment: from the low edge to the position
-        legs[hi_seg] = Span(0, hi_pos) if hi_pos > 0 else Span(0, 1)
+        if hi_pos > 0:
+            legs[hi_seg] = Span(0, hi_pos)
         return legs
 
     def _check_position(self, where: Tuple[int, int]) -> None:

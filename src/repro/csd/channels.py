@@ -52,7 +52,11 @@ class Span:
         return self.lo < other.hi and other.lo < self.hi
 
     def shifted(self, amount: int) -> "Span":
-        """The span after the occupying objects stack-shift by ``amount``."""
+        """The span after the occupying objects stack-shift by ``amount``.
+
+        Index 0 is the top of the stack, so shifting down the stack
+        *increases* both endpoints.
+        """
         return Span(self.lo + amount, self.hi + amount)
 
     def __len__(self) -> int:
@@ -130,21 +134,28 @@ class Channel:
         return used / self.n_segments
 
     def shift_all(self, amount: int) -> List[Hashable]:
-        """Stack-shift every occupant's span by ``amount``.
+        """Stack-shift every occupant's span ``amount`` positions down.
 
-        Spans pushed past the bottom of the array are evicted (their
-        objects fell off the stack) and their owners returned.
-        Because *all* spans shift together, relative order is preserved
-        and no collision can occur — the property section 2.6.2 notes
-        ("This approach is capable of stack-shifting from the top to the
-        bottom of the stack ... the decision to select the channel ...
-        [is] unnecessary for this sequence").
+        Convention: segment index 0 sits at the **top** of the stack and
+        index ``n_segments - 1`` at the **bottom**; the stack only ever
+        shifts top → bottom, so every span's indices *increase* by
+        ``amount``.  A span whose shifted interval would need a segment
+        at index ``n_segments`` or beyond has been pushed off the bottom
+        of the array — its objects left the stack — and is evicted; the
+        evicted owners are returned.  Because *all* spans shift
+        together, relative order is preserved and no collision can
+        occur — the property section 2.6.2 notes ("This approach is
+        capable of stack-shifting from the top to the bottom of the
+        stack ... the decision to select the channel ... [is]
+        unnecessary for this sequence").
         """
+        if amount < 0:
+            raise ValueError("the stack only shifts top -> bottom")
         evicted: List[Hashable] = []
         shifted: Dict[Hashable, Span] = {}
         for owner, span in self._occupants.items():
             new = span.shifted(amount)
-            if new.hi > self.n_segments or new.lo < 0:
+            if new.hi > self.n_segments:
                 evicted.append(owner)
             else:
                 shifted[owner] = new

@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import ChannelAllocationError
 from repro.csd.channels import ChannelPool, Span
 from repro.csd.priority_encoder import PriorityEncoder
@@ -117,11 +118,14 @@ class DynamicCSDNetwork:
         hi = max(source, *sinks)
         span = Span(lo, hi)
 
+        telemetry.counter("csd.connect.requests").inc()
         # step 1: broadcast — which channels does the request survive on?
         surviving = self.pool.free_channels_for(span)
         # step 2: the sink's priority encoder grants one
         granted = self.encoder.grant(surviving)
         if granted is None:
+            telemetry.counter("csd.connect.blocks").inc()
+            telemetry.event("csd.block", lo=span.lo, hi=span.hi)
             raise ChannelAllocationError(
                 f"no free channel for span [{span.lo},{span.hi}) "
                 f"({len(self.pool)} channels provisioned)"
@@ -129,6 +133,7 @@ class DynamicCSDNetwork:
         # step 3: store the grant (occupy the span; gates the data path)
         conn_id = next(self._ids)
         self.pool[granted].occupy(span, conn_id)
+        telemetry.counter("csd.connect.grants").inc()
         # step 4: ack back to the source — the connection object
         conn = Connection(conn_id, granted, source, tuple(sinks), span)
         self._connections[conn_id] = conn
@@ -140,24 +145,34 @@ class DynamicCSDNetwork:
             raise ChannelAllocationError(f"unknown connection {conn.conn_id}")
         self.pool[conn.channel].release(conn.conn_id)
         del self._connections[conn.conn_id]
+        telemetry.counter("csd.disconnects").inc()
 
     # -- stack shift -----------------------------------------------------
 
     def stack_shift(self, amount: int = 1) -> List[Connection]:
         """Shift every live connection ``amount`` positions down the stack.
 
-        Connections whose spans fall off the bottom are evicted (their
-        objects left the array) and returned.  Section 2.6.2: no channel
-        re-selection happens — each span slides along its own channel.
+        Convention (shared with :meth:`repro.csd.channels.Channel.shift_all`):
+        position 0 is the **top** of the stack and position ``n_objects-1``
+        the **bottom**, so a shift down the stack *increases* every
+        position/segment index by ``amount``.  A connection is evicted
+        exactly when its objects leave the array off the bottom — i.e.
+        when its shifted span would need a segment at index
+        ``n_segments`` or beyond.  Evicted connections are returned.
+        Section 2.6.2: no channel re-selection happens — each surviving
+        span slides along its own channel.
         """
         if amount < 0:
             raise ValueError("the stack only shifts top -> bottom")
         if amount == 0:
             return []
+        telemetry.counter("csd.shifts").inc()
         evicted: List[Connection] = []
         for channel in self.pool:
             for conn_id in channel.shift_all(amount):
                 evicted.append(self._connections.pop(conn_id))
+        if evicted:
+            telemetry.counter("csd.shift.evictions").inc(len(evicted))
         # rebuild surviving connection records with shifted positions
         for conn_id, conn in list(self._connections.items()):
             new_span = channel_span = self.pool[conn.channel].span_of(conn_id)

@@ -14,17 +14,27 @@ headline findings to reproduce are
 * "Nobject channels were not used", and
 * "Nobject/2 channels are sufficient for the random datapath",
 * higher locality uses fewer channels.
+
+Figure-3-scale sweeps (hundreds of trials across five array sizes) can
+fan out over a process pool: both :func:`sweep_locality` and
+:func:`figure3_series` take ``workers=``.  Trials are chunked by
+locality point, every trial derives its seed from the sweep seed alone,
+and worker processes ship their telemetry snapshots back with the
+results — so the parallel path is **bit-identical** to the serial one
+and loses no observability.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
+from repro.errors import ChannelAllocationError
 from repro.csd.dynamic_csd import DynamicCSDNetwork
-from repro.csd.locality import ChainingRequest, LocalityWorkload
+from repro.csd.locality import LocalityWorkload
 
 __all__ = [
     "SimulationResult",
@@ -79,6 +89,8 @@ class CSDSimulator:
         operand chain) so nothing is artificially blocked; requests
         whose exact span is already saturated on *every* channel are
         counted as ``blocked`` (with that provisioning this stays 0).
+        Only :class:`ChannelAllocationError` counts as a block — any
+        other exception is a logic bug and propagates.
 
         ``two_source`` switches to §2.6.2's set-aside two-source model:
         each sink chains two operands, roughly doubling channel demand.
@@ -92,14 +104,16 @@ class CSDSimulator:
         n_channels = 2 * self.n_objects if two_source else self.n_objects
         net = DynamicCSDNetwork(self.n_objects, n_channels=n_channels)
         blocked = 0
-        for req in requests:
-            for source in req.sources:
-                if source == req.sink:  # cannot happen by construction
-                    continue
-                try:
-                    net.connect(source, req.sink)
-                except Exception:
-                    blocked += 1
+        telemetry.counter("fig3.trials").inc()
+        with telemetry.scope("fig3.trial"):
+            for req in requests:
+                for source in req.sources:
+                    if source == req.sink:  # cannot happen by construction
+                        continue
+                    try:
+                        net.connect(source, req.sink)
+                    except ChannelAllocationError:
+                        blocked += 1
         return SimulationResult(
             n_objects=self.n_objects,
             locality_knob=locality,
@@ -127,38 +141,87 @@ class CSDSimulator:
         return float(np.mean([r.used_channels for r in results]))
 
 
+# -- sweep engine -----------------------------------------------------------
+
+
+def _sweep_point(
+    n_objects: int, locality: float, n_trials: int, seed: int
+) -> SimulationResult:
+    """One averaged Figure 3 point — the unit of work both the serial
+    and the parallel sweep paths share, so their outputs are identical
+    by construction: every trial's seed derives only from ``seed`` and
+    the trial index, never from execution order."""
+    with telemetry.scope("fig3.point"):
+        sim = CSDSimulator(n_objects, seed=seed)
+        trials = sim.run_many(locality, n_trials)
+    return SimulationResult(
+        n_objects=n_objects,
+        locality_knob=locality,
+        realized_locality=float(
+            np.mean([t.realized_locality for t in trials])
+        ),
+        used_channels=int(round(np.mean([t.used_channels for t in trials]))),
+        highest_channel=int(
+            round(np.mean([t.highest_channel for t in trials]))
+        ),
+        requests=trials[0].requests,
+        blocked=int(round(np.mean([t.blocked for t in trials]))),
+    )
+
+
+def _point_task(
+    task: Tuple[int, float, int, int]
+) -> Tuple[SimulationResult, Dict[str, Any]]:
+    """Worker-process entry: run one point and ship the telemetry delta
+    back with it.  The registry is reset first because a forked worker
+    inherits the parent's counts and must report only its own."""
+    n_objects, locality, n_trials, seed = task
+    telemetry.reset()
+    point = _sweep_point(n_objects, locality, n_trials, seed)
+    return point, telemetry.snapshot()
+
+
+def _run_points_parallel(
+    tasks: List[Tuple[int, float, int, int]], workers: int
+) -> List[SimulationResult]:
+    """Fan ``tasks`` (one per locality point) over a process pool.
+
+    Results come back in task order (``Executor.map``), and worker
+    telemetry snapshots are folded into this process's registry so a
+    parallel sweep reports the same grant/block counters a serial one
+    would.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    points: List[SimulationResult] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for point, snap in pool.map(_point_task, tasks):
+            telemetry.merge(snap)
+            points.append(point)
+    return points
+
+
 def sweep_locality(
     n_objects: int,
     localities: Sequence[float],
     n_trials: int = 10,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> List[SimulationResult]:
     """One averaged point per locality value — a single Figure 3 curve.
 
     The returned results carry the *mean* used-channel count of
     ``n_trials`` independent trials (rounded to the nearest integer for
     ``used_channels``), so curves are smooth enough to compare.
+
+    ``workers`` > 1 fans the locality points out over a process pool;
+    the output is bit-identical to the serial path (trial seeds depend
+    only on ``seed`` and the trial index).
     """
-    sim = CSDSimulator(n_objects, seed=seed)
-    points: List[SimulationResult] = []
-    for loc in localities:
-        trials = sim.run_many(loc, n_trials)
-        points.append(
-            SimulationResult(
-                n_objects=n_objects,
-                locality_knob=loc,
-                realized_locality=float(
-                    np.mean([t.realized_locality for t in trials])
-                ),
-                used_channels=int(round(np.mean([t.used_channels for t in trials]))),
-                highest_channel=int(
-                    round(np.mean([t.highest_channel for t in trials]))
-                ),
-                requests=trials[0].requests,
-                blocked=int(round(np.mean([t.blocked for t in trials]))),
-            )
-        )
-    return points
+    tasks = [(n_objects, loc, n_trials, seed) for loc in localities]
+    if workers is not None and workers > 1:
+        return _run_points_parallel(tasks, workers)
+    return [_sweep_point(*task) for task in tasks]
 
 
 def figure3_series(
@@ -166,14 +229,30 @@ def figure3_series(
     n_trials: int = 10,
     seed: int = 42,
     n_objects_list: Sequence[int] = FIGURE3_NOBJECTS,
+    workers: Optional[int] = None,
 ) -> Dict[int, List[SimulationResult]]:
     """The full Figure 3 data set: one locality-swept curve per N.
 
     Returns ``{n_objects: [SimulationResult, ...]}`` with locality running
     from most local (left of the paper's plot) to fully random (right).
+
+    ``workers`` > 1 runs every (N, locality) point of the whole series
+    through one shared process pool, chunked by locality point, with
+    output bit-identical to the serial path.
     """
     if localities is None:
         localities = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0]
+    if workers is not None and workers > 1:
+        tasks = [
+            (n, loc, n_trials, seed)
+            for n in n_objects_list
+            for loc in localities
+        ]
+        points = _run_points_parallel(tasks, workers)
+        series: Dict[int, List[SimulationResult]] = {}
+        for point in points:
+            series.setdefault(point.n_objects, []).append(point)
+        return series
     return {
         n: sweep_locality(n, localities, n_trials=n_trials, seed=seed)
         for n in n_objects_list

@@ -13,6 +13,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import RoutingError, SimulationError
 from repro.noc.flit import Flit, Packet
 from repro.noc.router import Router
@@ -132,6 +133,12 @@ class RouterNetwork:
                     movements += 1
                 # else: stall this worm for a cycle
         self.cycle_count += 1
+        telemetry.counter("noc.cycles").inc()
+        if movements:
+            telemetry.counter("noc.flit_moves").inc(movements)
+        stalled = len(proposals) - movements
+        if stalled:
+            telemetry.counter("noc.stalls").inc(stalled)
         return movements
 
     def run_until_drained(self, max_cycles: int = 100_000) -> int:
@@ -167,15 +174,19 @@ class RouterNetwork:
         self._arrived_flits[pid] = self._arrived_flits.get(pid, 0) + 1
         packet = self._packet_meta[pid]
         if self._arrived_flits[pid] == len(packet):
-            self.delivered.append(
-                DeliveryRecord(
-                    packet_id=pid,
-                    src=packet.src,
-                    dst=packet.dst,
-                    injected_at=self._inject_time[pid],
-                    delivered_at=self.cycle_count,
-                    n_flits=len(packet),
-                )
+            record = DeliveryRecord(
+                packet_id=pid,
+                src=packet.src,
+                dst=packet.dst,
+                injected_at=self._inject_time[pid],
+                delivered_at=self.cycle_count,
+                n_flits=len(packet),
+            )
+            self.delivered.append(record)
+            telemetry.counter("noc.packets.delivered").inc()
+            telemetry.event(
+                "noc.delivered", packet_id=pid, latency=record.latency,
+                hops=record.hops, n_flits=record.n_flits,
             )
 
     # -- state queries -----------------------------------------------------

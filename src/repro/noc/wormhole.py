@@ -26,6 +26,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import AllocationConflictError, DefectError, RegionError
 from repro.noc.flit import make_packet
 from repro.noc.network import RouterNetwork
@@ -99,22 +100,30 @@ class WormholeConfigurator:
         """
         op_id = next(_op_ids)
         worm_token = ("worm", op_id)
-        self._reserve(region, worm_token)
+        with telemetry.scope("wormhole.reserve"):
+            self._reserve(region, worm_token)
         try:
-            if self.network is not None:
-                # phase 2a: take ownership, then let the worm's payload
-                # flits program the switches as they eject (§3.3)
-                for coord in region.path:
-                    self.fabric.cluster(coord).allocate(owner)
-                cycles, switches = self._deliver_worm(region)
-                self._verify_chained(region)
-                self._release_flags(region, worm_token)
-            else:
-                switches = self._commit(region, owner, worm_token)
-                cycles = 0
+            with telemetry.scope("wormhole.commit"):
+                if self.network is not None:
+                    # phase 2a: take ownership, then let the worm's payload
+                    # flits program the switches as they eject (§3.3)
+                    for coord in region.path:
+                        self.fabric.cluster(coord).allocate(owner)
+                    cycles, switches = self._deliver_worm(region)
+                    self._verify_chained(region)
+                    self._release_flags(region, worm_token)
+                else:
+                    switches = self._commit(region, owner, worm_token)
+                    cycles = 0
         except Exception:
+            telemetry.counter("wormhole.aborts").inc()
+            telemetry.event(
+                "wormhole.abort", op_id=op_id, region_head=region.path[0]
+            )
             self._abort(region, worm_token)
             raise
+        telemetry.counter("wormhole.configures").inc()
+        telemetry.counter("wormhole.switches_programmed").inc(switches)
         return ScalingOperation(op_id, owner, region, cycles, switches)
 
     def _reserve(self, region: Region, token: Hashable) -> None:
@@ -139,7 +148,9 @@ class WormholeConfigurator:
                 a, b = region.path[-1], region.path[0]
                 self.fabric.chain_switch(a, b).reserve(token)
                 taken.append((a, b))
-        except Exception:
+        except Exception as exc:
+            if isinstance(exc, AllocationConflictError):
+                telemetry.counter("wormhole.reserve.conflicts").inc()
             for a, b in taken:
                 self.fabric.chain_switch(a, b).release_reservation(token)
             raise

@@ -1,0 +1,92 @@
+"""repro.telemetry — counters, timers, and event traces for the simulators.
+
+The interconnect papers this reproduction leans on (Epiphany-V, the
+Distributed Network Processor) evaluate their networks with instrumented
+simulation: every grant, block and rollback is counted, every phase
+timed.  This package gives :mod:`repro` the same substrate.
+
+Two usage styles:
+
+* **Module-level** (the hot paths): ``telemetry.counter("csd.connect.grants").inc()``
+  talks to one process-wide default :class:`Registry`.  This is what the
+  CSD networks, the NoC, and the scaling controller use, and what
+  ``python -m repro fig3 --stats`` reports.
+* **Instance-level**: build your own :class:`Registry` for an isolated
+  measurement and pass it around explicitly.
+
+Snapshots are plain picklable dicts; a parallel sweep's worker processes
+return ``snapshot()`` next to their results and the parent folds them in
+with :func:`merge` — so ``--workers N`` loses no observability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.telemetry.events import Event, EventTrace
+from repro.telemetry.metrics import Counter, Scope, Timer
+from repro.telemetry.registry import Registry
+from repro.telemetry.sinks import JSONSink, Sink, TextSink
+
+__all__ = [
+    "Counter",
+    "Timer",
+    "Scope",
+    "Event",
+    "EventTrace",
+    "Registry",
+    "Sink",
+    "TextSink",
+    "JSONSink",
+    "get_registry",
+    "counter",
+    "timer",
+    "event",
+    "scope",
+    "snapshot",
+    "merge",
+    "reset",
+    "summary",
+]
+
+#: The process-wide default registry the library's hot paths write to.
+_default = Registry("repro")
+
+
+def get_registry() -> Registry:
+    """The process-wide default registry."""
+    return _default
+
+
+def counter(name: str) -> Counter:
+    return _default.counter(name)
+
+
+def timer(name: str) -> Timer:
+    return _default.timer(name)
+
+
+def event(name: str, **fields: Any) -> None:
+    _default.event(name, **fields)
+
+
+def scope(name: str) -> Scope:
+    """``with telemetry.scope("phase"):`` — time a block into the default
+    registry's timer of that name."""
+    return Scope(_default.timer(name))
+
+
+def snapshot() -> Dict[str, Any]:
+    return _default.snapshot()
+
+
+def merge(snap: Dict[str, Any]) -> None:
+    _default.merge(snap)
+
+
+def reset() -> None:
+    _default.reset()
+
+
+def summary() -> str:
+    return _default.summary()

@@ -1,0 +1,94 @@
+"""Counters and timers — the primitive telemetry instruments.
+
+A :class:`Counter` is a monotonically increasing event tally (grants,
+blocks, rollbacks, flit movements); a :class:`Timer` accumulates wall
+time over repeated invocations of one phase (reserve, commit, a Figure 3
+trial).  Both are deliberately tiny — a handful of attribute updates —
+so they can sit on the simulator's hottest paths without distorting the
+measurements they exist to provide.
+
+:class:`Scope` is the context manager that feeds a :class:`Timer`::
+
+    with Scope(registry.timer("fig3.trial")):
+        run_trial(...)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+__all__ = ["Counter", "Timer", "Scope"]
+
+
+class Counter:
+    """A named, monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only count up")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Timer:
+    """Accumulated wall time and call count for one named phase."""
+
+    __slots__ = ("name", "total_s", "calls")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_s = 0.0
+        self.calls = 0
+
+    def add(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("elapsed time cannot be negative")
+        self.total_s += seconds
+        self.calls += 1
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def reset(self) -> None:
+        self.total_s = 0.0
+        self.calls = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer({self.name!r}, total_s={self.total_s:.6f}, calls={self.calls})"
+
+
+class Scope:
+    """Context manager timing one block into a :class:`Timer`.
+
+    The elapsed time is recorded whether or not the block raises, so
+    failed phases (an aborted scaling worm, a blocked chaining) still
+    show up in the per-phase totals.
+    """
+
+    __slots__ = ("timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self.timer = timer
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Scope":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None
+        self.timer.add(time.perf_counter() - self._start)
+        self._start = None

@@ -1,0 +1,83 @@
+"""The telemetry registry: named instruments under one namespace.
+
+One :class:`Registry` holds every counter, timer and the event trace for
+a component (by convention instrument names are dotted paths like
+``csd.connect.grants``).  Snapshots are plain dicts, so they cross
+process boundaries — a parallel sweep's worker processes each run their
+own registry, ship ``snapshot()`` back with the results, and the parent
+folds them in with :meth:`Registry.merge`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.telemetry.events import EventTrace
+from repro.telemetry.metrics import Counter, Timer
+
+__all__ = ["Registry"]
+
+
+class Registry:
+    """A namespace of counters, timers, and one event trace."""
+
+    def __init__(self, name: str = "repro", trace_capacity: int = 1024) -> None:
+        self.name = name
+        self.counters: Dict[str, Counter] = {}
+        self.timers: Dict[str, Timer] = {}
+        self.trace = EventTrace(trace_capacity)
+
+    # -- instrument access (get-or-create) --------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def timer(self, name: str) -> Timer:
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = Timer(name)
+        return timer
+
+    def event(self, name: str, **fields: Any) -> None:
+        self.trace.record(name, **fields)
+
+    # -- snapshot / merge / reset -----------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Pickle-able state of every instrument (events excluded — they
+        stay local to the process that recorded them)."""
+        return {
+            "name": self.name,
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "timers": {
+                n: {"total_s": t.total_s, "calls": t.calls}
+                for n, t in sorted(self.timers.items())
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's snapshot into this one (additive)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, stats in snapshot.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.total_s += stats["total_s"]
+            timer.calls += stats["calls"]
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+        for timer in self.timers.values():
+            timer.reset()
+        self.trace.clear()
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable tables of every non-zero instrument."""
+        from repro.analysis.reporting import format_telemetry
+
+        return format_telemetry(self.snapshot(), title=f"telemetry [{self.name}]")

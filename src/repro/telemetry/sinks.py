@@ -1,0 +1,49 @@
+"""Pluggable output sinks for telemetry registries.
+
+A sink consumes a :class:`~repro.telemetry.registry.Registry` and emits
+it somewhere — a text stream for humans, a JSON stream/file for the
+benchmark harness and CI artifacts.  New sinks subclass :class:`Sink`
+and implement :meth:`Sink.emit`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Optional
+
+from repro.telemetry.registry import Registry
+
+__all__ = ["Sink", "TextSink", "JSONSink"]
+
+
+class Sink:
+    """Interface: consume one registry, emit it somewhere."""
+
+    def emit(self, registry: Registry) -> None:
+        raise NotImplementedError
+
+
+class TextSink(Sink):
+    """Writes the registry's human-readable summary to a stream."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+
+    def emit(self, registry: Registry) -> None:
+        self.stream.write(registry.summary() + "\n")
+
+
+class JSONSink(Sink):
+    """Writes the registry snapshot (plus retained events) as JSON."""
+
+    def __init__(self, stream: Optional[IO[str]] = None, indent: int = 2) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self.indent = indent
+
+    def emit(self, registry: Registry) -> None:
+        payload = registry.snapshot()
+        payload["events"] = registry.trace.as_dicts()
+        payload["events_dropped"] = registry.trace.dropped
+        json.dump(payload, self.stream, indent=self.indent, default=str)
+        self.stream.write("\n")

@@ -86,6 +86,52 @@ class TestCrossSegment:
             fused.connect((1, 1), (1, 1))
 
 
+class TestEdgeAdjacentLegs:
+    """Regression: terminals directly at a junction edge must not occupy
+    phantom spans in their own segment (they cross no segments there)."""
+
+    def test_source_at_junction_edge_has_no_leg_in_own_segment(self):
+        net = ChainedCSD([8, 8], n_channels=4)
+        conn = net.connect((0, 7), (1, 3))
+        assert set(conn.legs) == {1}
+        assert net.used_channels_per_segment() == [0, 1]
+
+    def test_sink_at_junction_edge_has_no_leg_in_own_segment(self):
+        net = ChainedCSD([8, 8], n_channels=4)
+        conn = net.connect((0, 3), (1, 0))
+        assert set(conn.legs) == {0}
+        assert net.used_channels_per_segment() == [1, 0]
+        channel, span = conn.legs[0]
+        assert (span.lo, span.hi) == (3, 7)
+
+    def test_junction_neighbours_consume_no_channels(self):
+        # Chaining the two objects either side of a junction uses only
+        # the junction itself; before the fix the phantom spans consumed
+        # a channel segment in *both* segments.
+        net = ChainedCSD([8, 8], n_channels=1)
+        net.connect((0, 0), (0, 7))  # saturate segment 0's only channel
+        net.connect((1, 0), (1, 7))  # saturate segment 1's only channel
+        conn = net.connect((0, 7), (1, 0))  # previously: spurious block
+        assert conn.legs == {}
+        assert conn.crosses_junction
+        net.disconnect(conn)
+
+    def test_edge_legs_do_not_inflate_demand(self):
+        # One edge-adjacent chaining must leave the source segment's
+        # channels untouched for a full-span local chaining.
+        net = ChainedCSD([8, 8], n_channels=1)
+        net.connect((0, 7), (1, 4))
+        net.connect((0, 0), (0, 7))  # needs segment 0 entirely free
+        assert net.used_channels_per_segment() == [1, 1]
+
+    def test_intermediate_segments_still_fully_occupied(self):
+        net = ChainedCSD([8, 8, 8], n_channels=4)
+        conn = net.connect((0, 7), (2, 0))
+        assert set(conn.legs) == {1}
+        channel, span = conn.legs[1]
+        assert (span.lo, span.hi) == (0, 7)
+
+
 class TestParallelWSRFSearch:
     def test_search_across_segments(self, fused):
         wsrfs = [WSRF(), WSRF(), WSRF()]

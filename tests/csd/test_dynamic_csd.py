@@ -130,6 +130,28 @@ class TestStackShift:
         with pytest.raises(ValueError):
             DynamicCSDNetwork(8).stack_shift(-1)
 
+    def test_edge_connection_evicted_exactly_when_objects_leave(self):
+        # Convention regression: index 0 is the top of the stack; a shift
+        # moves objects toward the bottom (indices increase) and evicts a
+        # connection exactly when its objects pass the bottom edge.
+        net = DynamicCSDNetwork(8)  # positions 0..7, segments 0..6
+        net.connect(5, 6)  # span [5,6)
+        assert net.stack_shift(1) == []  # sink now at bottom position 7
+        (conn,) = net.connections
+        assert (conn.source, conn.sink) == (6, 7)
+        evicted = net.stack_shift(1)  # objects would leave the array
+        assert len(evicted) == 1
+        assert net.connections == ()
+
+    def test_top_connection_survives_full_descent(self):
+        # A connection entering at the top survives n_objects - span - 1
+        # shifts, then leaves off the bottom.
+        net = DynamicCSDNetwork(8)
+        net.connect(0, 1)  # span [0,1) at the top
+        for _ in range(6):  # positions walk 0..6 -> 6..7
+            assert net.stack_shift(1) == []
+        assert len(net.stack_shift(1)) == 1
+
     def test_many_connections_shift_coherently(self):
         net = DynamicCSDNetwork(32)
         conns = [net.connect(i * 4, i * 4 + 2) for i in range(6)]

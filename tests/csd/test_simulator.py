@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.csd.locality import ChainingRequest, LocalityWorkload
 from repro.csd.simulator import (
     CSDSimulator,
     FIGURE3_NOBJECTS,
@@ -38,6 +39,16 @@ class TestSingleTrial:
     def test_rejects_tiny_array(self):
         with pytest.raises(ValueError):
             CSDSimulator(1)
+
+    def test_malformed_request_propagates(self, monkeypatch):
+        # Regression: a bare ``except Exception`` used to count logic
+        # bugs as "blocked"; only ChannelAllocationError is a block.
+        bad = [ChainingRequest(sink=2, source=99)]  # source out of range
+        monkeypatch.setattr(
+            LocalityWorkload, "requests", lambda self, n_requests=None: bad
+        )
+        with pytest.raises(ValueError):
+            CSDSimulator(8, seed=1).run_trial(0.5)
 
 
 class TestPaperFindings:
@@ -95,3 +106,39 @@ class TestFigure3Series:
             localities=[0.0], n_trials=3, n_objects_list=(16, 64)
         )
         assert series[64][0].used_channels > series[16][0].used_channels
+
+
+class TestParallelSweep:
+    """The ``workers=`` fan-out must be bit-identical to the serial path."""
+
+    def test_sweep_locality_parallel_matches_serial(self):
+        localities = [1.0, 0.6, 0.2, 0.0]
+        serial = sweep_locality(32, localities, n_trials=4, seed=11)
+        parallel = sweep_locality(32, localities, n_trials=4, seed=11, workers=2)
+        assert serial == parallel
+
+    def test_figure3_series_parallel_matches_serial(self):
+        kwargs = dict(
+            localities=[1.0, 0.5, 0.0], n_trials=3, seed=9,
+            n_objects_list=(16, 32),
+        )
+        serial = figure3_series(**kwargs)
+        parallel = figure3_series(workers=2, **kwargs)
+        assert serial == parallel
+
+    def test_workers_one_stays_serial(self):
+        localities = [0.5, 0.0]
+        assert sweep_locality(16, localities, n_trials=2, workers=1) == \
+            sweep_locality(16, localities, n_trials=2)
+
+    def test_parallel_sweep_merges_worker_telemetry(self):
+        from repro import telemetry
+
+        telemetry.reset()
+        sweep_locality(16, [0.5, 0.0], n_trials=2, seed=3, workers=2)
+        snap = telemetry.snapshot()
+        # 2 points x 2 trials x 15 requests, counted in the workers and
+        # folded back into this process's registry
+        assert snap["counters"]["fig3.trials"] == 4
+        assert snap["counters"]["csd.connect.grants"] == 60
+        telemetry.reset()

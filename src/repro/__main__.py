@@ -6,6 +6,8 @@ Usage::
     python -m repro table 4          # Table 4 (APs / delay / GOPS)
     python -m repro fig3             # Figure 3 channel-demand series
     python -m repro fig3 --workers 4 --stats  # parallel sweep + telemetry
+    python -m repro fig3 --trace out.json     # Perfetto-loadable span trace
+    python -m repro trace-report out.json     # critical path / latencies
     python -m repro chip --rows 8 --cols 8   # fabric summary
 
 The heavier experiments (Figures 1-7 with cycle-level simulation, the
@@ -19,7 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import telemetry
+from repro import __version__, telemetry
 from repro.analysis.reporting import format_series, format_table
 from repro.costmodel.areas import (
     control_objects_budget,
@@ -69,18 +71,35 @@ def _cmd_fig3(
     trials: int,
     workers: Optional[int] = None,
     stats: bool = False,
+    seed: int = 42,
+    trace: Optional[str] = None,
 ) -> int:
     from repro.csd.simulator import figure3_series
 
     localities = [1.0, 0.8, 0.6, 0.4, 0.2, 0.0]
-    if stats:
-        telemetry.reset()  # report only this sweep's counters
-    raw = figure3_series(
-        localities=localities,
-        n_trials=trials,
-        n_objects_list=n_objects,
-        workers=workers,
-    )
+    if stats or trace:
+        # reproducibility banner: everything needed to reconstruct this
+        # run (the sweep derives every trial seed from these alone)
+        print(
+            f"repro {__version__} fig3: seed={seed} trials={trials} "
+            f"workers={workers if workers else 1} "
+            f"n_objects={','.join(str(n) for n in n_objects)} "
+            f"localities={','.join(f'{x:g}' for x in localities)}"
+        )
+        telemetry.reset()  # report only this sweep's counters/spans
+    if trace:
+        telemetry.enable_tracing()
+    try:
+        raw = figure3_series(
+            localities=localities,
+            n_trials=trials,
+            n_objects_list=n_objects,
+            seed=seed,
+            workers=workers,
+        )
+    finally:
+        if trace:
+            telemetry.enable_tracing(False)
     series = {
         f"Nobject={n}": [
             (p.locality_knob, p.used_channels) for p in raw[n]
@@ -91,6 +110,14 @@ def _cmd_fig3(
         series, x_label="locality", y_label="used_channels",
         title="Figure 3: Locality versus Number of Used Channels",
     ))
+    if trace:
+        from repro.telemetry.export import write_chrome_trace
+
+        n_spans = write_chrome_trace(telemetry.tracer(), trace)
+        print(
+            f"wrote {n_spans} spans to {trace} "
+            "(load it at https://ui.perfetto.dev or chrome://tracing)"
+        )
     if stats:
         reg = telemetry.get_registry()
         print()
@@ -100,6 +127,18 @@ def _cmd_fig3(
             f"rollbacks={reg.counter('chained.connect.rollbacks').value}"
         )
         telemetry.TextSink(sys.stdout).emit(reg)
+    return 0
+
+
+def _cmd_trace_report(path: str) -> int:
+    from repro.telemetry.analysis import format_trace_report, load_chrome_trace
+
+    try:
+        spans = load_chrome_trace(path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read trace {path!r}: {exc}", file=sys.stderr)
+        return 2
+    print(format_trace_report(spans))
     return 0
 
 
@@ -123,6 +162,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Reproduction of Takano's Very Large-Scale Integrated "
         "Processor (IJNC 2013)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_table = sub.add_parser("table", help="print a paper table (1-4)")
@@ -143,6 +185,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print the repro.telemetry summary (grants, blocks, "
         "rollbacks, per-phase timings) after the sweep",
     )
+    p_fig3.add_argument(
+        "--seed", type=int, default=42,
+        help="sweep seed every trial seed derives from (default 42)",
+    )
+    p_fig3.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record causal spans (request/grant/ack, per-trial) and "
+        "write a Perfetto-loadable Chrome-trace JSON file",
+    )
+
+    p_report = sub.add_parser(
+        "trace-report",
+        help="analyse a --trace file: critical path, p50/p95/p99 phase "
+        "latencies, blocking hotspots",
+    )
+    p_report.add_argument("trace_file", help="JSON file written by --trace")
 
     p_chip = sub.add_parser("chip", help="summarise a fabric")
     p_chip.add_argument("--rows", type=int, default=8)
@@ -153,8 +211,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_table(args.number)
     if args.command == "fig3":
         return _cmd_fig3(
-            args.n_objects, args.trials, workers=args.workers, stats=args.stats
+            args.n_objects, args.trials, workers=args.workers,
+            stats=args.stats, seed=args.seed, trace=args.trace,
         )
+    if args.command == "trace-report":
+        return _cmd_trace_report(args.trace_file)
     if args.command == "chip":
         return _cmd_chip(args.rows, args.cols)
     return 2  # pragma: no cover

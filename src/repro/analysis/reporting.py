@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Sequence
 
+from repro.telemetry.metrics import Histogram
+
 __all__ = ["format_table", "format_series", "format_telemetry"]
 
 
@@ -81,8 +83,30 @@ def format_telemetry(snapshot: Dict[str, Any], title: str = "") -> str:
             format_table(
                 ["Timer", "Calls", "Total [s]", "Mean [ms]"],
                 timers,
-                title="" if counters else title,
+                title="" if sections else title,
             )
+        )
+    histograms = [
+        (name, hist.count, hist.p50, hist.p95, hist.p99, hist.max)
+        for name, hist in (
+            (name, Histogram(name, values))
+            for name, values in snapshot.get("histograms", {}).items()
+        )
+        if hist.count
+    ]
+    if histograms:
+        sections.append(
+            format_table(
+                ["Histogram", "Count", "p50", "p95", "p99", "Max"],
+                histograms,
+                title="" if sections else title,
+            )
+        )
+    dropped = snapshot.get("events_dropped", 0)
+    if dropped:
+        sections.append(
+            f"events dropped: {dropped} (ring buffer full — "
+            "older events were discarded)"
         )
     if not sections:
         return f"{title}\n(no events recorded)" if title else "(no events recorded)"

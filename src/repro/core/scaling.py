@@ -55,7 +55,11 @@ class ScalingController:
         if extra_clusters < 1:
             raise ValueError("need at least one extra cluster")
         instance = self._inactive(name)
-        with telemetry.scope("scaling.up_scale"):
+        tracer = telemetry.tracer()
+        with telemetry.scope("scaling.up_scale"), tracer.span(
+            "scaling.up_scale", kind="scaling",
+            processor=name, extra_clusters=extra_clusters,
+        ):
             extension = self._find_extension(instance.region, extra_clusters)
             if extension is None:
                 raise RegionError(
@@ -69,6 +73,12 @@ class ScalingController:
             self.vlsi.fabric.chain_switch(tail, head).chain()
             self.vlsi.fabric.shift_switch(tail, head).chain()
             instance.region = Region(instance.region.path + tuple(extension))
+            if tracer.enabled:
+                tracer.instant(
+                    "scaling.junction.chained",
+                    tail=str(tail), head=str(head),
+                )
+                tracer.advance()
         telemetry.counter("scaling.up_scales").inc()
         return instance
 
@@ -119,7 +129,13 @@ class ScalingController:
                 f"dropping {drop_clusters} of {len(instance.region)} "
                 "clusters leaves nothing; destroy the processor instead"
             )
-        with telemetry.scope("scaling.down_scale"):
+        tracer = telemetry.tracer()
+        with telemetry.scope("scaling.down_scale"), tracer.span(
+            "scaling.down_scale", kind="scaling",
+            processor=name, drop_clusters=drop_clusters,
+        ):
+            if tracer.enabled:
+                tracer.advance()
             keep = instance.region.path[:-drop_clusters]
             dropped = instance.region.path[-drop_clusters:]
             # unchain the junction and the dropped sub-path, then free clusters
@@ -155,7 +171,12 @@ class ScalingController:
         name = fused_name or first
         if name != first and name != second and name in self.vlsi.processors:
             raise ConfigurationError(f"processor {name!r} already exists")
-        with telemetry.scope("scaling.fuse"):
+        tracer = telemetry.tracer()
+        with telemetry.scope("scaling.fuse"), tracer.span(
+            "scaling.fuse", kind="scaling", first=first, second=second,
+        ):
+            if tracer.enabled:
+                tracer.advance()
             # chain the junction and unify ownership
             self.vlsi.fabric.chain_switch(tail, head).chain()
             self.vlsi.fabric.shift_switch(tail, head).chain()
@@ -196,7 +217,12 @@ class ScalingController:
                 raise ConfigurationError(f"processor {new!r} already exists")
         if head_name == tail_name:
             raise ConfigurationError("split halves need distinct names")
-        with telemetry.scope("scaling.split"):
+        tracer = telemetry.tracer()
+        with telemetry.scope("scaling.split"), tracer.span(
+            "scaling.split", kind="scaling", processor=name, at=at,
+        ):
+            if tracer.enabled:
+                tracer.advance()
             head_path = instance.region.path[:at]
             tail_path = instance.region.path[at:]
             junction = (head_path[-1], tail_path[0])

@@ -27,6 +27,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import StateTransitionError
 
 __all__ = ["ProcessorState", "ProcessorStateMachine"]
@@ -80,6 +81,14 @@ class ProcessorStateMachine:
         if (self.state, target) not in _LEGAL:
             raise StateTransitionError(
                 f"illegal transition {self.state.value} -> {target.value}"
+            )
+        tracer = telemetry.tracer()
+        if tracer.enabled:
+            # §3.4 lifecycle edges become instant events on whatever
+            # operation (scaling, configure) is currently in flight
+            tracer.instant(
+                "lifecycle.transition",
+                src=self.state.value, dst=target.value,
             )
         self.state = target
         self.history.append(target)

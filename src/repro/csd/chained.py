@@ -135,6 +135,13 @@ class ChainedCSD:
                     f"{k_seg} belong to different processors"
                 )
         telemetry.counter("chained.connect.requests").inc()
+        tracer = telemetry.tracer()
+        tspan = None
+        if tracer.enabled:
+            tspan = tracer.start(
+                "chained.connect", kind="csd",
+                source=source, sink=sink,
+            )
         legs = self._legs(source, sink)
         made: List[Tuple[int, int, Span, Tuple[str, int]]] = []
         try:
@@ -143,12 +150,23 @@ class ChainedCSD:
                 surviving = net.pool.free_channels_for(span)
                 granted = net.encoder.grant(surviving)
                 if granted is None:
+                    if tspan is not None:
+                        tspan.add_event(
+                            "chained.block", segment=seg_idx,
+                            lo=span.lo, hi=span.hi,
+                            reason="no free channel in segment",
+                        )
                     raise ChannelAllocationError(
                         f"no free channel in segment {seg_idx} for "
                         f"span [{span.lo},{span.hi})"
                     )
                 leg_id = ("leg", next(self._leg_counter))
                 net.pool[granted].occupy(span, leg_id)
+                if tspan is not None:
+                    tspan.add_event(
+                        "chained.leg.grant", segment=seg_idx,
+                        channel=granted, lo=span.lo, hi=span.hi,
+                    )
                 made.append((seg_idx, granted, span, leg_id))
         except ChannelAllocationError:
             telemetry.counter("chained.connect.blocks").inc()
@@ -158,8 +176,14 @@ class ChainedCSD:
                     "chained.rollback", source=source, sink=sink,
                     legs_rolled_back=len(made),
                 )
+                if tspan is not None:
+                    tspan.add_event(
+                        "chained.rollback", legs_rolled_back=len(made)
+                    )
             for seg_idx, granted, _span, leg_id in made:
                 self.segments[seg_idx].pool[granted].release(leg_id)
+            if tspan is not None:
+                tspan.end(cycle=tracer.advance(), status="error")
             raise
         telemetry.counter("chained.connect.grants").inc()
         conn_id = next(self._ids)
@@ -171,6 +195,9 @@ class ChainedCSD:
         )
         self._conns[conn_id] = conn
         self._leg_ids[conn_id] = {seg: leg_id for seg, _, _, leg_id in made}
+        if tspan is not None:
+            tspan.add_event("chained.ack", conn_id=conn_id, legs=len(made))
+            tspan.end(cycle=tracer.advance())
         return conn
 
     def disconnect(self, conn: CrossConnection) -> None:

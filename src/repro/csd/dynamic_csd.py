@@ -119,6 +119,15 @@ class DynamicCSDNetwork:
         span = Span(lo, hi)
 
         telemetry.counter("csd.connect.requests").inc()
+        tracer = telemetry.tracer()
+        tspan = None
+        if tracer.enabled:
+            # one chaining = one cycle of the tracer's logical clock
+            tspan = tracer.start(
+                "csd.connect", kind="csd", source=source,
+                sinks=tuple(sinks), lo=span.lo, hi=span.hi,
+            )
+            tspan.add_event("csd.request", channels=len(self.pool))
         # step 1: broadcast — which channels does the request survive on?
         surviving = self.pool.free_channels_for(span)
         # step 2: the sink's priority encoder grants one
@@ -126,6 +135,12 @@ class DynamicCSDNetwork:
         if granted is None:
             telemetry.counter("csd.connect.blocks").inc()
             telemetry.event("csd.block", lo=span.lo, hi=span.hi)
+            if tspan is not None:
+                tspan.add_event(
+                    "csd.block", lo=span.lo, hi=span.hi,
+                    reason="all channels busy on span",
+                )
+                tspan.end(cycle=tracer.advance(), status="error")
             raise ChannelAllocationError(
                 f"no free channel for span [{span.lo},{span.hi}) "
                 f"({len(self.pool)} channels provisioned)"
@@ -137,6 +152,10 @@ class DynamicCSDNetwork:
         # step 4: ack back to the source — the connection object
         conn = Connection(conn_id, granted, source, tuple(sinks), span)
         self._connections[conn_id] = conn
+        if tspan is not None:
+            tspan.add_event("csd.grant", channel=granted)
+            tspan.add_event("csd.ack", conn_id=conn_id)
+            tspan.end(cycle=tracer.advance())
         return conn
 
     def disconnect(self, conn: Connection) -> None:
@@ -173,6 +192,9 @@ class DynamicCSDNetwork:
                 evicted.append(self._connections.pop(conn_id))
         if evicted:
             telemetry.counter("csd.shift.evictions").inc(len(evicted))
+            telemetry.instant(
+                "csd.shift.evictions", amount=amount, count=len(evicted)
+            )
         # rebuild surviving connection records with shifted positions
         for conn_id, conn in list(self._connections.items()):
             new_span = channel_span = self.pool[conn.channel].span_of(conn_id)

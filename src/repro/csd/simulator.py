@@ -105,7 +105,12 @@ class CSDSimulator:
         net = DynamicCSDNetwork(self.n_objects, n_channels=n_channels)
         blocked = 0
         telemetry.counter("fig3.trials").inc()
-        with telemetry.scope("fig3.trial"):
+        tracer = telemetry.tracer()
+        with telemetry.scope("fig3.trial"), tracer.span(
+            "fig3.trial", kind="trial", n_objects=self.n_objects,
+            locality=locality,
+            seed=trial_seed if trial_seed is not None else self.seed,
+        ):
             for req in requests:
                 for source in req.sources:
                     if source == req.sink:  # cannot happen by construction
@@ -151,7 +156,10 @@ def _sweep_point(
     and the parallel sweep paths share, so their outputs are identical
     by construction: every trial's seed derives only from ``seed`` and
     the trial index, never from execution order."""
-    with telemetry.scope("fig3.point"):
+    with telemetry.scope("fig3.point"), telemetry.tracer().span(
+        "fig3.point", kind="sweep", n_objects=n_objects,
+        locality=locality, trials=n_trials, seed=seed,
+    ):
         sim = CSDSimulator(n_objects, seed=seed)
         trials = sim.run_many(locality, n_trials)
     return SimulationResult(
@@ -170,19 +178,29 @@ def _sweep_point(
 
 
 def _point_task(
-    task: Tuple[int, float, int, int]
+    task: Tuple[int, float, int, int, bool]
 ) -> Tuple[SimulationResult, Dict[str, Any]]:
     """Worker-process entry: run one point and ship the telemetry delta
     back with it.  The registry is reset first because a forked worker
-    inherits the parent's counts and must report only its own."""
-    n_objects, locality, n_trials, seed = task
+    inherits the parent's counts and must report only its own.  The
+    tracing flag travels in the task tuple (not the inherited process
+    state) so span tracing also works under spawn-based pools."""
+    n_objects, locality, n_trials, seed, trace = task
     telemetry.reset()
+    telemetry.enable_tracing(trace)
     point = _sweep_point(n_objects, locality, n_trials, seed)
     return point, telemetry.snapshot()
 
 
+def _tasks(
+    points: List[Tuple[int, float]], n_trials: int, seed: int
+) -> List[Tuple[int, float, int, int, bool]]:
+    trace = telemetry.tracer().enabled
+    return [(n, loc, n_trials, seed, trace) for n, loc in points]
+
+
 def _run_points_parallel(
-    tasks: List[Tuple[int, float, int, int]], workers: int
+    tasks: List[Tuple[int, float, int, int, bool]], workers: int
 ) -> List[SimulationResult]:
     """Fan ``tasks`` (one per locality point) over a process pool.
 
@@ -218,10 +236,12 @@ def sweep_locality(
     the output is bit-identical to the serial path (trial seeds depend
     only on ``seed`` and the trial index).
     """
-    tasks = [(n_objects, loc, n_trials, seed) for loc in localities]
     if workers is not None and workers > 1:
+        tasks = _tasks([(n_objects, loc) for loc in localities], n_trials, seed)
         return _run_points_parallel(tasks, workers)
-    return [_sweep_point(*task) for task in tasks]
+    return [
+        _sweep_point(n_objects, loc, n_trials, seed) for loc in localities
+    ]
 
 
 def figure3_series(
@@ -243,11 +263,11 @@ def figure3_series(
     if localities is None:
         localities = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0]
     if workers is not None and workers > 1:
-        tasks = [
-            (n, loc, n_trials, seed)
-            for n in n_objects_list
-            for loc in localities
-        ]
+        tasks = _tasks(
+            [(n, loc) for n in n_objects_list for loc in localities],
+            n_trials,
+            seed,
+        )
         points = _run_points_parallel(tasks, workers)
         series: Dict[int, List[SimulationResult]] = {}
         for point in points:

@@ -113,10 +113,17 @@ class RouterNetwork:
             for coord, router in self.routers.items()
             for move in router.arbitrate()
         ]
+        tracer = telemetry.tracer()
+        tracing = tracer.enabled
         movements = 0
         for coord, router, move in proposals:
             if move.out_port is Port.LOCAL:
                 flit = router.commit_move(move)
+                if tracing:
+                    tracer.complete(
+                        "noc.hop", kind="flit", packet=flit.packet_id,
+                        at=str(coord), port="LOCAL", eject=True,
+                    )
                 self._deliver(flit)
                 movements += 1
             else:
@@ -130,8 +137,21 @@ class RouterNetwork:
                 if nbr_router.can_accept(in_port, move.vc):
                     flit = router.commit_move(move)
                     nbr_router.receive(in_port, flit)
+                    if tracing:
+                        tracer.complete(
+                            "noc.hop", kind="flit", packet=flit.packet_id,
+                            src=str(coord), dst=str(nbr),
+                            port=move.out_port.name,
+                        )
                     movements += 1
                 # else: stall this worm for a cycle
+        if tracing:
+            stalled_now = len(proposals) - movements
+            if stalled_now:
+                tracer.instant(
+                    "noc.stall", cycle=tracer.cycle, flits=stalled_now
+                )
+            tracer.advance()  # one network step = one trace cycle
         self.cycle_count += 1
         telemetry.counter("noc.cycles").inc()
         if movements:
@@ -187,6 +207,10 @@ class RouterNetwork:
             telemetry.event(
                 "noc.delivered", packet_id=pid, latency=record.latency,
                 hops=record.hops, n_flits=record.n_flits,
+            )
+            telemetry.instant(
+                "noc.packet.delivered", packet=pid,
+                latency=record.latency, hops=record.hops,
             )
 
     # -- state queries -----------------------------------------------------

@@ -100,10 +100,29 @@ class WormholeConfigurator:
         """
         op_id = next(_op_ids)
         worm_token = ("worm", op_id)
-        with telemetry.scope("wormhole.reserve"):
-            self._reserve(region, worm_token)
+        tracer = telemetry.tracer()
+        tspan = None
+        if tracer.enabled:
+            tspan = tracer.start(
+                "wormhole.configure", kind="reconfig", op_id=op_id,
+                owner=str(owner), head=str(region.path[0]),
+                clusters=len(region.path), ring=region.ring,
+            )
         try:
-            with telemetry.scope("wormhole.commit"):
+            with telemetry.scope("wormhole.reserve"), \
+                    tracer.span("wormhole.reserve", kind="reconfig"):
+                self._reserve(region, worm_token)
+                if tracer.enabled:
+                    tracer.advance()
+        except Exception:
+            # a failed reserve already rolled its own flags back — only
+            # close the operation span, don't run the commit-side abort
+            if tspan is not None:
+                tspan.end(status="error")
+            raise
+        try:
+            with telemetry.scope("wormhole.commit"), \
+                    tracer.span("wormhole.commit", kind="reconfig"):
                 if self.network is not None:
                     # phase 2a: take ownership, then let the worm's payload
                     # flits program the switches as they eject (§3.3)
@@ -115,23 +134,38 @@ class WormholeConfigurator:
                 else:
                     switches = self._commit(region, owner, worm_token)
                     cycles = 0
+                if tracer.enabled:
+                    tracer.advance()
         except Exception:
             telemetry.counter("wormhole.aborts").inc()
             telemetry.event(
                 "wormhole.abort", op_id=op_id, region_head=region.path[0]
             )
+            if tspan is not None:
+                tspan.add_event(
+                    "wormhole.abort", op_id=op_id,
+                    region_head=str(region.path[0]),
+                )
             self._abort(region, worm_token)
+            if tspan is not None:
+                tspan.end(status="error")
             raise
         telemetry.counter("wormhole.configures").inc()
         telemetry.counter("wormhole.switches_programmed").inc(switches)
+        if tspan is not None:
+            tspan.set_attr("config_cycles", cycles)
+            tspan.set_attr("switches_programmed", switches)
+            tspan.end()
         return ScalingOperation(op_id, owner, region, cycles, switches)
 
     def _reserve(self, region: Region, token: Hashable) -> None:
         """Phase 1: plant reservation flags; abort-and-rollback on conflict."""
         taken: List[Tuple[Coord, Coord]] = []
-        claimed: List[Coord] = []
+        #: where the worm's head was when it hit trouble (span annotation)
+        at = "start"
         try:
             for coord in region.path:
+                at = f"cluster {coord}"
                 if coord not in self.fabric:
                     raise RegionError(f"cluster {coord} outside the fabric")
                 cluster = self.fabric.cluster(coord)
@@ -141,16 +175,20 @@ class WormholeConfigurator:
                     raise AllocationConflictError(
                         f"cluster {coord} owned by {cluster.owner!r}"
                     )
-            for a, b in zip(region.path, region.path[1:]):
-                self.fabric.chain_switch(a, b).reserve(token)
-                taken.append((a, b))
+            edges = list(zip(region.path, region.path[1:]))
             if region.ring:
-                a, b = region.path[-1], region.path[0]
+                edges.append((region.path[-1], region.path[0]))
+            for a, b in edges:
+                at = f"switch {a}-{b}"
                 self.fabric.chain_switch(a, b).reserve(token)
                 taken.append((a, b))
         except Exception as exc:
             if isinstance(exc, AllocationConflictError):
                 telemetry.counter("wormhole.reserve.conflicts").inc()
+                telemetry.instant(
+                    "wormhole.reserve.conflict", at=at,
+                    flags_rolled_back=len(taken),
+                )
             for a, b in taken:
                 self.fabric.chain_switch(a, b).release_reservation(token)
             raise

@@ -1,9 +1,14 @@
-"""repro.telemetry — counters, timers, and event traces for the simulators.
+"""repro.telemetry — counters, timers, histograms, events, and causal
+span traces for the simulators.
 
 The interconnect papers this reproduction leans on (Epiphany-V, the
 Distributed Network Processor) evaluate their networks with instrumented
 simulation: every grant, block and rollback is counted, every phase
-timed.  This package gives :mod:`repro` the same substrate.
+timed.  This package gives :mod:`repro` the same substrate, plus the
+causal layer — :class:`Tracer`/:class:`Span` trees that reconstruct a
+whole reconfiguration (request → grant → ack, reserve → commit) in
+order, exportable to Perfetto via :mod:`repro.telemetry.export` and
+analysed by :mod:`repro.telemetry.analysis`.
 
 Two usage styles:
 
@@ -16,7 +21,9 @@ Two usage styles:
 
 Snapshots are plain picklable dicts; a parallel sweep's worker processes
 return ``snapshot()`` next to their results and the parent folds them in
-with :func:`merge` — so ``--workers N`` loses no observability.
+with :func:`merge` — so ``--workers N`` loses no observability.  Span
+tracing is **off by default** (:func:`enable_tracing` turns it on) and
+costs one attribute check per protocol step when disabled.
 """
 
 from __future__ import annotations
@@ -24,13 +31,15 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.telemetry.events import Event, EventTrace
-from repro.telemetry.metrics import Counter, Scope, Timer
+from repro.telemetry.metrics import Counter, Histogram, Scope, Timer
 from repro.telemetry.registry import Registry
 from repro.telemetry.sinks import JSONSink, Sink, TextSink
+from repro.telemetry.tracing import Span, SpanEvent, Tracer
 
 __all__ = [
     "Counter",
     "Timer",
+    "Histogram",
     "Scope",
     "Event",
     "EventTrace",
@@ -38,11 +47,19 @@ __all__ = [
     "Sink",
     "TextSink",
     "JSONSink",
+    "Tracer",
+    "Span",
+    "SpanEvent",
     "get_registry",
     "counter",
     "timer",
+    "histogram",
     "event",
     "scope",
+    "tracer",
+    "span",
+    "instant",
+    "enable_tracing",
     "snapshot",
     "merge",
     "reset",
@@ -66,6 +83,10 @@ def timer(name: str) -> Timer:
     return _default.timer(name)
 
 
+def histogram(name: str) -> Histogram:
+    return _default.histogram(name)
+
+
 def event(name: str, **fields: Any) -> None:
     _default.event(name, **fields)
 
@@ -74,6 +95,29 @@ def scope(name: str) -> Scope:
     """``with telemetry.scope("phase"):`` — time a block into the default
     registry's timer of that name."""
     return Scope(_default.timer(name))
+
+
+def tracer() -> Tracer:
+    """The default registry's span tracer (disabled until
+    :func:`enable_tracing`)."""
+    return _default.tracer
+
+
+def span(name: str, **attrs: Any):
+    """``with telemetry.span("csd.connect", source=0, sink=5):`` — open a
+    span on the default tracer (a no-op while tracing is disabled)."""
+    return _default.tracer.span(name, **attrs)
+
+
+def instant(name: str, **attrs: Any) -> None:
+    """Record an instant event on the default tracer's current span."""
+    _default.tracer.instant(name, **attrs)
+
+
+def enable_tracing(on: bool = True) -> Tracer:
+    """Switch causal span tracing on (or back off); returns the tracer."""
+    _default.tracer.enabled = on
+    return _default.tracer
 
 
 def snapshot() -> Dict[str, Any]:

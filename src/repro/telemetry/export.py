@@ -1,0 +1,193 @@
+"""Chrome-trace-event / Perfetto export for span traces.
+
+Converts a :class:`~repro.telemetry.tracing.Tracer` buffer into the
+Chrome trace-event JSON format (the ``{"traceEvents": [...]}`` flavour)
+that https://ui.perfetto.dev and ``chrome://tracing`` load directly:
+every span becomes a complete (``"ph": "X"``) slice, every span event
+an instant (``"ph": "i"``), and every root span tree gets its own
+thread track so concurrent reconfigurations render side by side.
+
+The exported timebase is the **simulation cycle clock** (1 cycle = 1 µs
+of trace time), not wall clock, and the export is **canonicalised**:
+root trees are ordered by (name, attributes), cycles are rebased so
+each tree starts at zero, and span ids are renumbered in tree order.
+Two runs of the same seeded sweep therefore export byte-identical
+files — including a ``--workers N`` run whose worker traces were merged
+back, which is what makes trace files diffable artifacts.  Wall-clock
+durations can be added per span with ``include_wall=True`` (off by
+default precisely because they would break that reproducibility).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Tuple, Union
+
+from repro.telemetry.tracing import Span, Tracer
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: One simulation cycle maps to this many microseconds of trace time.
+CYCLE_US = 1.0
+
+_PID = 1
+_PROCESS_NAME = "repro-sim"
+
+
+def _attr_key(attrs: Dict[str, Any]) -> str:
+    return ";".join(f"{k}={attrs[k]!r}" for k in sorted(attrs))
+
+
+def _canonical_trees(
+    spans: List[Span],
+) -> List[Tuple[Span, Dict[int, List[Span]]]]:
+    """Group spans into root trees, deterministically ordered."""
+    by_id = {s.span_id: s for s in spans}
+    children: Dict[int, List[Span]] = {}
+    roots: List[Span] = []
+    for s in spans:
+        if s.parent_id is not None and s.parent_id in by_id:
+            children.setdefault(s.parent_id, []).append(s)
+        else:
+            roots.append(s)
+    for kids in children.values():
+        kids.sort(key=lambda s: (s.cycle_start, s.cycle_end, s.span_id))
+    roots.sort(
+        key=lambda s: (s.name, _attr_key(s.attrs), s.cycle_start, s.span_id)
+    )
+    return [(root, children) for root in roots]
+
+
+def _tree_spans(root: Span, children: Dict[int, List[Span]]) -> List[Span]:
+    """DFS order of one root tree."""
+    out: List[Span] = []
+    stack = [root]
+    while stack:
+        span = stack.pop()
+        out.append(span)
+        stack.extend(reversed(children.get(span.span_id, ())))
+    return out
+
+
+def to_chrome_trace(
+    source: Union[Tracer, Iterable[Span]],
+    include_wall: bool = False,
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event document for a tracer (or spans)."""
+    if isinstance(source, Tracer):
+        spans = source.sorted_spans()
+    else:
+        spans = sorted(
+            source, key=lambda s: (s.cycle_start, s.cycle_end, s.span_id)
+        )
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": _PROCESS_NAME},
+        }
+    ]
+    next_id = 0
+    for tid0, (root, children) in enumerate(_canonical_trees(spans)):
+        tid = tid0 + 1
+        tree = _tree_spans(root, children)
+        base = min(s.cycle_start for s in tree)
+        # parents must cover their children for the slices to nest; the
+        # NoC and CSD cycle domains are stitched here rather than at the
+        # (hot) recording sites
+        bounds: Dict[int, Tuple[int, int]] = {}
+        for span in reversed(tree):  # post-order-ish: children first
+            lo, hi = span.cycle_start, max(span.cycle_end, span.cycle_start)
+            for kid in children.get(span.span_id, ()):
+                klo, khi = bounds[kid.span_id]
+                lo, hi = min(lo, klo), max(hi, khi)
+            bounds[span.span_id] = (lo, hi)
+        new_ids: Dict[int, int] = {}
+        for span in tree:
+            new_ids[span.span_id] = next_id
+            next_id += 1
+        track_name = root.name
+        if root.attrs:
+            track_name += " " + _attr_key(root.attrs)
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track_name},
+            }
+        )
+        for span in tree:
+            lo, hi = bounds[span.span_id]
+            args: Dict[str, Any] = {
+                "span_id": new_ids[span.span_id],
+                "parent_id": (
+                    new_ids[span.parent_id]
+                    if span.parent_id in new_ids
+                    else None
+                ),
+                "kind": span.kind,
+                "status": span.status,
+                "cycle_start": lo - base,
+                "cycle_end": hi - base,
+            }
+            if include_wall:
+                args["wall_us"] = round(span.wall_s * 1e6, 3)
+            for key, value in span.attrs.items():
+                args.setdefault(key, _jsonable(value))
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ts": (lo - base) * CYCLE_US,
+                    "dur": (hi - lo) * CYCLE_US,
+                    "args": args,
+                }
+            )
+            for ev in span.events:
+                at = min(max(ev.cycle, lo), hi) - base
+                ev_args: Dict[str, Any] = {"span_id": new_ids[span.span_id]}
+                for key, value in ev.attrs.items():
+                    ev_args.setdefault(key, _jsonable(value))
+                events.append(
+                    {
+                        "ph": "i",
+                        "pid": _PID,
+                        "tid": tid,
+                        "name": ev.name,
+                        "s": "t",
+                        "ts": at * CYCLE_US,
+                        "args": ev_args,
+                    }
+                )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    source: Union[Tracer, Iterable[Span]],
+    destination: Union[str, IO[str]],
+    include_wall: bool = False,
+) -> int:
+    """Write the Perfetto-loadable JSON file; returns the span count."""
+    doc = to_chrome_trace(source, include_wall=include_wall)
+    payload = json.dumps(doc, indent=1, sort_keys=True, default=str)
+    if hasattr(destination, "write"):
+        destination.write(payload + "\n")  # type: ignore[union-attr]
+    else:
+        with open(destination, "w", encoding="utf-8") as fh:  # type: ignore[arg-type]
+            fh.write(payload + "\n")
+    return sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    return str(value)

@@ -16,9 +16,9 @@ measurements they exist to provide.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
-__all__ = ["Counter", "Timer", "Scope"]
+__all__ = ["Counter", "Timer", "Histogram", "Scope"]
 
 
 class Counter:
@@ -68,6 +68,76 @@ class Timer:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timer({self.name!r}, total_s={self.total_s:.6f}, calls={self.calls})"
+
+
+class Histogram:
+    """A named distribution of observations with percentile queries.
+
+    Where a :class:`Timer` answers "how much time, over how many calls",
+    a histogram answers "how is it *distributed*" — the p50/p95/p99
+    phase latencies the trace analysis reports.  Observations are kept
+    raw (a list of floats), so merged worker histograms yield exactly
+    the percentiles a serial run would: percentile computation sorts at
+    query time and is therefore independent of merge order.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str, values: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.values: List[float] = list(values) if values else []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        self.values.extend(values)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``0 <= p <= 100``."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if p == 0:
+            return ordered[0]
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def reset(self) -> None:
+        self.values.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count}, p50={self.p50:.4g})"
 
 
 class Scope:

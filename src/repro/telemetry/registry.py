@@ -1,11 +1,12 @@
 """The telemetry registry: named instruments under one namespace.
 
-One :class:`Registry` holds every counter, timer and the event trace for
-a component (by convention instrument names are dotted paths like
-``csd.connect.grants``).  Snapshots are plain dicts, so they cross
-process boundaries — a parallel sweep's worker processes each run their
-own registry, ship ``snapshot()`` back with the results, and the parent
-folds them in with :meth:`Registry.merge`.
+One :class:`Registry` holds every counter, timer and histogram, the
+event trace, and the span tracer for a component (by convention
+instrument names are dotted paths like ``csd.connect.grants``).
+Snapshots are plain dicts, so they cross process boundaries — a
+parallel sweep's worker processes each run their own registry, ship
+``snapshot()`` back with the results, and the parent folds them in with
+:meth:`Registry.merge`.
 """
 
 from __future__ import annotations
@@ -13,19 +14,23 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.telemetry.events import EventTrace
-from repro.telemetry.metrics import Counter, Timer
+from repro.telemetry.metrics import Counter, Histogram, Timer
+from repro.telemetry.tracing import Tracer
 
 __all__ = ["Registry"]
 
 
 class Registry:
-    """A namespace of counters, timers, and one event trace."""
+    """A namespace of counters, timers, histograms, one event trace, and
+    one span tracer."""
 
     def __init__(self, name: str = "repro", trace_capacity: int = 1024) -> None:
         self.name = name
         self.counters: Dict[str, Counter] = {}
         self.timers: Dict[str, Timer] = {}
+        self.histograms: Dict[str, Histogram] = {}
         self.trace = EventTrace(trace_capacity)
+        self.tracer = Tracer()
 
     # -- instrument access (get-or-create) --------------------------------
 
@@ -41,14 +46,25 @@ class Registry:
             timer = self.timers[name] = Timer(name)
         return timer
 
+    def histogram(self, name: str) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        return histogram
+
     def event(self, name: str, **fields: Any) -> None:
         self.trace.record(name, **fields)
 
     # -- snapshot / merge / reset -----------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """Pickle-able state of every instrument (events excluded — they
-        stay local to the process that recorded them)."""
+        """Pickle-able state of every instrument.
+
+        Events stay local to the process that recorded them (only their
+        ``events_dropped`` tally travels); tracer spans *are* included,
+        so a worker's causal trace folds back into the parent exactly
+        like its counters do.
+        """
         return {
             "name": self.name,
             "counters": {n: c.value for n, c in sorted(self.counters.items())},
@@ -56,6 +72,11 @@ class Registry:
                 n: {"total_s": t.total_s, "calls": t.calls}
                 for n, t in sorted(self.timers.items())
             },
+            "histograms": {
+                n: list(h.values) for n, h in sorted(self.histograms.items())
+            },
+            "events_dropped": self.trace.dropped,
+            "spans": self.tracer.snapshot(),
         }
 
     def merge(self, snapshot: Dict[str, Any]) -> None:
@@ -66,13 +87,22 @@ class Registry:
             timer = self.timer(name)
             timer.total_s += stats["total_s"]
             timer.calls += stats["calls"]
+        for name, values in snapshot.get("histograms", {}).items():
+            self.histogram(name).extend(values)
+        self.trace.dropped += snapshot.get("events_dropped", 0)
+        spans = snapshot.get("spans")
+        if spans:
+            self.tracer.merge(spans)
 
     def reset(self) -> None:
         for counter in self.counters.values():
             counter.reset()
         for timer in self.timers.values():
             timer.reset()
+        for histogram in self.histograms.values():
+            histogram.reset()
         self.trace.clear()
+        self.tracer.clear()
 
     # -- reporting ---------------------------------------------------------
 

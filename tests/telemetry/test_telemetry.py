@@ -119,14 +119,77 @@ class TestRegistry:
         assert a.timer("phase").total_s == 1.5
         assert a.timer("phase").calls == 2
 
+    def test_merge_overlapping_names_across_worker_snapshots(self):
+        # satellite: several workers report the same instrument names;
+        # folding all snapshots into the parent must be order-free and
+        # additive across every instrument kind
+        workers = []
+        for i in range(3):
+            w = Registry(f"worker-{i}")
+            w.counter("csd.connect.grants").inc(i + 1)
+            w.timer("fig3.point").add(0.25 * (i + 1))
+            w.histogram("lat").observe(10 * (i + 1))
+            workers.append(w.snapshot())
+        parent = Registry("parent")
+        parent.counter("csd.connect.grants").inc(10)
+        for snap in workers:
+            parent.merge(snap)
+        assert parent.counter("csd.connect.grants").value == 10 + 1 + 2 + 3
+        assert parent.timer("fig3.point").total_s == pytest.approx(1.5)
+        assert parent.timer("fig3.point").calls == 3
+        assert sorted(parent.histogram("lat").values) == [10, 20, 30]
+
+    def test_merge_histogram_percentiles_order_free(self):
+        forward, backward = Registry("f"), Registry("b")
+        snaps = []
+        for i in range(4):
+            w = Registry(f"w{i}")
+            w.histogram("lat").extend([i, i + 10])
+            snaps.append(w.snapshot())
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        assert forward.histogram("lat").p50 == backward.histogram("lat").p50
+        assert forward.histogram("lat").p99 == backward.histogram("lat").p99
+
+    def test_merge_accumulates_events_dropped(self):
+        # satellite: the ring buffer's dropped tally survives the trip
+        # through worker snapshots even though the events themselves
+        # stay local to the worker
+        parent = Registry("parent")
+        for _ in range(2):
+            w = Registry("w", trace_capacity=1)
+            w.event("a")
+            w.event("b")
+            w.event("c")
+            assert w.snapshot()["events_dropped"] == 2
+            parent.merge(w.snapshot())
+        assert parent.trace.dropped == 4
+
+    def test_summary_reports_events_dropped(self):
+        reg = Registry("t", trace_capacity=1)
+        reg.event("a")
+        reg.event("b")
+        assert "events dropped: 1" in reg.summary()
+
+    def test_summary_reports_histograms(self):
+        reg = Registry("t")
+        reg.histogram("lat").extend([1, 2, 3, 4])
+        out = reg.summary()
+        assert "lat" in out
+        assert "p95" in out
+
     def test_reset_clears_everything(self):
         reg = Registry("t")
         reg.counter("hits").inc()
         reg.timer("phase").add(1.0)
+        reg.histogram("lat").observe(3)
         reg.event("boom")
         reg.reset()
         assert reg.counter("hits").value == 0
         assert reg.timer("phase").calls == 0
+        assert reg.histogram("lat").count == 0
         assert len(reg.trace) == 0
 
     def test_summary_elides_zero_instruments(self):

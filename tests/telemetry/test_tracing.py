@@ -1,0 +1,323 @@
+"""Unit tests for repro.telemetry.tracing — the causal span tracer."""
+
+import pickle
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.tracing import Span, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_registry():
+    telemetry.reset()
+    telemetry.enable_tracing(False)
+    yield
+    telemetry.reset()
+    telemetry.enable_tracing(False)
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.enabled = True
+    return tracer
+
+
+class TestSpanLifecycle:
+    def test_context_manager_records_span(self):
+        tracer = make_tracer()
+        with tracer.span("op", kind="test", who="me") as s:
+            s.add_event("milestone", detail=1)
+            tracer.advance(3)
+        assert len(tracer) == 1
+        (span,) = tracer.spans
+        assert span.name == "op"
+        assert span.kind == "test"
+        assert span.attrs == {"who": "me"}
+        assert span.cycle_start == 0 and span.cycle_end == 3
+        assert span.cycles == 3
+        assert span.status == "ok"
+        assert [e.name for e in span.events] == ["milestone"]
+        assert span.wall_end >= span.wall_start
+
+    def test_parent_child_causality(self):
+        tracer = make_tracer()
+        with tracer.span("parent") as p:
+            with tracer.span("child") as c:
+                pass
+        assert c.parent_id == p.span_id
+        assert p.parent_id is None
+
+    def test_exception_marks_error_status(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.spans[0].status == "error"
+
+    def test_explicit_start_end(self):
+        tracer = make_tracer()
+        span = tracer.start("manual", cycle=5)
+        tracer.set_cycle(9)
+        span.end()
+        assert span.cycle_start == 5 and span.cycle_end == 9
+        assert len(tracer) == 1
+
+    def test_end_never_goes_backwards(self):
+        tracer = make_tracer()
+        span = tracer.start("op", cycle=10)
+        span.end(cycle=3)  # clamped to the start
+        assert span.cycle_end == 10
+
+    def test_complete_records_without_stack(self):
+        tracer = make_tracer()
+        with tracer.span("parent") as p:
+            tracer.complete("hop", cycle_start=2, cycle_end=3, port="E")
+        hop = next(s for s in tracer.spans if s.name == "hop")
+        assert hop.parent_id == p.span_id
+        assert (hop.cycle_start, hop.cycle_end) == (2, 3)
+
+    def test_instant_attaches_to_open_span(self):
+        tracer = make_tracer()
+        with tracer.span("op") as s:
+            tracer.instant("tick", n=1)
+        assert [e.name for e in s.events] == ["tick"]
+
+    def test_instant_without_open_span_is_standalone(self):
+        tracer = make_tracer()
+        tracer.instant("lonely", x=1)
+        (span,) = tracer.spans
+        assert span.kind == "instant"
+        assert span.cycles == 0
+
+
+class TestDisabledTracer:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("op") as s:
+            s.add_event("e")
+            s.set_attr("k", 1)
+        tracer.instant("i")
+        tracer.complete("c")
+        assert len(tracer) == 0
+
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_default_tracer_disabled(self):
+        assert telemetry.tracer().enabled is False
+
+    def test_enable_tracing_round_trip(self):
+        tracer = telemetry.enable_tracing()
+        assert tracer.enabled
+        with telemetry.span("op"):
+            pass
+        assert len(tracer) == 1
+        telemetry.enable_tracing(False)
+        with telemetry.span("op"):
+            pass
+        assert len(tracer) == 1
+
+
+class TestBufferBounds:
+    def test_buffer_cap_counts_dropped(self):
+        tracer = Tracer(max_spans=2)
+        tracer.enabled = True
+        for _ in range(5):
+            with tracer.span("op"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_clear_resets_everything_but_enabled(self):
+        tracer = make_tracer()
+        with tracer.span("op"):
+            tracer.advance()
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.cycle == 0
+        assert tracer.dropped == 0
+        assert tracer.enabled
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_picklable(self):
+        tracer = make_tracer()
+        with tracer.span("op", pos=(1, 2)) as s:
+            s.add_event("e", at=(0, 0))
+        snap = tracer.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_span_dict_round_trip(self):
+        tracer = make_tracer()
+        with tracer.span("op", k="v") as s:
+            s.add_event("e", x=1)
+            tracer.advance(2)
+        restored = Span.from_dict(s.as_dict())
+        assert restored.as_dict() == s.as_dict()
+
+    def test_merge_rebases_ids_and_keeps_parent_links(self):
+        a, b = make_tracer(), make_tracer()
+        with a.span("a-root"):
+            pass
+        with b.span("b-root"):
+            with b.span("b-child"):
+                pass
+        a.merge(b.snapshot())
+        by_name = {s.name: s for s in a.spans}
+        assert len({s.span_id for s in a.spans}) == 3
+        assert by_name["b-child"].parent_id == by_name["b-root"].span_id
+
+    def test_merge_sorts_spans_by_cycle(self):
+        # satellite: tracer buffer merge ordering — spans sorted by
+        # cycle after merge, so a parallel sweep's merged trace reads in
+        # simulation order
+        a, b = make_tracer(), make_tracer()
+        a.set_cycle(10)
+        with a.span("late"):
+            a.advance()
+        b.set_cycle(2)
+        with b.span("early"):
+            b.advance()
+        a.merge(b.snapshot())
+        assert [s.name for s in a.spans] == ["early", "late"]
+        assert [s.cycle_start for s in a.spans] == [2, 10]
+
+    def test_merge_accumulates_dropped(self):
+        a = make_tracer()
+        a.merge({"spans": [], "dropped": 7})
+        assert a.dropped == 7
+
+    def test_merge_respects_buffer_cap(self):
+        a = Tracer(max_spans=1)
+        a.enabled = True
+        b = make_tracer()
+        for _ in range(3):
+            with b.span("op"):
+                pass
+        a.merge(b.snapshot())
+        assert len(a) == 1
+        assert a.dropped == 2
+
+    def test_registry_snapshot_carries_spans(self):
+        telemetry.enable_tracing()
+        with telemetry.span("op"):
+            pass
+        snap = telemetry.snapshot()
+        assert len(snap["spans"]["spans"]) == 1
+        fresh = telemetry.Registry("other")
+        fresh.merge(snap)
+        assert len(fresh.tracer) == 1
+
+
+class TestProtocolSites:
+    def test_csd_connect_spans_reconstruct_handshake(self):
+        from repro.csd.dynamic_csd import DynamicCSDNetwork
+        from repro.errors import ChannelAllocationError
+
+        telemetry.enable_tracing()
+        net = DynamicCSDNetwork(8, n_channels=1)
+        net.connect(0, 7)
+        with pytest.raises(ChannelAllocationError):
+            net.connect(1, 6)
+        spans = telemetry.tracer().spans
+        assert [s.status for s in spans] == ["ok", "error"]
+        granted, blocked = spans
+        assert [e.name for e in granted.events] == [
+            "csd.request", "csd.grant", "csd.ack",
+        ]
+        assert [e.name for e in blocked.events] == ["csd.request", "csd.block"]
+        assert granted.attrs["source"] == 0 and granted.attrs["sinks"] == (7,)
+
+    def test_chained_rollback_annotated(self):
+        from repro.csd.chained import ChainedCSD
+        from repro.errors import ChannelAllocationError
+
+        telemetry.enable_tracing()
+        net = ChainedCSD([4, 4, 4], n_channels=1)
+        net.connect((0, 1), (2, 2))  # occupies all three segments
+        with pytest.raises(ChannelAllocationError):
+            net.connect((0, 0), (2, 3))
+        blocked = telemetry.tracer().spans[-1]
+        names = [e.name for e in blocked.events]
+        assert "chained.block" in names
+        assert "chained.rollback" in names or len(names) >= 1
+        assert blocked.status == "error"
+
+    def test_wormhole_spans_and_conflict_annotation(self):
+        from repro.errors import AllocationConflictError
+        from repro.noc.wormhole import WormholeConfigurator
+        from repro.topology.regions import path_region
+        from repro.topology.s_topology import STopology
+
+        telemetry.enable_tracing()
+        fabric = STopology(4, 4)
+        configurator = WormholeConfigurator(fabric)
+        configurator.configure(path_region([(0, 0), (0, 1)]), owner="a")
+        with pytest.raises(AllocationConflictError):
+            configurator.configure(path_region([(0, 1), (0, 2)]), owner="b")
+        spans = {
+            (s.name, s.status) for s in telemetry.tracer().spans
+        }
+        assert ("wormhole.configure", "ok") in spans
+        assert ("wormhole.configure", "error") in spans
+        reserve_fail = [
+            s for s in telemetry.tracer().spans
+            if s.name == "wormhole.reserve" and s.status == "error"
+        ]
+        assert reserve_fail
+        conflict = [
+            e for e in reserve_fail[0].events
+            if e.name == "wormhole.reserve.conflict"
+        ]
+        assert conflict and "cluster (0, 1)" in conflict[0].attrs["at"]
+
+    def test_scaling_root_span_with_lifecycle_instants(self):
+        from repro.core.scaling import ScalingController
+        from repro.core.vlsi_processor import VLSIProcessor
+
+        telemetry.enable_tracing()
+        chip = VLSIProcessor(4, 4, with_network=False)
+        chip.create_processor("p", n_clusters=2)
+        ScalingController(chip).up_scale("p", 1)
+        roots = [
+            s for s in telemetry.tracer().spans
+            if s.name == "scaling.up_scale"
+        ]
+        assert len(roots) == 1
+        assert roots[0].parent_id is None
+        nested = [
+            s for s in telemetry.tracer().spans
+            if s.name == "wormhole.configure"
+            and s.parent_id == roots[0].span_id
+        ]
+        assert nested, "wormhole span should nest under the scaling span"
+        # transitions inside an open span land as span events; ones
+        # outside (create_processor) become standalone instant spans
+        transitions = [
+            (e.attrs["src"], e.attrs["dst"])
+            for s in telemetry.tracer().spans
+            for e in s.events
+            if e.name == "lifecycle.transition"
+        ] + [
+            (s.attrs["src"], s.attrs["dst"])
+            for s in telemetry.tracer().spans
+            if s.name == "lifecycle.transition"
+        ]
+        assert ("release", "inactive") in transitions
+
+    def test_fig3_trial_spans_nest_under_point(self):
+        from repro.csd.simulator import sweep_locality
+
+        telemetry.enable_tracing()
+        sweep_locality(8, [0.5], n_trials=2, seed=1)
+        tracer = telemetry.tracer()
+        points = [s for s in tracer.spans if s.name == "fig3.point"]
+        trials = [s for s in tracer.spans if s.name == "fig3.trial"]
+        connects = [s for s in tracer.spans if s.name == "csd.connect"]
+        assert len(points) == 1 and len(trials) == 2
+        assert all(t.parent_id == points[0].span_id for t in trials)
+        assert connects and all(
+            c.parent_id in {t.span_id for t in trials} for c in connects
+        )

@@ -1,8 +1,20 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import __version__, telemetry
 from repro.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.reset()
+    telemetry.enable_tracing(False)
+    yield
+    telemetry.reset()
+    telemetry.enable_tracing(False)
 
 
 class TestTableCommand:
@@ -47,6 +59,78 @@ class TestFig3Command:
         assert main(args + ["--workers", "2"]) == 0
         parallel_out = capsys.readouterr().out
         assert serial_out == parallel_out
+
+
+class TestReproducibilityBanner:
+    def test_stats_prints_banner(self, capsys):
+        assert main(
+            ["fig3", "--n-objects", "16", "--trials", "2", "--stats",
+             "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"repro {__version__} fig3: seed=7 trials=2 workers=1" in out
+
+    def test_banner_reports_worker_count(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main(
+            ["fig3", "--n-objects", "16", "--trials", "2",
+             "--workers", "2", "--trace", str(trace)]
+        ) == 0
+        assert "seed=42 trials=2 workers=2" in capsys.readouterr().out
+
+    def test_plain_fig3_has_no_banner(self, capsys):
+        assert main(["fig3", "--n-objects", "16", "--trials", "2"]) == 0
+        assert "seed=" not in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestTraceCommands:
+    def test_trace_writes_perfetto_loadable_json(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["fig3", "--n-objects", "16", "--trials", "2",
+             "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "perfetto" in out
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_trace_then_report_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["fig3", "--n-objects", "16", "--trials", "2",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Critical path" in out
+        assert "fig3.point" in out and "fig3.trial" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "Blocking hotspots" in out
+
+    def test_trace_disables_tracing_afterwards(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        main(["fig3", "--n-objects", "16", "--trials", "2",
+              "--trace", str(trace)])
+        assert telemetry.tracer().enabled is False
+
+    def test_report_missing_file_is_an_error(self, capsys, tmp_path):
+        assert main(["trace-report", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_report_malformed_file_is_an_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json {")
+        assert main(["trace-report", str(bad)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
 
 
 class TestChipCommand:

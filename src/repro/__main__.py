@@ -8,6 +8,7 @@ Usage::
     python -m repro fig3 --workers 4 --stats  # parallel sweep + telemetry
     python -m repro fig3 --trace out.json     # Perfetto-loadable span trace
     python -m repro trace-report out.json     # critical path / latencies
+    python -m repro faults --rate 0.05 --trials 4 --workers 2 --stats
     python -m repro chip --rows 8 --cols 8   # fabric summary
 
 The heavier experiments (Figures 1-7 with cycle-level simulation, the
@@ -130,6 +131,91 @@ def _cmd_fig3(
     return 0
 
 
+def _cmd_faults(
+    rates: List[float],
+    n_objects: List[int],
+    trials: int,
+    workers: Optional[int] = None,
+    stats: bool = False,
+    seed: int = 42,
+    trace: Optional[str] = None,
+    report_path: Optional[str] = None,
+) -> int:
+    from repro.faults.campaign import report_json, run_campaign
+
+    # reproducibility banner: the campaign derives every fault draw and
+    # every trial seed from exactly these knobs
+    print(
+        f"repro {__version__} faults: seed={seed} trials={trials} "
+        f"workers={workers if workers else 1} "
+        f"rates={','.join(f'{r:g}' for r in rates)} "
+        f"n_objects={','.join(str(n) for n in n_objects)}"
+    )
+    telemetry.reset()  # report only this campaign's counters/spans
+    if trace:
+        telemetry.enable_tracing()
+    try:
+        report = run_campaign(
+            rates,
+            n_objects_list=n_objects,
+            n_trials=trials,
+            seed=seed,
+            workers=workers,
+        )
+    finally:
+        if trace:
+            telemetry.enable_tracing(False)
+    rows = []
+    for p in report["points"]:
+        rc = p["reconfig"]
+        rows.append((
+            p["n_objects"],
+            f"{p['rate']:g}",
+            p["fault_triggers"],
+            f"{p['csd']['served_fraction']:.3f}",
+            f"{rc['first_try']}/{rc['recovered']}/{rc['degraded']}/{rc['lost']}",
+            p["chained"]["splits"],
+            f"{p['survival']:.2f}",
+        ))
+    print(format_table(
+        ["Nobject", "rate", "faults", "CSD served",
+         "ok/rec/deg/lost", "splits", "survival"],
+        rows,
+        title="Fault campaign: survival by fault rate",
+    ))
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write(report_json(report))
+        print(f"wrote campaign report to {report_path}")
+    if trace:
+        from repro.telemetry.export import write_chrome_trace
+
+        n_spans = write_chrome_trace(telemetry.tracer(), trace)
+        print(
+            f"wrote {n_spans} spans to {trace} "
+            "(load it at https://ui.perfetto.dev or chrome://tracing)"
+        )
+    if stats:
+        reg = telemetry.get_registry()
+        rec = reg.histogram("faults.recovery.cycles")
+        print()
+        print(
+            f"triggered={reg.counter('faults.triggered').value}  "
+            f"healed={reg.counter('faults.healed').value}  "
+            f"retries={reg.counter('faults.recovery.retries').value}  "
+            f"recovered={reg.counter('faults.recovery.recovered').value}  "
+            f"exhausted={reg.counter('faults.recovery.exhausted').value}  "
+            f"degradations={reg.counter('faults.degradations').value}"
+        )
+        print(
+            f"recovery cycles: n={rec.count} "
+            f"p50={rec.percentile(50):g} p95={rec.percentile(95):g} "
+            f"p99={rec.percentile(99):g}"
+        )
+        telemetry.TextSink(sys.stdout).emit(reg)
+    return 0
+
+
 def _cmd_trace_report(path: str) -> int:
     from repro.telemetry.analysis import format_trace_report, load_chrome_trace
 
@@ -195,6 +281,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         "write a Perfetto-loadable Chrome-trace JSON file",
     )
 
+    p_faults = sub.add_parser(
+        "faults",
+        help="run the Monte-Carlo fault-injection campaign "
+        "(retry, degradation, survival curves)",
+    )
+    p_faults.add_argument(
+        "--rate", type=float, default=None,
+        help="single fault rate to sweep (shorthand for --rates RATE)",
+    )
+    p_faults.add_argument(
+        "--rates", type=float, nargs="+", default=None,
+        help="fault rates to sweep (default 0 0.02 0.05 0.1 0.2)",
+    )
+    p_faults.add_argument(
+        "--n-objects", type=int, nargs="+", default=[16, 32, 64]
+    )
+    p_faults.add_argument("--trials", type=int, default=8)
+    p_faults.add_argument(
+        "--workers", type=int, default=None,
+        help="fan campaign points out over N worker processes "
+        "(bit-identical report to the serial run)",
+    )
+    p_faults.add_argument(
+        "--stats", action="store_true",
+        help="print fault/recovery telemetry (triggered, healed, "
+        "retries, recovery-latency p50/p95/p99) after the campaign",
+    )
+    p_faults.add_argument(
+        "--seed", type=int, default=42,
+        help="campaign seed every fault draw and trial seed derives "
+        "from (default 42)",
+    )
+    p_faults.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record causal spans (fault triggers, retries, "
+        "degradations) and write a Perfetto-loadable trace",
+    )
+    p_faults.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the canonical JSON campaign report (sorted keys, "
+        "byte-identical for the same seed)",
+    )
+
     p_report = sub.add_parser(
         "trace-report",
         help="analyse a --trace file: critical path, p50/p95/p99 phase "
@@ -213,6 +342,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fig3(
             args.n_objects, args.trials, workers=args.workers,
             stats=args.stats, seed=args.seed, trace=args.trace,
+        )
+    if args.command == "faults":
+        if args.rates is not None:
+            rates = args.rates
+        elif args.rate is not None:
+            rates = [args.rate]
+        else:
+            rates = [0.0, 0.02, 0.05, 0.1, 0.2]
+        return _cmd_faults(
+            rates, args.n_objects, args.trials, workers=args.workers,
+            stats=args.stats, seed=args.seed, trace=args.trace,
+            report_path=args.report,
         )
     if args.command == "trace-report":
         return _cmd_trace_report(args.trace_file)

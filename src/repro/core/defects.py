@@ -20,7 +20,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import RegionError
+from repro.errors import DefectError, ReproError
 from repro.core.states import ProcessorState
 from repro.core.vlsi_processor import VLSIProcessor
 
@@ -56,7 +56,18 @@ class DefectInjector:
         An owned cluster takes its whole processor down (the paper
         removes the failing AP); with ``remap`` the processor is
         re-created at the same scale elsewhere if capacity allows.
+
+        Raises
+        ------
+        DefectError
+            When ``coord`` lies outside the fabric — a defect cannot be
+            injected into hardware that does not exist.
         """
+        if coord not in self.vlsi.fabric:
+            raise DefectError(
+                f"cannot inject a defect at {coord}: outside the "
+                f"{self.vlsi.fabric.rows}x{self.vlsi.fabric.cols} fabric"
+            )
         cluster = self.vlsi.fabric.cluster(coord)
         owner = cluster.owner
         affected = None
@@ -75,7 +86,10 @@ class DefectInjector:
                     )
                     remapped = True
                     new_path = replacement.region.path
-                except RegionError:
+                except ReproError:
+                    # remapping failed (no capacity, fabric too broken,
+                    # worm could not deliver) — the defect still happened,
+                    # so the report below is recorded regardless
                     remapped = False
         else:
             cluster.mark_defective()

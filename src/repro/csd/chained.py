@@ -21,7 +21,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro import telemetry
-from repro.errors import ChannelAllocationError, ConfigurationError, TopologyError
+from repro.errors import (
+    ChannelAllocationError,
+    ConfigurationError,
+    FaultInjectionError,
+    TopologyError,
+)
 from repro.csd.channels import Span
 from repro.csd.dynamic_csd import DynamicCSDNetwork
 from repro.ap.wsrf import WSRF
@@ -63,7 +68,10 @@ class ChainedCSD:
     """
 
     def __init__(
-        self, segment_sizes: List[int], n_channels: Optional[int] = None
+        self,
+        segment_sizes: List[int],
+        n_channels: Optional[int] = None,
+        faults=None,
     ) -> None:
         if not segment_sizes:
             raise TopologyError("need at least one segment")
@@ -71,8 +79,15 @@ class ChainedCSD:
             raise TopologyError("every segment needs at least two objects")
         if n_channels is None:
             n_channels = max(1, max(segment_sizes) // 2)
+        #: Optional :class:`repro.faults.FaultInjector` shared with every
+        #: member segment (each under its own ``seg{i}`` fault domain) so
+        #: one ledger covers segment faults and junction-switch faults.
+        self.faults = faults
         self.segments = [
-            DynamicCSDNetwork(size, n_channels) for size in segment_sizes
+            DynamicCSDNetwork(
+                size, n_channels, faults=faults, fault_domain=f"seg{i}"
+            )
+            for i, size in enumerate(segment_sizes)
         ]
         #: junction i joins segment i and i+1; chained when the APs fused.
         self._junction_chained = [True] * (len(segment_sizes) - 1)
@@ -148,6 +163,11 @@ class ChainedCSD:
             for seg_idx, span in legs.items():
                 net = self.segments[seg_idx]
                 surviving = net.pool.free_channels_for(span)
+                if self.faults is not None:
+                    surviving = self.faults.filter_csd_channels(
+                        surviving, span.lo, span.hi,
+                        domain=net.fault_domain,
+                    )
                 granted = net.encoder.grant(surviving)
                 if granted is None:
                     if tspan is not None:
@@ -168,7 +188,20 @@ class ChainedCSD:
                         channel=granted, lo=span.lo, hi=span.hi,
                     )
                 made.append((seg_idx, granted, span, leg_id))
-        except ChannelAllocationError:
+            # fault hook: the junction switches the chaining crosses can
+            # stick; a faulted junction aborts the chaining *after* the
+            # legs were occupied, exercising the rollback path below
+            if self.faults is not None:
+                for j in range(lo_seg, hi_seg):
+                    if self.faults.junction_fault(j):
+                        telemetry.counter("chained.junction.faults").inc()
+                        if tspan is not None:
+                            tspan.add_event("chained.junction.fault", junction=j)
+                        raise FaultInjectionError(
+                            f"junction {j} faulted while chaining "
+                            f"{source}->{sink}"
+                        )
+        except (ChannelAllocationError, FaultInjectionError):
             telemetry.counter("chained.connect.blocks").inc()
             if made:
                 telemetry.counter("chained.connect.rollbacks").inc(len(made))

@@ -72,7 +72,13 @@ class DynamicCSDNetwork:
         ``None`` provisions that.
     """
 
-    def __init__(self, n_objects: int, n_channels: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        n_objects: int,
+        n_channels: Optional[int] = None,
+        faults=None,
+        fault_domain: str = "csd",
+    ) -> None:
         if n_objects < 2:
             raise ValueError("the array needs at least two objects")
         if n_channels is None:
@@ -82,6 +88,11 @@ class DynamicCSDNetwork:
         self.n_objects = n_objects
         self.pool = ChannelPool(n_channels, n_segments=n_objects - 1)
         self.encoder = PriorityEncoder(n_channels)
+        #: Optional :class:`repro.faults.FaultInjector`; when set, the
+        #: request broadcast also dies on channels whose segments along
+        #: the span carry an active injected fault.
+        self.faults = faults
+        self.fault_domain = fault_domain
         self._connections: Dict[int, Connection] = {}
         self._ids = itertools.count()
 
@@ -130,6 +141,23 @@ class DynamicCSDNetwork:
             tspan.add_event("csd.request", channels=len(self.pool))
         # step 1: broadcast — which channels does the request survive on?
         surviving = self.pool.free_channels_for(span)
+        # fault hook: the request also dies on channels with an active
+        # segment fault along the span (transient faults heal; retry via
+        # repro.faults.recovery re-broadcasts after a backoff)
+        if self.faults is not None:
+            healthy = self.faults.filter_csd_channels(
+                surviving, span.lo, span.hi, domain=self.fault_domain
+            )
+            if len(healthy) < len(surviving):
+                telemetry.counter("csd.connect.fault_drops").inc(
+                    len(surviving) - len(healthy)
+                )
+                if tspan is not None:
+                    tspan.add_event(
+                        "csd.fault.channels_dropped",
+                        dropped=len(surviving) - len(healthy),
+                    )
+            surviving = healthy
         # step 2: the sink's priority encoder grants one
         granted = self.encoder.grant(surviving)
         if granted is None:

@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import telemetry
-from repro.errors import ChannelAllocationError
+from repro.errors import ChannelAllocationError, RetryExhaustedError
 from repro.csd.dynamic_csd import DynamicCSDNetwork
 from repro.csd.locality import LocalityWorkload
 
@@ -81,6 +81,8 @@ class CSDSimulator:
         locality: float,
         trial_seed: Optional[int] = None,
         two_source: bool = False,
+        faults=None,
+        retry_policy=None,
     ) -> SimulationResult:
         """Configure one full random datapath; count the channels used.
 
@@ -94,6 +96,14 @@ class CSDSimulator:
 
         ``two_source`` switches to §2.6.2's set-aside two-source model:
         each sink chains two operands, roughly doubling channel demand.
+
+        ``faults`` (a :class:`repro.faults.FaultInjector`) attaches the
+        segment-fault hook to the network; ``retry_policy`` (a
+        :class:`repro.faults.RetryPolicy`) re-broadcasts blocked
+        requests with backoff.  A request that stays blocked after the
+        retries counts as ``blocked``, exactly like an unretried block.
+        With both left ``None`` (or a fault-free injector) the trial is
+        byte-identical to the uninstrumented path.
         """
         workload = LocalityWorkload(
             self.n_objects, locality, seed=trial_seed if trial_seed is not None else self.seed
@@ -102,7 +112,11 @@ class CSDSimulator:
             workload.requests_two_source() if two_source else workload.requests()
         )
         n_channels = 2 * self.n_objects if two_source else self.n_objects
-        net = DynamicCSDNetwork(self.n_objects, n_channels=n_channels)
+        net = DynamicCSDNetwork(
+            self.n_objects, n_channels=n_channels, faults=faults
+        )
+        if retry_policy is not None:
+            from repro.faults.recovery import connect_with_retry
         blocked = 0
         telemetry.counter("fig3.trials").inc()
         tracer = telemetry.tracer()
@@ -116,8 +130,15 @@ class CSDSimulator:
                     if source == req.sink:  # cannot happen by construction
                         continue
                     try:
-                        net.connect(source, req.sink)
+                        if retry_policy is not None:
+                            connect_with_retry(
+                                net, source, req.sink, policy=retry_policy
+                            )
+                        else:
+                            net.connect(source, req.sink)
                     except ChannelAllocationError:
+                        blocked += 1
+                    except RetryExhaustedError:
                         blocked += 1
         return SimulationResult(
             n_objects=self.n_objects,

@@ -18,6 +18,8 @@ __all__ = [
     "StateTransitionError",
     "AllocationConflictError",
     "DefectError",
+    "FaultInjectionError",
+    "RetryExhaustedError",
     "StreamFormatError",
     "SimulationError",
 ]
@@ -72,6 +74,26 @@ class AllocationConflictError(ReproError):
 
 class DefectError(ReproError):
     """A defective resource was used, or defect handling failed."""
+
+
+class FaultInjectionError(DefectError):
+    """An injected fault (segment, switch, link, or flit) corrupted a
+    protocol step.  Raised by the fault hooks in the reconfiguration
+    paths; the :mod:`repro.faults.recovery` layer treats it as
+    retryable."""
+
+
+class RetryExhaustedError(DefectError):
+    """Bounded retry-with-backoff gave up: the fault persisted through
+    every allowed attempt.  Carries the per-attempt history so campaign
+    reports can tell transient-survived from permanently-degraded."""
+
+    def __init__(
+        self, message: str, attempts: int = 0, backoff_cycles: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.backoff_cycles = backoff_cycles
 
 
 class StreamFormatError(ReproError):

@@ -1,0 +1,416 @@
+"""Monte-Carlo fault campaign: sweep fault rate × N_object, measure survival.
+
+Each campaign point runs ``n_trials`` independent trials.  A trial draws
+its own fault universe (a fresh :class:`FaultPlan` seeded from the
+campaign seed, the point, and the trial index — never from execution
+order) and pushes one simulated chip through the three reconfiguration
+protocols the faults can corrupt:
+
+* **CSD datapath** (Figure 3 workload) — the request/grant/ack handshake
+  under segment faults, with bounded retry; a request still blocked
+  after the retries counts as blocked, exactly like the fault-free
+  simulator counts saturation.
+* **Wormhole reconfiguration** (section 3.3) — a scaling worm under
+  switch/link/flit faults; retry on the abortable reserve→commit
+  protocol, then degradation (quarantine the sticking cluster and
+  re-place the processor) when retry exhausts, then the section-1 remap
+  story (fail an owned cluster, re-create the processor elsewhere).
+* **ChainedCSD crossing** (section 2.6.1) — cross-segment chainings
+  under junction faults; a permanently sticking junction triggers the
+  paper's re-split response (``split_at_junction``).
+
+Every seed derives from ``(campaign seed, n_objects, rate, trial)``
+alone and point results travel with their telemetry snapshots, so the
+parallel path (``--workers N``) is **bit-identical** to the serial one —
+the same guarantee (and the same pool machinery) as
+:mod:`repro.csd.simulator`.  With ``rate=0`` the CSD aggregates are
+byte-identical to :func:`repro.csd.simulator._sweep_point` for the same
+seed: the fault layer is provably free when empty.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ReproError, RetryExhaustedError, TopologyError
+from repro.csd.chained import ChainedCSD
+from repro.csd.simulator import CSDSimulator
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.faults.degrade import FaultAwareDefectInjector
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultKind, FaultPlan, junction_site
+from repro.faults.recovery import (
+    DEFAULT_POLICY,
+    RECONFIG_RETRYABLE,
+    RetryPolicy,
+    chained_connect_with_retry,
+    with_retry,
+)
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "run_fault_trial",
+    "campaign_point",
+    "run_campaign",
+    "report_json",
+]
+
+#: Version tag of the campaign report format (bump on breaking change).
+CAMPAIGN_SCHEMA = "repro.faults.campaign/1"
+
+#: Counters whose per-point deltas go into the report.
+_COUNTERS: Tuple[str, ...] = (
+    "faults.triggered",
+    "faults.healed",
+    "faults.quarantined",
+    "faults.recovery.retries",
+    "faults.recovery.recovered",
+    "faults.recovery.exhausted",
+    "faults.degradations",
+    "wormhole.aborts",
+    "csd.connect.fault_drops",
+    "chained.junction.faults",
+    "noc.link_fault_stalls",
+    "noc.corrupted_flits",
+    "noc.purged_flits",
+    "wormhole.switch_faults",
+)
+
+#: CSD workload knob shared by every trial (mid-sweep Figure 3 point).
+_LOCALITY = 0.5
+
+#: Fabric the reconfiguration phase scales processors onto.
+_FABRIC = (4, 4)
+_RECONFIG_CLUSTERS = 4
+
+
+def _plan_seed(seed: int, n_objects: int, rate: float, trial: int) -> int:
+    """The trial's fault-universe seed: pure in (campaign seed, point,
+    trial index), so fault draws never depend on execution order or on
+    which worker process ran the point."""
+    return seed + 7919 * n_objects + 104729 * trial + int(round(rate * 1_000_000))
+
+
+# -- the three per-trial phases ---------------------------------------------
+
+
+def _reconfig_phase(
+    injector: FaultInjector,
+    policy: RetryPolicy,
+    trial_seed: int,
+) -> Tuple[Dict[str, Any], FaultAwareDefectInjector]:
+    """Scale one processor onto a faulty fabric: retry, then degrade,
+    then exercise the section-1 defect-remap story on the survivor."""
+    rows, cols = _FABRIC
+    vlsi = VLSIProcessor(rows, cols)
+    vlsi.configurator.faults = injector
+    if vlsi.network is not None:
+        vlsi.network.faults = injector
+    degrader = FaultAwareDefectInjector(vlsi, faults=injector, seed=trial_seed)
+
+    def create():
+        return vlsi.create_processor("p0", n_clusters=_RECONFIG_CLUSTERS)
+
+    retries_before = telemetry.counter("faults.recovery.retries").value
+    outcome = "first_try"
+    try:
+        with_retry(
+            create, policy=policy, retry_on=RECONFIG_RETRYABLE,
+            what="reconfig p0",
+        )
+        if telemetry.counter("faults.recovery.retries").value > retries_before:
+            outcome = "recovered"
+    except RetryExhaustedError:
+        # retry could not wait the fault out — degrade: quarantine the
+        # head of the region the allocator keeps choosing, forcing the
+        # next placement around it, and re-attempt once on what is left
+        target = vlsi.allocator.find_serpentine(_RECONFIG_CLUSTERS)
+        coord = target.path[0] if target is not None else (0, 0)
+        degrader.quarantine_cluster(coord, remap=False)
+        try:
+            with_retry(
+                create, policy=policy, retry_on=RECONFIG_RETRYABLE,
+                what="reconfig p0 (degraded placement)",
+            )
+            outcome = "degraded"
+        except (RetryExhaustedError, ReproError):
+            outcome = "lost"
+
+    remap_attempted = False
+    remap_ok = False
+    if outcome != "lost":
+        # the paper's section-1 story: an owned cluster fails, the
+        # processor is removed and re-created elsewhere if capacity allows
+        victim = vlsi.processor("p0").region.path[0]
+        remap_attempted = True
+        _, defect = degrader.quarantine_cluster(victim, remap=True)
+        remap_ok = bool(defect.remapped)
+
+    stats = {
+        "outcome": outcome,
+        "remap_attempted": remap_attempted,
+        "remap_ok": remap_ok,
+    }
+    return stats, degrader
+
+
+def _chained_phase(
+    injector: FaultInjector,
+    n_objects: int,
+    policy: RetryPolicy,
+    degrader: FaultAwareDefectInjector,
+) -> Dict[str, int]:
+    """Cross-segment chainings under junction faults; a permanently
+    sticking junction gets the paper's re-split response."""
+    seg = max(2, n_objects // 4)
+    chained = ChainedCSD([seg, seg, seg], faults=injector)
+    pairs = [
+        ((0, 0), (2, seg - 1)),       # crosses both junctions
+        ((0, seg - 1), (1, 0)),       # crosses junction 0
+        ((1, seg // 2), (2, 0)),      # crosses junction 1
+    ]
+    connected = splits = lost = severed = 0
+    for source, sink in pairs:
+        try:
+            chained_connect_with_retry(chained, source, sink, policy=policy)
+            connected += 1
+        except TopologyError:
+            # the crossing needs a junction an earlier split opened —
+            # the two halves are separate processors now, by design
+            severed += 1
+        except RetryExhaustedError:
+            did_split = False
+            for j in range(len(chained.segments) - 1):
+                if chained.is_junction_chained(j) and injector.is_permanent(
+                    FaultKind.SWITCH, junction_site(j)
+                ):
+                    degrader.split_at_junction(chained, j)
+                    splits += 1
+                    did_split = True
+            if not did_split:
+                lost += 1
+    return {
+        "connected": connected,
+        "splits": splits,
+        "severed": severed,
+        "lost": lost,
+    }
+
+
+def run_fault_trial(
+    n_objects: int,
+    rate: float,
+    trial: int,
+    seed: int,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    locality: float = _LOCALITY,
+) -> Dict[str, Any]:
+    """One Monte-Carlo trial: fresh fault universe, all three phases."""
+    injector = FaultInjector(
+        FaultPlan.uniform(_plan_seed(seed, n_objects, rate, trial), rate)
+    )
+    sim = CSDSimulator(n_objects, seed=seed)
+    # same trial-seed derivation as CSDSimulator.run_many, so the rate-0
+    # campaign replays the Figure 3 sweep byte-for-byte
+    csd = sim.run_trial(
+        locality,
+        trial_seed=seed + 1000 * trial,
+        faults=injector,
+        retry_policy=policy,
+    )
+    reconfig, degrader = _reconfig_phase(injector, policy, trial_seed=seed + 1000 * trial)
+    chained = _chained_phase(injector, n_objects, policy, degrader)
+    served = 1.0 - (csd.blocked / csd.requests if csd.requests else 0.0)
+    survived = reconfig["outcome"] != "lost" and served >= 0.9
+    deg_survived, deg_total = degrader.survival_summary()
+    return {
+        "csd": csd,
+        "served_fraction": served,
+        "reconfig": reconfig,
+        "chained": chained,
+        "degradations": deg_total,
+        "degradations_survived": deg_survived,
+        "fault_triggers": injector.total_triggers(),
+        "survived": survived,
+    }
+
+
+# -- point aggregation ------------------------------------------------------
+
+
+def _percentiles(values: Sequence[float]) -> Dict[str, float]:
+    from repro.telemetry.metrics import Histogram
+
+    h = Histogram("faults.recovery.cycles.point", values=list(values))
+    return {
+        "count": h.count,
+        "p50": float(h.percentile(50)),
+        "p95": float(h.percentile(95)),
+        "p99": float(h.percentile(99)),
+        "mean": float(np.mean(values)) if values else 0.0,
+        "max": float(max(values)) if values else 0.0,
+    }
+
+
+def campaign_point(
+    n_objects: int,
+    rate: float,
+    n_trials: int,
+    seed: int,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    locality: float = _LOCALITY,
+) -> Dict[str, Any]:
+    """One averaged campaign point (the unit of parallel fan-out).
+
+    The returned dict is JSON-safe (ints, floats, strings only — no
+    process-dependent ids, no timestamps), which is what makes the
+    serial and parallel reports byte-comparable.
+    """
+    if n_trials < 1:
+        raise ValueError("need at least one trial")
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("fault rate must be in [0, 1]")
+    before = {name: telemetry.counter(name).value for name in _COUNTERS}
+    hist_before = len(telemetry.histogram("faults.recovery.cycles").values)
+    with telemetry.scope("faults.point"), telemetry.tracer().span(
+        "faults.point", kind="campaign", n_objects=n_objects,
+        rate=rate, trials=n_trials, seed=seed,
+    ):
+        trials = [
+            run_fault_trial(
+                n_objects, rate, t, seed, policy=policy, locality=locality
+            )
+            for t in range(n_trials)
+        ]
+    deltas = {
+        name: telemetry.counter(name).value - before[name]
+        for name in _COUNTERS
+    }
+    recovery = telemetry.histogram("faults.recovery.cycles").values[hist_before:]
+    csd_trials = [t["csd"] for t in trials]
+    outcomes = {
+        key: sum(1 for t in trials if t["reconfig"]["outcome"] == key)
+        for key in ("first_try", "recovered", "degraded", "lost")
+    }
+    return {
+        "n_objects": n_objects,
+        "rate": float(rate),
+        "trials": n_trials,
+        "locality": float(locality),
+        # same aggregation formulas as simulator._sweep_point: at rate 0
+        # these five fields are byte-identical to the Figure 3 sweep
+        "csd": {
+            "used_channels": int(round(np.mean([r.used_channels for r in csd_trials]))),
+            "highest_channel": int(round(np.mean([r.highest_channel for r in csd_trials]))),
+            "requests": csd_trials[0].requests,
+            "blocked": int(round(np.mean([r.blocked for r in csd_trials]))),
+            "realized_locality": float(np.mean([r.realized_locality for r in csd_trials])),
+            "served_fraction": float(np.mean([t["served_fraction"] for t in trials])),
+        },
+        "reconfig": {
+            **outcomes,
+            "remap_attempted": sum(1 for t in trials if t["reconfig"]["remap_attempted"]),
+            "remap_ok": sum(1 for t in trials if t["reconfig"]["remap_ok"]),
+        },
+        "chained": {
+            key: sum(t["chained"][key] for t in trials)
+            for key in ("connected", "splits", "severed", "lost")
+        },
+        "degradations": sum(t["degradations"] for t in trials),
+        "degradations_survived": sum(t["degradations_survived"] for t in trials),
+        "fault_triggers": sum(t["fault_triggers"] for t in trials),
+        "counters": deltas,
+        "recovery_cycles": _percentiles(recovery),
+        "survival": float(np.mean([1.0 if t["survived"] else 0.0 for t in trials])),
+    }
+
+
+# -- campaign sweep (serial and process-pool paths) -------------------------
+
+Task = Tuple[int, float, int, int, Tuple[int, int, int], float, bool]
+
+
+def _campaign_task(task: Task) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Worker-process entry: one point plus its telemetry delta (the
+    registry is reset first — a forked worker inherits the parent's
+    counts and must report only its own)."""
+    n_objects, rate, n_trials, seed, policy_tuple, locality, trace = task
+    telemetry.reset()
+    telemetry.enable_tracing(trace)
+    policy = RetryPolicy(*policy_tuple)
+    point = campaign_point(
+        n_objects, rate, n_trials, seed, policy=policy, locality=locality
+    )
+    return point, telemetry.snapshot()
+
+
+def run_campaign(
+    rates: Sequence[float],
+    n_objects_list: Sequence[int] = (16, 32, 64),
+    n_trials: int = 8,
+    seed: int = 42,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    locality: float = _LOCALITY,
+    workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The full sweep: one point per (rate, n_objects), rate-major order.
+
+    ``workers`` > 1 fans the points out over a process pool with worker
+    telemetry snapshots folded back in — the report (and the registry)
+    is bit-identical to the serial path.
+    """
+    if not rates:
+        raise ValueError("need at least one fault rate")
+    if not n_objects_list:
+        raise ValueError("need at least one array size")
+    grid = [(n, r) for r in rates for n in n_objects_list]
+    policy_tuple = (
+        policy.max_attempts,
+        policy.base_backoff_cycles,
+        policy.backoff_multiplier,
+    )
+    points: List[Dict[str, Any]]
+    if workers is not None and workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        trace = telemetry.tracer().enabled
+        tasks: List[Task] = [
+            (n, r, n_trials, seed, policy_tuple, locality, trace)
+            for n, r in grid
+        ]
+        points = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for point, snap in pool.map(_campaign_task, tasks):
+                telemetry.merge(snap)
+                points.append(point)
+    else:
+        points = [
+            campaign_point(
+                n, r, n_trials, seed, policy=policy, locality=locality
+            )
+            for n, r in grid
+        ]
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "seed": seed,
+        "trials": n_trials,
+        "locality": float(locality),
+        "rates": [float(r) for r in rates],
+        "n_objects": [int(n) for n in n_objects_list],
+        "policy": {
+            "max_attempts": policy.max_attempts,
+            "base_backoff_cycles": policy.base_backoff_cycles,
+            "backoff_multiplier": policy.backoff_multiplier,
+        },
+        "points": points,
+    }
+
+
+def report_json(report: Dict[str, Any]) -> str:
+    """Canonical serialization: sorted keys, no process-dependent data —
+    two reports from the same seed compare equal byte-for-byte."""
+    return json.dumps(report, sort_keys=True, indent=2)

@@ -1,0 +1,182 @@
+"""The live fault injector: plan + trigger state + telemetry.
+
+A :class:`FaultInjector` answers the hooks' one question — *is this
+resource misbehaving right now?* — by consulting its
+:class:`~repro.faults.model.FaultPlan` (pure, order-independent) and its
+own trigger ledger (transient faults heal after their drawn duration of
+triggers).  Every trigger is counted into :mod:`repro.telemetry` and, in
+scope of an open span, recorded as a span event, so fault activity shows
+up in ``--stats`` and ``--trace`` output next to the protocol steps it
+corrupted.
+
+One injector is wired into every hook of one simulated chip (the CSD
+networks, the router network, the wormhole configurator), so a single
+fault ledger spans all layers — exactly how one physical defect would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro import telemetry
+from repro.faults.model import (
+    Fault,
+    FaultKind,
+    FaultPlan,
+    chain_switch_site,
+    csd_segment_site,
+    junction_site,
+    noc_link_site,
+    worm_flit_site,
+)
+
+__all__ = ["FaultInjector"]
+
+Coord = Tuple[int, int]
+
+
+class FaultInjector:
+    """Evaluates fault-site queries against a plan, with healing.
+
+    The injector is deliberately cheap when fault-free: every query
+    starts with one ``fault_free`` check and returns immediately, so a
+    rate-0 plan (or simply not attaching an injector) leaves the
+    simulators byte-identical to an uninstrumented run.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        #: site -> triggers so far (only sites that drew a fault appear)
+        self._triggers: Dict[str, int] = {}
+        #: sites whose transient fault already healed
+        self._healed: set = set()
+        #: sites quarantined by the degradation layer (always faulty)
+        self._quarantined: set = set()
+
+    # -- core trigger logic ------------------------------------------------
+
+    def _active(self, kind: FaultKind, site: str) -> bool:
+        """Whether ``site`` misbehaves on *this* exercise (and count it)."""
+        if site in self._quarantined:
+            return True
+        if self.plan.fault_free:
+            return False
+        if site in self._healed:
+            return False
+        fault = self.plan.draw(kind, site)
+        if fault is None:
+            return False
+        count = self._triggers.get(site, 0) + 1
+        self._triggers[site] = count
+        if fault.transient and count > fault.duration:
+            self._healed.add(site)
+            telemetry.counter("faults.healed").inc()
+            telemetry.instant("fault.healed", kind=kind.value, site=site)
+            return False
+        self._record(fault)
+        return True
+
+    def _record(self, fault: Fault) -> None:
+        telemetry.counter("faults.triggered").inc()
+        telemetry.counter(f"faults.{fault.kind.value}.triggered").inc()
+        telemetry.counter(
+            "faults.transient.triggered"
+            if fault.transient
+            else "faults.permanent.triggered"
+        ).inc()
+        telemetry.instant(
+            "fault.triggered",
+            kind=fault.kind.value,
+            site=fault.site,
+            transient=fault.transient,
+        )
+
+    def peek(self, kind: FaultKind, site: str) -> bool:
+        """Like the trigger queries but without consuming a transient
+        hit — for assertions and degradation decisions."""
+        if site in self._quarantined:
+            return True
+        if self.plan.fault_free or site in self._healed:
+            return False
+        fault = self.plan.draw(kind, site)
+        if fault is None:
+            return False
+        if fault.transient and self._triggers.get(site, 0) >= fault.duration:
+            return False
+        return True
+
+    def is_permanent(self, kind: FaultKind, site: str) -> bool:
+        """Whether ``site`` carries a permanent fault (never heals)."""
+        if site in self._quarantined:
+            return True
+        if self.plan.fault_free:
+            return False
+        fault = self.plan.draw(kind, site)
+        return fault is not None and fault.permanent
+
+    def quarantine(self, site: str) -> None:
+        """Degradation hook: force ``site`` faulty from now on (the
+        extended defect injector routes around it)."""
+        self._quarantined.add(site)
+        telemetry.counter("faults.quarantined").inc()
+
+    # -- per-layer queries (the hook API) ----------------------------------
+
+    def csd_channel_blocked(
+        self, channel: int, lo: int, hi: int, domain: str = "csd"
+    ) -> bool:
+        """Whether any segment of ``channel`` in ``[lo, hi)`` faults when
+        the request broadcast crosses it.  Every faulty segment in the
+        span is triggered (the request exercised them all)."""
+        blocked = False
+        for segment in range(lo, hi):
+            if self._active(
+                FaultKind.CSD_SEGMENT, csd_segment_site(domain, channel, segment)
+            ):
+                blocked = True
+        return blocked
+
+    def filter_csd_channels(
+        self, channels: Iterable[int], lo: int, hi: int, domain: str = "csd"
+    ) -> List[int]:
+        """The surviving-channel filter for the Figure 2 broadcast: drop
+        every candidate channel with an active segment fault on the span."""
+        return [
+            ch
+            for ch in channels
+            if not self.csd_channel_blocked(ch, lo, hi, domain=domain)
+        ]
+
+    def junction_fault(self, index: int) -> bool:
+        """Whether ChainedCSD junction ``index`` misbehaves on crossing."""
+        return self._active(FaultKind.SWITCH, junction_site(index))
+
+    def chain_switch_fault(self, a: Coord, b: Coord) -> bool:
+        """Whether programming the S-topology chain switch ``a``–``b``
+        fails (the worm's instruction is ignored)."""
+        return self._active(FaultKind.SWITCH, chain_switch_site(a, b))
+
+    def link_fault(self, src: Coord, dst: Coord) -> bool:
+        """Whether the router link ``src``→``dst`` drops this cycle's
+        flit (the flit stalls and retries next cycle)."""
+        return self._active(FaultKind.NOC_LINK, noc_link_site(src, dst))
+
+    def flit_fault(self, payload: object) -> bool:
+        """Whether this payload flit is corrupted on ejection (its
+        programming instruction is lost)."""
+        if payload is None:
+            return False
+        return self._active(FaultKind.WORM_FLIT, worm_flit_site(payload))
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def triggered_sites(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._triggers))
+
+    @property
+    def healed_sites(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._healed))
+
+    def total_triggers(self) -> int:
+        return sum(self._triggers.values())

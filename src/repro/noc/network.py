@@ -55,16 +55,24 @@ class RouterNetwork:
         queue_capacity: int = 4,
         n_vcs: int = 1,
         on_deliver=None,
+        faults=None,
     ) -> None:
         """``on_deliver(flit)`` — optional hook invoked as each flit
         ejects at its destination's LOCAL port; this is how configuration
-        worms apply their switch-programming payloads (§3.3)."""
+        worms apply their switch-programming payloads (§3.3).
+
+        ``faults`` — optional :class:`repro.faults.FaultInjector`: a
+        faulty link stalls the flit crossing it that cycle (transient
+        faults heal, permanent ones starve the worm until the
+        no-progress watchdog aborts it); a corrupted payload flit still
+        arrives but its ``on_deliver`` programming action is lost."""
         if rows < 1 or cols < 1:
             raise RoutingError("network needs positive dimensions")
         self.rows = rows
         self.cols = cols
         self.n_vcs = n_vcs
         self.on_deliver = on_deliver
+        self.faults = faults
         self.routers: Dict[Coord, Router] = {
             (r, c): Router((r, c), queue_capacity, n_vcs=n_vcs)
             for r in range(rows)
@@ -134,6 +142,11 @@ class RouterNetwork:
                     raise SimulationError(
                         f"route runs off the grid at {coord} -> {nbr}"
                     )
+                if self.faults is not None and self.faults.link_fault(coord, nbr):
+                    # the link dropped the flit this cycle: stall in
+                    # place and retry next cycle (counts as a stall)
+                    telemetry.counter("noc.link_fault_stalls").inc()
+                    continue
                 if nbr_router.can_accept(in_port, move.vc):
                     flit = router.commit_move(move)
                     nbr_router.receive(in_port, flit)
@@ -188,7 +201,17 @@ class RouterNetwork:
     # -- delivery bookkeeping ----------------------------------------------
 
     def _deliver(self, flit: Flit) -> None:
-        if self.on_deliver is not None:
+        corrupted = (
+            self.faults is not None
+            and flit.payload is not None
+            and self.faults.flit_fault(flit.payload)
+        )
+        if corrupted:
+            # the flit arrives but its payload (e.g. a switch-programming
+            # instruction) is lost — §3.3's verify step catches the
+            # partially-configured region and the worm is re-sent
+            telemetry.counter("noc.corrupted_flits").inc()
+        elif self.on_deliver is not None:
             self.on_deliver(flit)
         pid = flit.packet_id
         self._arrived_flits[pid] = self._arrived_flits.get(pid, 0) + 1
@@ -212,6 +235,28 @@ class RouterNetwork:
                 "noc.packet.delivered", packet=pid,
                 latency=record.latency, hops=record.hops,
             )
+
+    # -- recovery ----------------------------------------------------------
+
+    def purge(self) -> int:
+        """Drop every in-flight flit (queues, locks, inject backlog).
+
+        This is the transport half of a worm retreat: after an aborted
+        scaling operation rolled the fabric back, the dead worm's flits
+        must not keep clogging the routers — a later, healthy operation
+        would otherwise fail :meth:`run_until_drained` forever.  Returns
+        the number of flits dropped.
+        """
+        dropped = 0
+        for router in self.routers.values():
+            dropped += router.clear()
+        for backlog in self._inject_backlog.values():
+            dropped += len(backlog)
+            backlog.clear()
+        if dropped:
+            telemetry.counter("noc.purged_flits").inc(dropped)
+            telemetry.event("noc.purge", flits=dropped)
+        return dropped
 
     # -- state queries -----------------------------------------------------
 

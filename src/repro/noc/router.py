@@ -165,6 +165,17 @@ class Router:
         self._rr = (self._rr + 1) % (len(_PORT_ORDER) * self.n_vcs)
         return flit
 
+    def clear(self) -> int:
+        """Drop every queued flit and release all wormhole locks (the
+        network's :meth:`~repro.noc.network.RouterNetwork.purge` —
+        a retreating worm's flits vanish).  Returns flits dropped."""
+        dropped = sum(len(q) for q in self.queues.values())
+        for q in self.queues.values():
+            q.clear()
+        self._route_lock.clear()
+        self._out_owner.clear()
+        return dropped
+
     # -- inspection --------------------------------------------------------
 
     @property

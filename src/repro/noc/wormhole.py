@@ -27,7 +27,12 @@ from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Tuple
 
 from repro import telemetry
-from repro.errors import AllocationConflictError, DefectError, RegionError
+from repro.errors import (
+    AllocationConflictError,
+    DefectError,
+    FaultInjectionError,
+    RegionError,
+)
 from repro.noc.flit import make_packet
 from repro.noc.network import RouterNetwork
 from repro.noc.routing_algos import xy_path
@@ -78,10 +83,15 @@ class WormholeConfigurator:
         fabric: STopology,
         network: Optional[RouterNetwork] = None,
         origin: Coord = (0, 0),
+        faults=None,
     ) -> None:
         self.fabric = fabric
         self.network = network
         self.origin = origin
+        #: Optional :class:`repro.faults.FaultInjector`: a faulty chain
+        #: switch silently ignores its programming instruction, which the
+        #: post-delivery verify turns into an abort-and-retreat.
+        self.faults = faults
 
     # -- up-scaling ---------------------------------------------------------
 
@@ -147,6 +157,10 @@ class WormholeConfigurator:
                     region_head=str(region.path[0]),
                 )
             self._abort(region, worm_token)
+            if self.network is not None:
+                # the worm retreats: its dead flits leave the routers so
+                # a retry (or the next operation) sees clean transport
+                self.network.purge()
             if tspan is not None:
                 tspan.end(status="error")
             raise
@@ -197,6 +211,15 @@ class WormholeConfigurator:
         """Phase 2: program switches, take ownership, clear flags."""
         for coord in region.path:
             self.fabric.cluster(coord).allocate(owner)
+        if self.faults is not None:
+            edges = list(zip(region.path, region.path[1:]))
+            if region.ring:
+                edges.append((region.path[-1], region.path[0]))
+            for a, b in edges:
+                if self.faults.chain_switch_fault(a, b):
+                    raise FaultInjectionError(
+                        f"chain switch {a}-{b} ignored its programming"
+                    )
         region.chain_on(self.fabric)
         switches = max(0, len(region.path) - 1) + (1 if region.ring else 0)
         self._release_flags(region, token)
@@ -247,6 +270,11 @@ class WormholeConfigurator:
                 return
             kind, a, b = flit.payload
             if kind == "chain":
+                if self.faults is not None and self.faults.chain_switch_fault(a, b):
+                    # the switch ignored the instruction; the region ends
+                    # up partially chained and _verify_chained aborts
+                    telemetry.counter("wormhole.switch_faults").inc()
+                    return
                 self.fabric.chain_switch(a, b).chain()
                 self.fabric.shift_switch(a, b).chain()
                 applied += 1

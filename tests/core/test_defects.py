@@ -5,6 +5,7 @@ import pytest
 from repro.core.defects import DefectInjector
 from repro.core.states import ProcessorState
 from repro.core.vlsi_processor import VLSIProcessor
+from repro.errors import DefectError
 from repro.topology.regions import path_region
 
 
@@ -48,6 +49,20 @@ class TestInjectAt:
         # -> 8-cluster remap still possible? 16-1 defective -8 (B) = 7 free
         assert not report.remapped
         assert "A" not in chip.processors
+
+    def test_outside_fabric_raises_typed_defect_error(self, chip):
+        inj = DefectInjector(chip)
+        with pytest.raises(DefectError, match="outside the 4x4 fabric"):
+            inj.inject_at((9, 9))
+        assert inj.reports == []  # nothing booked for nonexistent hardware
+
+    def test_report_recorded_even_when_remap_fails(self, chip):
+        chip.create_processor("A", n_clusters=8)
+        chip.create_processor("B", n_clusters=8)
+        inj = DefectInjector(chip)
+        report = inj.inject_at(chip.processor("A").region.path[0])
+        assert not report.remapped
+        assert inj.reports == [report]
 
     def test_active_processor_torn_down(self, chip):
         chip.create_processor("A", n_clusters=2)

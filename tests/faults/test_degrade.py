@@ -1,0 +1,88 @@
+"""Unit tests for graceful degradation (re-route / re-split / re-map)."""
+
+import pytest
+
+from repro import telemetry
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.csd.chained import ChainedCSD
+from repro.errors import TopologyError
+from repro.faults.degrade import FaultAwareDefectInjector
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    FaultKind,
+    FaultPlan,
+    chain_switch_site,
+    junction_site,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+@pytest.fixture
+def chip():
+    return VLSIProcessor(4, 4, with_network=False)
+
+
+class TestSegmentReroute:
+    def test_quarantines_and_books_the_site(self, chip):
+        inj = FaultInjector(FaultPlan.none())
+        deg = FaultAwareDefectInjector(chip, faults=inj)
+        report = deg.record_segment_reroute("csd/ch0/seg3")
+        assert report.survived
+        assert inj.peek(FaultKind.CSD_SEGMENT, "csd/ch0/seg3")
+        assert deg.survival_summary() == (1, 1)
+
+
+class TestJunctionSplit:
+    def test_split_opens_the_junction_and_poisons_the_site(self, chip):
+        inj = FaultInjector(FaultPlan.none())
+        deg = FaultAwareDefectInjector(chip, faults=inj)
+        chained = ChainedCSD([4, 4])
+        assert chained.is_junction_chained(0)
+        report = deg.split_at_junction(chained, 0)
+        assert report.action == "split"
+        assert not chained.is_junction_chained(0)
+        assert inj.is_permanent(FaultKind.SWITCH, junction_site(0))
+        # cross-junction chaining now fails: two separate processors
+        with pytest.raises(TopologyError):
+            chained.connect((0, 0), (1, 3))
+        # but each half still chains internally
+        assert chained.connect((0, 0), (0, 3))
+        assert chained.connect((1, 0), (1, 3))
+
+
+class TestClusterQuarantine:
+    def test_remaps_owner_and_poisons_switch_sites(self, chip):
+        chip.create_processor("A", n_clusters=2)
+        victim = chip.processor("A").region.path[0]
+        inj = FaultInjector(FaultPlan.none())
+        deg = FaultAwareDefectInjector(chip, faults=inj)
+        report, defect = deg.quarantine_cluster(victim)
+        assert report.survived and defect.remapped
+        assert victim not in chip.processor("A").region.clusters
+        for nbr in chip.fabric.neighbors(victim):
+            assert inj.peek(
+                FaultKind.SWITCH, chain_switch_site(victim, nbr)
+            )
+
+    def test_failed_remap_counts_as_not_survived(self, chip):
+        chip.create_processor("A", n_clusters=8)
+        chip.create_processor("B", n_clusters=8)
+        deg = FaultAwareDefectInjector(chip, faults=FaultInjector(FaultPlan.none()))
+        report, defect = deg.quarantine_cluster(
+            chip.processor("A").region.path[0]
+        )
+        assert not defect.remapped
+        assert not report.survived
+        assert deg.survival_summary() == (0, 1)
+
+    def test_degradations_counted_into_telemetry(self, chip):
+        deg = FaultAwareDefectInjector(chip, faults=FaultInjector(FaultPlan.none()))
+        deg.quarantine_cluster((3, 3))
+        assert telemetry.counter("faults.degradations").value == 1
+        assert telemetry.counter("faults.degradations.remap").value == 1

@@ -1,0 +1,150 @@
+"""Unit tests for bounded retry-with-backoff (the no-hang guarantee)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.errors import (
+    ChannelAllocationError,
+    ConfigurationError,
+    ReproError,
+    RetryExhaustedError,
+)
+from repro.csd.dynamic_csd import DynamicCSDNetwork
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultPlan
+from repro.faults.recovery import RetryPolicy, connect_with_retry, with_retry
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_cycles=2,
+                             backoff_multiplier=2)
+        assert [policy.backoff_cycles(k) for k in (1, 2, 3)] == [2, 4, 8]
+
+    def test_total_budget_is_finite(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_cycles=2)
+        assert policy.total_backoff_budget() == 2 + 4 + 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_attempts": 0}, {"base_backoff_cycles": -1},
+         {"backoff_multiplier": 0}],
+    )
+    def test_bad_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestWithRetry:
+    def test_first_try_success_records_nothing(self):
+        assert with_retry(lambda: 42) == 42
+        assert telemetry.counter("faults.recovery.retries").value == 0
+        assert telemetry.counter("faults.recovery.recovered").value == 0
+
+    def test_recovers_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ChannelAllocationError("transient")
+            return "ok"
+
+        assert with_retry(flaky, policy=RetryPolicy(max_attempts=4)) == "ok"
+        assert calls["n"] == 3
+        assert telemetry.counter("faults.recovery.retries").value == 2
+        assert telemetry.counter("faults.recovery.recovered").value == 1
+        # recovery latency = sum of the two backoffs taken
+        hist = telemetry.histogram("faults.recovery.cycles")
+        assert hist.values == [2 + 4]
+
+    def test_exhaustion_raises_typed_error_with_cause(self):
+        def always_fails():
+            raise ChannelAllocationError("permanent")
+
+        with pytest.raises(RetryExhaustedError) as exc:
+            with_retry(always_fails, policy=RetryPolicy(max_attempts=3))
+        assert exc.value.attempts == 3
+        assert exc.value.backoff_cycles == 2 + 4
+        assert isinstance(exc.value.__cause__, ChannelAllocationError)
+        assert telemetry.counter("faults.recovery.exhausted").value == 1
+
+    def test_non_retryable_error_propagates_untouched(self):
+        def broken():
+            raise ConfigurationError("logic bug")
+
+        with pytest.raises(ConfigurationError):
+            with_retry(broken)
+        assert telemetry.counter("faults.recovery.retries").value == 0
+
+    @given(
+        max_attempts=st.integers(1, 6),
+        base=st.integers(0, 8),
+        mult=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exhaustion_is_always_bounded_and_typed(self, max_attempts, base, mult):
+        """The no-hang property: an operation that never succeeds makes
+        exactly ``max_attempts`` calls and raises a ReproError subclass."""
+        policy = RetryPolicy(
+            max_attempts=max_attempts, base_backoff_cycles=base,
+            backoff_multiplier=mult,
+        )
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise ChannelAllocationError("never succeeds")
+
+        with pytest.raises(ReproError) as exc:
+            with_retry(always_fails, policy=policy)
+        assert isinstance(exc.value, RetryExhaustedError)
+        assert calls["n"] == max_attempts
+        assert exc.value.backoff_cycles == policy.total_backoff_budget()
+
+
+class TestConnectWithRetry:
+    def test_transient_segment_fault_heals_during_backoff(self):
+        # one-channel network, every segment faulty but transient with a
+        # short duration: the first broadcasts trigger the faults, the
+        # retries outlast them
+        plan = FaultPlan.uniform(
+            3, 1.0, transient_fraction=1.0, transient_hits=2
+        )
+        inj = FaultInjector(plan)
+        net = DynamicCSDNetwork(4, n_channels=1, faults=inj)
+        conn = connect_with_retry(
+            net, 0, 1, policy=RetryPolicy(max_attempts=5)
+        )
+        assert conn.channel == 0
+        assert telemetry.counter("faults.recovery.recovered").value == 1
+
+    def test_permanent_fault_exhausts(self):
+        plan = FaultPlan.uniform(3, 1.0, transient_fraction=0.0)
+        inj = FaultInjector(plan)
+        net = DynamicCSDNetwork(4, n_channels=1, faults=inj)
+        with pytest.raises(RetryExhaustedError):
+            connect_with_retry(net, 0, 1, policy=RetryPolicy(max_attempts=3))
+        assert net.used_channels() == 0  # nothing leaked
+
+    def test_backoff_advances_the_logical_clock(self):
+        telemetry.enable_tracing(True)
+        try:
+            plan = FaultPlan.uniform(3, 1.0, transient_fraction=1.0,
+                                     transient_hits=1)
+            inj = FaultInjector(plan)
+            net = DynamicCSDNetwork(4, n_channels=1, faults=inj)
+            before = telemetry.tracer().cycle
+            connect_with_retry(net, 0, 1, policy=RetryPolicy(max_attempts=4))
+            assert telemetry.tracer().cycle > before
+        finally:
+            telemetry.enable_tracing(False)

@@ -133,6 +133,59 @@ class TestTraceCommands:
         assert "cannot read trace" in capsys.readouterr().err
 
 
+class TestFaultsCommand:
+    ARGS = ["faults", "--rate", "0.05", "--n-objects", "16", "--trials", "2"]
+
+    def test_small_campaign(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Fault campaign" in out
+        assert "survival" in out
+        assert f"repro {__version__} faults: seed=42 trials=2" in out
+
+    def test_stats_prints_recovery_percentiles(self, capsys):
+        assert main(self.ARGS + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "triggered=" in out and "exhausted=" in out
+        assert "recovery cycles:" in out
+        assert "p50=" in out and "p95=" in out and "p99=" in out
+
+    def test_workers_match_serial_output(self, capsys):
+        assert main(self.ARGS) == 0
+        serial_out = capsys.readouterr().out
+        assert main(self.ARGS + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out.replace("workers=1", "workers=2") == parallel_out
+
+    def test_report_file_is_canonical_json(self, capsys, tmp_path):
+        report = tmp_path / "campaign.json"
+        assert main(self.ARGS + ["--report", str(report)]) == 0
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro.faults.campaign/1"
+        assert doc["points"][0]["recovery_cycles"]["p99"] >= 0
+        serial = report.read_text()
+        report2 = tmp_path / "campaign2.json"
+        assert main(
+            self.ARGS + ["--workers", "2", "--report", str(report2)]
+        ) == 0
+        assert report2.read_text() == serial
+
+    def test_trace_writes_fault_spans(self, capsys, tmp_path):
+        trace = tmp_path / "faults.json"
+        assert main(self.ARGS + ["--trace", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "faults.point" in names
+        assert telemetry.tracer().enabled is False
+
+    def test_default_rate_sweep(self, capsys):
+        assert main(
+            ["faults", "--n-objects", "16", "--trials", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rates=0,0.02,0.05,0.1,0.2" in out
+
+
 class TestChipCommand:
     def test_summary(self, capsys):
         assert main(["chip", "--rows", "4", "--cols", "4"]) == 0

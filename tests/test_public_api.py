@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.core",
     "repro.workloads",
     "repro.analysis",
+    "repro.faults",
 ]
 
 

@@ -1,0 +1,87 @@
+"""Benchmark: the recorded BENCH_*.json baselines must hold.
+
+Re-measures each seeded repo-root baseline (deterministic metrics only —
+wall-clock is skipped so a slow shared runner never false-alarms; local
+throughput tracking lives in ``python -m repro baseline check`` without
+``--skip-wallclock``) and then proves the guard has teeth by feeding it
+synthetic regressions: a 20% throughput drop and a 20%+slack p95
+recovery-latency inflation must both fail at the default tolerances.
+"""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.telemetry.baseline import (
+    check_baseline,
+    load_baseline,
+    measure_bench,
+)
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BASELINES = ["BENCH_fig3.json", "BENCH_faults.json"]
+
+
+@pytest.mark.parametrize("name", BASELINES)
+def test_seeded_baseline_holds(name, emit):
+    baseline = load_baseline(REPO_ROOT / name)
+    measured = measure_bench(baseline["bench"], baseline["config"])
+    regressions = check_baseline(baseline, measured, skip_wallclock=True)
+
+    payload = {
+        "baseline": name,
+        "bench": baseline["bench"],
+        "metrics": len(baseline["deterministic"]),
+        "points_per_s": round(measured["wallclock"]["points_per_s"], 2),
+        "regressions": regressions,
+    }
+    lines = [
+        f"Baseline guard: {name} ({baseline['bench']})",
+        f"  deterministic metrics : {len(baseline['deterministic'])}",
+        f"  measured throughput   : "
+        f"{measured['wallclock']['points_per_s']:.2f} points/s "
+        "(not guarded on CI)",
+        f"  regressions           : {len(regressions)}",
+        "",
+        "json: " + json.dumps(payload, sort_keys=True),
+    ]
+    emit(f"baseline_guard_{baseline['bench']}", "\n".join(lines))
+
+    assert regressions == [], "\n".join(regressions)
+
+
+def test_guard_catches_synthetic_throughput_drop():
+    baseline = load_baseline(REPO_ROOT / "BENCH_fig3.json")
+    measured = {
+        "deterministic": dict(baseline["deterministic"]),
+        "wallclock": {
+            "elapsed_s": 1.0,
+            "points_per_s": baseline["wallclock"]["points_per_s"] * 0.8,
+        },
+    }
+    regressions = check_baseline(baseline, measured)
+    assert any("throughput" in r for r in regressions), (
+        "a 20% throughput drop must trip the 15% guard"
+    )
+
+
+def test_guard_catches_synthetic_latency_inflation():
+    baseline = load_baseline(REPO_ROOT / "BENCH_faults.json")
+    measured = {
+        "deterministic": dict(baseline["deterministic"]),
+        "wallclock": copy.deepcopy(baseline["wallclock"]),
+    }
+    p95_names = [
+        n for n in measured["deterministic"] if "recovery_p95" in n
+    ]
+    assert p95_names, "faults baseline must carry recovery_p95 metrics"
+    for name in p95_names:
+        measured["deterministic"][name] = (
+            measured["deterministic"][name] * 1.2 + 5.0
+        )
+    regressions = check_baseline(baseline, measured, skip_wallclock=True)
+    assert any("p95 recovery latency" in r for r in regressions), (
+        "a 20%+5-cycle p95 inflation must trip the latency guard"
+    )

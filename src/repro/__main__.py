@@ -7,8 +7,12 @@ Usage::
     python -m repro fig3             # Figure 3 channel-demand series
     python -m repro fig3 --workers 4 --stats  # parallel sweep + telemetry
     python -m repro fig3 --trace out.json     # Perfetto-loadable span trace
+    python -m repro fig3 --observe out/       # OpenMetrics + dashboard bundle
     python -m repro trace-report out.json     # critical path / latencies
+    python -m repro observe-report out/       # summarise an --observe bundle
     python -m repro faults --rate 0.05 --trials 4 --workers 2 --stats
+    python -m repro baseline record --bench fig3 --out BENCH_fig3.json
+    python -m repro baseline check BENCH_fig3.json --skip-wallclock
     python -m repro chip --rows 8 --cols 8   # fabric summary
 
 The heavier experiments (Figures 1-7 with cycle-level simulation, the
@@ -74,22 +78,27 @@ def _cmd_fig3(
     stats: bool = False,
     seed: int = 42,
     trace: Optional[str] = None,
+    observe: Optional[str] = None,
+    quiet: bool = False,
 ) -> int:
     from repro.csd.simulator import figure3_series
 
     localities = [1.0, 0.8, 0.6, 0.4, 0.2, 0.0]
-    if stats or trace:
-        # reproducibility banner: everything needed to reconstruct this
-        # run (the sweep derives every trial seed from these alone)
-        print(
-            f"repro {__version__} fig3: seed={seed} trials={trials} "
-            f"workers={workers if workers else 1} "
-            f"n_objects={','.join(str(n) for n in n_objects)} "
-            f"localities={','.join(f'{x:g}' for x in localities)}"
-        )
+    if stats or trace or observe:
+        if not quiet:
+            # reproducibility banner: everything needed to reconstruct
+            # this run (the sweep derives every trial seed from these)
+            print(
+                f"repro {__version__} fig3: seed={seed} trials={trials} "
+                f"workers={workers if workers else 1} "
+                f"n_objects={','.join(str(n) for n in n_objects)} "
+                f"localities={','.join(f'{x:g}' for x in localities)}"
+            )
         telemetry.reset()  # report only this sweep's counters/spans
     if trace:
         telemetry.enable_tracing()
+    if observe:
+        telemetry.enable_observation()
     try:
         raw = figure3_series(
             localities=localities,
@@ -101,6 +110,8 @@ def _cmd_fig3(
     finally:
         if trace:
             telemetry.enable_tracing(False)
+        if observe:
+            telemetry.enable_observation(False)
     series = {
         f"Nobject={n}": [
             (p.locality_knob, p.used_channels) for p in raw[n]
@@ -119,6 +130,8 @@ def _cmd_fig3(
             f"wrote {n_spans} spans to {trace} "
             "(load it at https://ui.perfetto.dev or chrome://tracing)"
         )
+    if observe:
+        _write_observe_bundle(observe, title="fig3 observation")
     if stats:
         reg = telemetry.get_registry()
         print()
@@ -131,6 +144,16 @@ def _cmd_fig3(
     return 0
 
 
+def _write_observe_bundle(outdir: str, title: str) -> None:
+    from repro.telemetry.exposition import write_observation
+
+    written = write_observation(telemetry.snapshot(), outdir, title=title)
+    print(
+        f"wrote observation bundle to {outdir}: "
+        + ", ".join(sorted(written))
+    )
+
+
 def _cmd_faults(
     rates: List[float],
     n_objects: List[int],
@@ -140,20 +163,25 @@ def _cmd_faults(
     seed: int = 42,
     trace: Optional[str] = None,
     report_path: Optional[str] = None,
+    observe: Optional[str] = None,
+    quiet: bool = False,
 ) -> int:
     from repro.faults.campaign import report_json, run_campaign
 
-    # reproducibility banner: the campaign derives every fault draw and
-    # every trial seed from exactly these knobs
-    print(
-        f"repro {__version__} faults: seed={seed} trials={trials} "
-        f"workers={workers if workers else 1} "
-        f"rates={','.join(f'{r:g}' for r in rates)} "
-        f"n_objects={','.join(str(n) for n in n_objects)}"
-    )
+    if not quiet:
+        # reproducibility banner: the campaign derives every fault draw
+        # and every trial seed from exactly these knobs
+        print(
+            f"repro {__version__} faults: seed={seed} trials={trials} "
+            f"workers={workers if workers else 1} "
+            f"rates={','.join(f'{r:g}' for r in rates)} "
+            f"n_objects={','.join(str(n) for n in n_objects)}"
+        )
     telemetry.reset()  # report only this campaign's counters/spans
     if trace:
         telemetry.enable_tracing()
+    if observe:
+        telemetry.enable_observation()
     try:
         report = run_campaign(
             rates,
@@ -165,6 +193,8 @@ def _cmd_faults(
     finally:
         if trace:
             telemetry.enable_tracing(False)
+        if observe:
+            telemetry.enable_observation(False)
     rows = []
     for p in report["points"]:
         rc = p["reconfig"]
@@ -195,6 +225,8 @@ def _cmd_faults(
             f"wrote {n_spans} spans to {trace} "
             "(load it at https://ui.perfetto.dev or chrome://tracing)"
         )
+    if observe:
+        _write_observe_bundle(observe, title="faults observation")
     if stats:
         reg = telemetry.get_registry()
         rec = reg.histogram("faults.recovery.cycles")
@@ -221,10 +253,81 @@ def _cmd_trace_report(path: str) -> int:
 
     try:
         spans = load_chrome_trace(path)
-    except (OSError, ValueError, KeyError) as exc:
+    except (OSError, ValueError, KeyError, TypeError) as exc:
         print(f"cannot read trace {path!r}: {exc}", file=sys.stderr)
         return 2
     print(format_trace_report(spans))
+    return 0
+
+
+def _cmd_observe_report(path: str) -> int:
+    import os
+
+    from repro.telemetry.exposition import (
+        format_observe_report,
+        load_observation,
+    )
+
+    target = path
+    if os.path.isdir(target):
+        target = os.path.join(target, "observe.json")
+    try:
+        doc = load_observation(target)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read observation {path!r}: {exc}", file=sys.stderr)
+        return 2
+    print(format_observe_report(doc), end="")
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    from repro.telemetry.baseline import (
+        BENCHES,
+        check_baseline,
+        load_baseline,
+        record_baseline,
+        write_baseline,
+    )
+
+    if args.action == "record":
+        if args.bench not in BENCHES:
+            print(
+                f"unknown bench {args.bench!r} (want one of {sorted(BENCHES)})",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = record_baseline(args.bench)
+        out = args.out or f"BENCH_{args.bench}.json"
+        write_baseline(baseline, out)
+        print(
+            f"recorded {args.bench} baseline to {out}: "
+            f"{len(baseline['deterministic'])} deterministic metrics, "
+            f"{baseline['wallclock']['points_per_s']:.2f} points/s"
+        )
+        return 0
+    # action == "check"
+    try:
+        baseline = load_baseline(args.baseline_file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+    regressions = check_baseline(
+        baseline,
+        throughput_tolerance=args.throughput_tolerance,
+        latency_tolerance=args.latency_tolerance,
+        skip_wallclock=args.skip_wallclock,
+    )
+    if regressions:
+        print(f"{args.baseline_file}: {len(regressions)} regression(s):")
+        for line in regressions:
+            print(f"  - {line}")
+        return 1
+    print(
+        f"{args.baseline_file}: baseline holds "
+        f"({len(baseline['deterministic'])} metrics"
+        + (", wall-clock skipped" if args.skip_wallclock else "")
+        + ")"
+    )
     return 0
 
 
@@ -280,6 +383,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record causal spans (request/grant/ack, per-trial) and "
         "write a Perfetto-loadable Chrome-trace JSON file",
     )
+    p_fig3.add_argument(
+        "--observe", metavar="DIR", default=None,
+        help="sample per-cycle fabric state (segment demand, channel "
+        "occupancy, used channels) and write the observation bundle "
+        "(OpenMetrics, CSV, JSON, HTML dashboard) into DIR",
+    )
+    p_fig3.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the reproducibility banner",
+    )
 
     p_faults = sub.add_parser(
         "faults",
@@ -323,6 +436,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the canonical JSON campaign report (sorted keys, "
         "byte-identical for the same seed)",
     )
+    p_faults.add_argument(
+        "--observe", metavar="DIR", default=None,
+        help="sample per-cycle fabric state (lifecycle census, switch "
+        "settings, junction states, NoC buffer depths) and write the "
+        "observation bundle into DIR",
+    )
+    p_faults.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the reproducibility banner",
+    )
 
     p_report = sub.add_parser(
         "trace-report",
@@ -330,6 +453,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         "latencies, blocking hotspots",
     )
     p_report.add_argument("trace_file", help="JSON file written by --trace")
+
+    p_observe = sub.add_parser(
+        "observe-report",
+        help="summarise an --observe bundle (gauges, series, heatmaps)",
+    )
+    p_observe.add_argument(
+        "observe_path",
+        help="an --observe output directory, or its observe.json file",
+    )
+
+    p_baseline = sub.add_parser(
+        "baseline",
+        help="record or check BENCH_*.json performance baselines",
+    )
+    baseline_sub = p_baseline.add_subparsers(dest="action", required=True)
+    p_record = baseline_sub.add_parser(
+        "record", help="run a bench and write its baseline file"
+    )
+    p_record.add_argument("--bench", required=True, help="fig3 or faults")
+    p_record.add_argument(
+        "--out", default=None,
+        help="output path (default BENCH_<bench>.json)",
+    )
+    p_check = baseline_sub.add_parser(
+        "check",
+        help="re-run a baseline's bench and fail (exit 1) on regression",
+    )
+    p_check.add_argument("baseline_file", help="a BENCH_*.json file")
+    p_check.add_argument(
+        "--throughput-tolerance", type=float, default=0.15,
+        help="max relative throughput drop before failing (default 0.15)",
+    )
+    p_check.add_argument(
+        "--latency-tolerance", type=float, default=0.15,
+        help="max relative p95 recovery-latency growth (default 0.15)",
+    )
+    p_check.add_argument(
+        "--skip-wallclock", action="store_true",
+        help="check only deterministic metrics (for CI runners whose "
+        "speed is not comparable to the recording machine)",
+    )
 
     p_chip = sub.add_parser("chip", help="summarise a fabric")
     p_chip.add_argument("--rows", type=int, default=8)
@@ -342,6 +506,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fig3(
             args.n_objects, args.trials, workers=args.workers,
             stats=args.stats, seed=args.seed, trace=args.trace,
+            observe=args.observe, quiet=args.quiet,
         )
     if args.command == "faults":
         if args.rates is not None:
@@ -353,10 +518,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(
             rates, args.n_objects, args.trials, workers=args.workers,
             stats=args.stats, seed=args.seed, trace=args.trace,
-            report_path=args.report,
+            report_path=args.report, observe=args.observe,
+            quiet=args.quiet,
         )
     if args.command == "trace-report":
         return _cmd_trace_report(args.trace_file)
+    if args.command == "observe-report":
+        return _cmd_observe_report(args.observe_path)
+    if args.command == "baseline":
+        return _cmd_baseline(args)
     if args.command == "chip":
         return _cmd_chip(args.rows, args.cols)
     return 2  # pragma: no cover

@@ -87,7 +87,8 @@ def format_telemetry(snapshot: Dict[str, Any], title: str = "") -> str:
             )
         )
     histograms = [
-        (name, hist.count, hist.p50, hist.p95, hist.p99, hist.max)
+        (name, hist.count, hist.min, hist.p50, hist.p95, hist.p99,
+         hist.max, hist.stddev)
         for name, hist in (
             (name, Histogram(name, values))
             for name, values in snapshot.get("histograms", {}).items()
@@ -97,8 +98,65 @@ def format_telemetry(snapshot: Dict[str, Any], title: str = "") -> str:
     if histograms:
         sections.append(
             format_table(
-                ["Histogram", "Count", "p50", "p95", "p99", "Max"],
+                ["Histogram", "Count", "Min", "p50", "p95", "p99",
+                 "Max", "Stddev"],
                 histograms,
+                title="" if sections else title,
+            )
+        )
+    gauges = [
+        (name, state.get("value", 0.0), state.get("updates", 0))
+        for name, state in sorted(snapshot.get("gauges", {}).items())
+        if state.get("updates")
+    ]
+    if gauges:
+        sections.append(
+            format_table(
+                ["Gauge", "Value", "Updates"],
+                gauges,
+                title="" if sections else title,
+            )
+        )
+    series = [
+        (
+            name,
+            len(samples),
+            min(v for _, v in samples),
+            max(v for _, v in samples),
+            samples[-1][1],
+        )
+        for name, samples in (
+            (name, state.get("samples", []))
+            for name, state in sorted(snapshot.get("series", {}).items())
+        )
+        if samples
+    ]
+    if series:
+        sections.append(
+            format_table(
+                ["Series", "Samples", "Min", "Max", "Last"],
+                series,
+                title="" if sections else title,
+            )
+        )
+    heatmaps = [
+        (
+            name,
+            len({r for r, _, _ in cells}),
+            len({c for _, c, _ in cells}),
+            sum(v for _, _, v in cells),
+        )
+        for name, cells in (
+            (name, state.get("cells", []))
+            for name, state in sorted(snapshot.get("heatmaps", {}).items())
+        )
+        if cells
+    ]
+    if heatmaps:
+        sections.append(
+            format_table(
+                ["Heatmap", "Rows", "Cycles", "Sum"],
+                heatmaps,
                 title="" if sections else title,
             )
         )

@@ -80,6 +80,7 @@ class ScalingController:
                 )
                 tracer.advance()
         telemetry.counter("scaling.up_scales").inc()
+        self._observe_census()
         return instance
 
     def _find_extension(
@@ -148,6 +149,7 @@ class ScalingController:
                 self.vlsi.fabric.cluster(coord).free()
             instance.region = Region(keep)
         telemetry.counter("scaling.down_scales").inc()
+        self._observe_census()
         return instance
 
     # -- fusion / splitting ---------------------------------------------------
@@ -196,6 +198,7 @@ class ScalingController:
             fused.state.configure()
             self.vlsi.processors[name] = fused
         telemetry.counter("scaling.fuses").inc()
+        self._observe_census()
         return fused
 
     def split(
@@ -240,9 +243,19 @@ class ScalingController:
                 self.vlsi.processors[new_name] = inst
                 halves.append(inst)
         telemetry.counter("scaling.splits").inc()
+        self._observe_census()
         return halves[0], halves[1]
 
     # -- helpers -----------------------------------------------------------
+
+    def _observe_census(self) -> None:
+        """Publish the chip-wide Figure 6(e) census as gauges after a
+        scaling operation — one ``enabled`` check when observation is
+        off, so the hot path stays free (same discipline as tracing)."""
+        if not telemetry.observer().enabled:
+            return
+        for state, count in self.vlsi.lifecycle_census().items():
+            telemetry.gauge(f"scaling.census.{state}").set(float(count))
 
     def _inactive(self, name: str) -> ProcessorInstance:
         instance = self.vlsi.processor(name)

@@ -25,12 +25,12 @@ Legal transitions::
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro import telemetry
 from repro.errors import StateTransitionError
 
-__all__ = ["ProcessorState", "ProcessorStateMachine"]
+__all__ = ["ProcessorState", "ProcessorStateMachine", "lifecycle_census"]
 
 
 class ProcessorState(enum.Enum):
@@ -156,3 +156,17 @@ class ProcessorStateMachine:
     @property
     def is_allocated(self) -> bool:
         return self.state is not ProcessorState.RELEASE
+
+
+def lifecycle_census(
+    machines: Iterable["ProcessorStateMachine"],
+) -> Dict[str, int]:
+    """Count how many machines sit in each Figure 6(e) state.
+
+    Every state appears in the result (zero when empty) and keys follow
+    the diagram's order — release, inactive, active, sleep — so sampled
+    censuses line up row-for-row across cycles."""
+    census = {state.value: 0 for state in ProcessorState}
+    for machine in machines:
+        census[machine.state.value] += 1
+    return census

@@ -18,7 +18,11 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 from repro.errors import ConfigurationError, RegionError, StateTransitionError
 from repro.core.allocation import ClusterAllocator
 from repro.core.ipc import Mailbox
-from repro.core.states import ProcessorState, ProcessorStateMachine
+from repro.core.states import (
+    ProcessorState,
+    ProcessorStateMachine,
+    lifecycle_census,
+)
 from repro.noc.network import RouterNetwork
 from repro.noc.wormhole import WormholeConfigurator
 from repro.topology.cluster import ClusterResources
@@ -161,6 +165,17 @@ class VLSIProcessor:
         """Fraction of clusters owned by live processors."""
         owned = sum(p.n_clusters for p in self.processors.values())
         return owned / len(self.fabric)
+
+    def lifecycle_census(self) -> Dict[str, int]:
+        """Figure 6(e) state census across the whole chip.
+
+        Live processors report their machine's state; the ``release``
+        row counts the fabric's free clusters (a destroyed processor
+        leaves no machine behind, but its clusters return to the release
+        pool — §3.3 "starts from and ends with the release state")."""
+        census = lifecycle_census(p.state for p in self.processors.values())
+        census[ProcessorState.RELEASE.value] = self.allocator.free_count()
+        return census
 
     def render(self) -> str:
         """ASCII view of the fabric with processor ownership."""

@@ -308,3 +308,11 @@ class ChainedCSD:
 
     def used_channels_per_segment(self) -> List[int]:
         return [net.used_channels() for net in self.segments]
+
+    # -- observation probes ------------------------------------------------
+
+    def junction_states(self) -> List[int]:
+        """Chain-switch position per junction: 1 = chained (the fused
+        processor spans it), 0 = unchained (split) — §2.6.1's state made
+        samplable so a heatmap shows *when* a junction split."""
+        return [1 if chained else 0 for chained in self._junction_chained]

@@ -133,6 +133,10 @@ class Channel:
         used = sum(len(s) for s in self._occupants.values())
         return used / self.n_segments
 
+    def occupied_segments(self) -> int:
+        """Number of segments currently claimed by some span."""
+        return sum(len(s) for s in self._occupants.values())
+
     def shift_all(self, amount: int) -> List[Hashable]:
         """Stack-shift every occupant's span ``amount`` positions down.
 
@@ -192,3 +196,21 @@ class ChannelPool:
         """Number of channels with at least one occupant — Figure 3's
         "Number of used Channels" metric."""
         return sum(1 for ch in self.channels if not ch.is_idle)
+
+    # -- observation probes ------------------------------------------------
+
+    def segment_demand(self) -> List[int]:
+        """How many channels occupy each segment position — channel
+        demand *along the linear array* (§2.6's locality story made
+        spatial: local datapaths leave the far segments cold)."""
+        demand = [0] * self.n_segments
+        for channel in self.channels:
+            for span in channel._occupants.values():
+                for seg in range(span.lo, span.hi):
+                    demand[seg] += 1
+        return demand
+
+    def channel_occupancy(self) -> List[int]:
+        """Occupied-segment count per channel index — which channels the
+        priority encoder has filled, and how deeply."""
+        return [ch.occupied_segments() for ch in self.channels]

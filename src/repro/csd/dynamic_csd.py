@@ -254,3 +254,14 @@ class DynamicCSDNetwork:
         """
         used = [ch.index for ch in self.pool if not ch.is_idle]
         return max(used) + 1 if used else 0
+
+    # -- observation probes ------------------------------------------------
+
+    def segment_demand(self) -> List[int]:
+        """Channel demand per segment position along the linear array
+        (see :meth:`repro.csd.channels.ChannelPool.segment_demand`)."""
+        return self.pool.segment_demand()
+
+    def channel_occupancy(self) -> List[int]:
+        """Occupied-segment count per channel index."""
+        return self.pool.channel_occupancy()

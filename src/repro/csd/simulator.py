@@ -35,6 +35,7 @@ from repro import telemetry
 from repro.errors import ChannelAllocationError, RetryExhaustedError
 from repro.csd.dynamic_csd import DynamicCSDNetwork
 from repro.csd.locality import LocalityWorkload
+from repro.telemetry.observe import Sampler, point_label
 
 __all__ = [
     "SimulationResult",
@@ -83,6 +84,7 @@ class CSDSimulator:
         two_source: bool = False,
         faults=None,
         retry_policy=None,
+        sample_series: bool = False,
     ) -> SimulationResult:
         """Configure one full random datapath; count the channels used.
 
@@ -104,6 +106,14 @@ class CSDSimulator:
         retries counts as ``blocked``, exactly like an unretried block.
         With both left ``None`` (or a fault-free injector) the trial is
         byte-identical to the uninstrumented path.
+
+        When :func:`repro.telemetry.enable_observation` is on, a
+        :class:`~repro.telemetry.Sampler` snapshots segment demand and
+        channel occupancy into point-labelled heatmaps as the datapath
+        fills in (one logical cycle per chaining request).
+        ``sample_series`` additionally records the used-channel
+        time-series — the sweep passes it for trial 0 of each point only,
+        so samples from repeated trials never collide on one cycle axis.
         """
         workload = LocalityWorkload(
             self.n_objects, locality, seed=trial_seed if trial_seed is not None else self.seed
@@ -119,6 +129,30 @@ class CSDSimulator:
             from repro.faults.recovery import connect_with_retry
         blocked = 0
         telemetry.counter("fig3.trials").inc()
+        observer = telemetry.observer()
+        sampler = None
+        if observer.enabled:
+            label = point_label(n=self.n_objects, loc=locality)
+            sampler = Sampler(
+                observer.effective_stride(max(1, self.n_objects // 64))
+            )
+            sampler.attach_heatmap(
+                telemetry.heatmap(f"csd.segment_demand{label}"),
+                lambda: {
+                    f"s{i}": v for i, v in enumerate(net.segment_demand())
+                },
+            )
+            sampler.attach_heatmap(
+                telemetry.heatmap(f"csd.channel_occupancy{label}"),
+                lambda: {
+                    f"ch{i}": v for i, v in enumerate(net.channel_occupancy())
+                },
+            )
+            if sample_series:
+                sampler.attach_series(
+                    telemetry.time_series(f"csd.used_channels{label}"),
+                    net.used_channels,
+                )
         tracer = telemetry.tracer()
         with telemetry.scope("fig3.trial"), tracer.span(
             "fig3.trial", kind="trial", n_objects=self.n_objects,
@@ -140,6 +174,9 @@ class CSDSimulator:
                         blocked += 1
                     except RetryExhaustedError:
                         blocked += 1
+                if sampler is not None:
+                    # one chaining request = one observation cycle
+                    sampler.tick()
         return SimulationResult(
             n_objects=self.n_objects,
             locality_knob=locality,
@@ -158,7 +195,10 @@ class CSDSimulator:
             raise ValueError("need at least one trial")
         base = self.seed if self.seed is not None else 0
         return [
-            self.run_trial(locality, trial_seed=base + 1000 * t) for t in range(n_trials)
+            self.run_trial(
+                locality, trial_seed=base + 1000 * t, sample_series=(t == 0)
+            )
+            for t in range(n_trials)
         ]
 
     def mean_used_channels(self, locality: float, n_trials: int = 10) -> float:
@@ -183,7 +223,7 @@ def _sweep_point(
     ):
         sim = CSDSimulator(n_objects, seed=seed)
         trials = sim.run_many(locality, n_trials)
-    return SimulationResult(
+    point = SimulationResult(
         n_objects=n_objects,
         locality_knob=locality,
         realized_locality=float(
@@ -196,32 +236,43 @@ def _sweep_point(
         requests=trials[0].requests,
         blocked=int(round(np.mean([t.blocked for t in trials]))),
     )
+    if telemetry.observer().enabled:
+        label = point_label(n=n_objects, loc=locality)
+        telemetry.gauge(f"fig3.used_channels{label}").set(point.used_channels)
+        telemetry.gauge(f"fig3.blocked{label}").set(point.blocked)
+    return point
 
 
 def _point_task(
-    task: Tuple[int, float, int, int, bool]
+    task: Tuple[int, float, int, int, bool, bool, int]
 ) -> Tuple[SimulationResult, Dict[str, Any]]:
     """Worker-process entry: run one point and ship the telemetry delta
     back with it.  The registry is reset first because a forked worker
     inherits the parent's counts and must report only its own.  The
-    tracing flag travels in the task tuple (not the inherited process
-    state) so span tracing also works under spawn-based pools."""
-    n_objects, locality, n_trials, seed, trace = task
+    tracing and observation flags travel in the task tuple (not the
+    inherited process state) so both also work under spawn-based
+    pools."""
+    n_objects, locality, n_trials, seed, trace, observe, stride = task
     telemetry.reset()
     telemetry.enable_tracing(trace)
+    telemetry.enable_observation(observe, stride)
     point = _sweep_point(n_objects, locality, n_trials, seed)
     return point, telemetry.snapshot()
 
 
 def _tasks(
     points: List[Tuple[int, float]], n_trials: int, seed: int
-) -> List[Tuple[int, float, int, int, bool]]:
+) -> List[Tuple[int, float, int, int, bool, bool, int]]:
     trace = telemetry.tracer().enabled
-    return [(n, loc, n_trials, seed, trace) for n, loc in points]
+    obs = telemetry.observer()
+    return [
+        (n, loc, n_trials, seed, trace, obs.enabled, obs.stride)
+        for n, loc in points
+    ]
 
 
 def _run_points_parallel(
-    tasks: List[Tuple[int, float, int, int, bool]], workers: int
+    tasks: List[Tuple[int, float, int, int, bool, bool, int]], workers: int
 ) -> List[SimulationResult]:
     """Fan ``tasks`` (one per locality point) over a process pool.
 

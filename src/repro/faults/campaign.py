@@ -50,6 +50,7 @@ from repro.faults.recovery import (
     chained_connect_with_retry,
     with_retry,
 )
+from repro.telemetry.observe import Sampler, point_label
 
 __all__ = [
     "CAMPAIGN_SCHEMA",
@@ -102,15 +103,43 @@ def _reconfig_phase(
     injector: FaultInjector,
     policy: RetryPolicy,
     trial_seed: int,
+    label: Optional[str] = None,
 ) -> Tuple[Dict[str, Any], FaultAwareDefectInjector]:
     """Scale one processor onto a faulty fabric: retry, then degrade,
-    then exercise the section-1 defect-remap story on the survivor."""
+    then exercise the section-1 defect-remap story on the survivor.
+
+    With observation on (and a point ``label``), a sampler rides the
+    router network recording per-router buffer depths, and the §3.4
+    lifecycle census plus the §3.2 chain-switch settings are snapshot
+    into heatmaps at the phase's two milestones (after placement, after
+    the defect remap).  Heatmap cells are additive, so repeated trials
+    at one point accumulate — the matrix reads as "across this point's
+    trials, how often was this cell in this state"."""
     rows, cols = _FABRIC
     vlsi = VLSIProcessor(rows, cols)
     vlsi.configurator.faults = injector
     if vlsi.network is not None:
         vlsi.network.faults = injector
     degrader = FaultAwareDefectInjector(vlsi, faults=injector, seed=trial_seed)
+    observer = telemetry.observer()
+    observing = label is not None and observer.enabled
+    if observing and vlsi.network is not None:
+        sampler = Sampler(observer.effective_stride(4))
+        sampler.attach_heatmap(
+            telemetry.heatmap(f"noc.buffer_depth{label}"),
+            vlsi.network.buffer_depths,
+        )
+        vlsi.network.sampler = sampler
+
+    def milestone(index: int) -> None:
+        if not observing:
+            return
+        census = telemetry.heatmap(f"faults.lifecycle{label}")
+        for state, count in vlsi.lifecycle_census().items():
+            census.add(state, index, count)
+        switches = telemetry.heatmap(f"stopo.chain_switches{label}")
+        for edge, value in vlsi.fabric.chain_switch_states().items():
+            switches.add(edge, index, value)
 
     def create():
         return vlsi.create_processor("p0", n_clusters=_RECONFIG_CLUSTERS)
@@ -139,6 +168,7 @@ def _reconfig_phase(
             outcome = "degraded"
         except (RetryExhaustedError, ReproError):
             outcome = "lost"
+    milestone(0)
 
     remap_attempted = False
     remap_ok = False
@@ -149,6 +179,7 @@ def _reconfig_phase(
         remap_attempted = True
         _, defect = degrader.quarantine_cluster(victim, remap=True)
         remap_ok = bool(defect.remapped)
+    milestone(1)
 
     stats = {
         "outcome": outcome,
@@ -163,18 +194,22 @@ def _chained_phase(
     n_objects: int,
     policy: RetryPolicy,
     degrader: FaultAwareDefectInjector,
+    label: Optional[str] = None,
 ) -> Dict[str, int]:
     """Cross-segment chainings under junction faults; a permanently
-    sticking junction gets the paper's re-split response."""
+    sticking junction gets the paper's re-split response.  With
+    observation on, every crossing attempt snapshots the §2.6.1 junction
+    chain states into a point-labelled heatmap (cycle = pair index)."""
     seg = max(2, n_objects // 4)
     chained = ChainedCSD([seg, seg, seg], faults=injector)
+    observing = label is not None and telemetry.observer().enabled
     pairs = [
         ((0, 0), (2, seg - 1)),       # crosses both junctions
         ((0, seg - 1), (1, 0)),       # crosses junction 0
         ((1, seg // 2), (2, 0)),      # crosses junction 1
     ]
     connected = splits = lost = severed = 0
-    for source, sink in pairs:
+    for pair_index, (source, sink) in enumerate(pairs):
         try:
             chained_connect_with_retry(chained, source, sink, policy=policy)
             connected += 1
@@ -193,6 +228,10 @@ def _chained_phase(
                     did_split = True
             if not did_split:
                 lost += 1
+        if observing:
+            junctions = telemetry.heatmap(f"chained.junctions{label}")
+            for j, state in enumerate(chained.junction_states()):
+                junctions.add(f"j{j}", pair_index, state)
     return {
         "connected": connected,
         "splits": splits,
@@ -213,6 +252,11 @@ def run_fault_trial(
     injector = FaultInjector(
         FaultPlan.uniform(_plan_seed(seed, n_objects, rate, trial), rate)
     )
+    label = (
+        point_label(n=n_objects, rate=rate)
+        if telemetry.observer().enabled
+        else None
+    )
     sim = CSDSimulator(n_objects, seed=seed)
     # same trial-seed derivation as CSDSimulator.run_many, so the rate-0
     # campaign replays the Figure 3 sweep byte-for-byte
@@ -222,8 +266,10 @@ def run_fault_trial(
         faults=injector,
         retry_policy=policy,
     )
-    reconfig, degrader = _reconfig_phase(injector, policy, trial_seed=seed + 1000 * trial)
-    chained = _chained_phase(injector, n_objects, policy, degrader)
+    reconfig, degrader = _reconfig_phase(
+        injector, policy, trial_seed=seed + 1000 * trial, label=label
+    )
+    chained = _chained_phase(injector, n_objects, policy, degrader, label=label)
     served = 1.0 - (csd.blocked / csd.requests if csd.requests else 0.0)
     survived = reconfig["outcome"] != "lost" and served >= 0.9
     deg_survived, deg_total = degrader.survival_summary()
@@ -296,6 +342,14 @@ def campaign_point(
         key: sum(1 for t in trials if t["reconfig"]["outcome"] == key)
         for key in ("first_try", "recovered", "degraded", "lost")
     }
+    if telemetry.observer().enabled:
+        label = point_label(n=n_objects, rate=rate)
+        telemetry.gauge(f"faults.survival{label}").set(
+            float(np.mean([1.0 if t["survived"] else 0.0 for t in trials]))
+        )
+        telemetry.gauge(f"faults.recovery_p95{label}").set(
+            _percentiles(recovery)["p95"]
+        )
     return {
         "n_objects": n_objects,
         "rate": float(rate),
@@ -331,16 +385,22 @@ def campaign_point(
 
 # -- campaign sweep (serial and process-pool paths) -------------------------
 
-Task = Tuple[int, float, int, int, Tuple[int, int, int], float, bool]
+Task = Tuple[
+    int, float, int, int, Tuple[int, int, int], float, bool, bool, int
+]
 
 
 def _campaign_task(task: Task) -> Tuple[Dict[str, Any], Dict[str, Any]]:
     """Worker-process entry: one point plus its telemetry delta (the
     registry is reset first — a forked worker inherits the parent's
     counts and must report only its own)."""
-    n_objects, rate, n_trials, seed, policy_tuple, locality, trace = task
+    (
+        n_objects, rate, n_trials, seed, policy_tuple, locality,
+        trace, observe, stride,
+    ) = task
     telemetry.reset()
     telemetry.enable_tracing(trace)
+    telemetry.enable_observation(observe, stride)
     policy = RetryPolicy(*policy_tuple)
     point = campaign_point(
         n_objects, rate, n_trials, seed, policy=policy, locality=locality
@@ -378,8 +438,12 @@ def run_campaign(
         from concurrent.futures import ProcessPoolExecutor
 
         trace = telemetry.tracer().enabled
+        obs = telemetry.observer()
         tasks: List[Task] = [
-            (n, r, n_trials, seed, policy_tuple, locality, trace)
+            (
+                n, r, n_trials, seed, policy_tuple, locality,
+                trace, obs.enabled, obs.stride,
+            )
             for n, r in grid
         ]
         points = []

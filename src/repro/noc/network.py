@@ -79,6 +79,11 @@ class RouterNetwork:
             for c in range(cols)
         }
         self.cycle_count = 0
+        #: Optional :class:`repro.telemetry.Sampler` ticked once per
+        #: :meth:`step` — attach buffer-depth probes here to record the
+        #: per-router queue heatmap; ``None`` (the default) costs one
+        #: attribute check per cycle.
+        self.sampler = None
         self.delivered: List[DeliveryRecord] = []
         self._inject_backlog: Dict[Coord, Deque[Flit]] = {
             coord: deque() for coord in self.routers
@@ -172,6 +177,8 @@ class RouterNetwork:
         stalled = len(proposals) - movements
         if stalled:
             telemetry.counter("noc.stalls").inc(stalled)
+        if self.sampler is not None:
+            self.sampler.tick()
         return movements
 
     def run_until_drained(self, max_cycles: int = 100_000) -> int:
@@ -271,6 +278,15 @@ class RouterNetwork:
         return sum(r.occupancy() for r in self.routers.values()) + sum(
             len(b) for b in self._inject_backlog.values()
         )
+
+    def buffer_depths(self) -> Dict[str, int]:
+        """Queued-flit count per router, keyed ``"r<row>c<col>"`` in
+        row-major order — the Figure 7(e) input queues as one samplable
+        observation (where a worm's backpressure piles up)."""
+        return {
+            f"r{r}c{c}": router.queued_flits()
+            for (r, c), router in sorted(self.routers.items())
+        }
 
     def mean_latency(self) -> float:
         if not self.delivered:

@@ -96,6 +96,11 @@ class Router:
             )
         self.queues[(port, vc)].append(flit)
 
+    def queued_flits(self) -> int:
+        """Total flits buffered across every (port, VC) input queue —
+        the router's contribution to the buffer-depth heatmap."""
+        return sum(len(q) for q in self.queues.values())
+
     # -- allocation stage --------------------------------------------------
 
     def arbitrate(self) -> List[ProposedMove]:

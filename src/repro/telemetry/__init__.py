@@ -32,6 +32,13 @@ from typing import Any, Dict
 
 from repro.telemetry.events import Event, EventTrace
 from repro.telemetry.metrics import Counter, Histogram, Scope, Timer
+from repro.telemetry.observe import (
+    Gauge,
+    Heatmap,
+    Observer,
+    Sampler,
+    TimeSeries,
+)
 from repro.telemetry.registry import Registry
 from repro.telemetry.sinks import JSONSink, Sink, TextSink
 from repro.telemetry.tracing import Span, SpanEvent, Tracer
@@ -41,6 +48,11 @@ __all__ = [
     "Timer",
     "Histogram",
     "Scope",
+    "Gauge",
+    "TimeSeries",
+    "Heatmap",
+    "Sampler",
+    "Observer",
     "Event",
     "EventTrace",
     "Registry",
@@ -54,12 +66,17 @@ __all__ = [
     "counter",
     "timer",
     "histogram",
+    "gauge",
+    "time_series",
+    "heatmap",
     "event",
     "scope",
     "tracer",
     "span",
     "instant",
     "enable_tracing",
+    "observer",
+    "enable_observation",
     "snapshot",
     "merge",
     "reset",
@@ -85,6 +102,18 @@ def timer(name: str) -> Timer:
 
 def histogram(name: str) -> Histogram:
     return _default.histogram(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _default.gauge(name)
+
+
+def time_series(name: str) -> TimeSeries:
+    return _default.time_series(name)
+
+
+def heatmap(name: str) -> Heatmap:
+    return _default.heatmap(name)
 
 
 def event(name: str, **fields: Any) -> None:
@@ -118,6 +147,24 @@ def enable_tracing(on: bool = True) -> Tracer:
     """Switch causal span tracing on (or back off); returns the tracer."""
     _default.tracer.enabled = on
     return _default.tracer
+
+
+def observer() -> Observer:
+    """The default registry's observation switch (disabled until
+    :func:`enable_observation`)."""
+    return _default.observer
+
+
+def enable_observation(on: bool = True, stride: int = 0) -> Observer:
+    """Switch per-cycle fabric observation on (or back off).
+
+    ``stride`` fixes the sampling stride; 0 (the default) lets each
+    sampling site pick an automatic stride that bounds its own sample
+    count.  Returns the observer.
+    """
+    _default.observer.enabled = on
+    _default.observer.stride = stride
+    return _default.observer
 
 
 def snapshot() -> Dict[str, Any]:

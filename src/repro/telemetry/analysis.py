@@ -48,7 +48,11 @@ def load_chrome_trace(path: str) -> List[Span]:
     """
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    events = doc.get("traceEvents") if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        raise ValueError(
+            f"{path}: not a Chrome trace (no traceEvents list)"
+        )
     spans: Dict[int, Span] = {}
     instants: List[Dict[str, Any]] = []
     for entry in events:

@@ -1,0 +1,225 @@
+"""Benchmark baselines and the regression guard over them.
+
+``record_baseline`` runs a small canonical configuration of one of the
+two headline benches (the Figure 3 sweep, the fault campaign) and
+captures two kinds of numbers:
+
+* **deterministic** metrics — used/blocked channel counts, survival
+  fractions, p95 recovery latency *in simulated cycles*.  These derive
+  only from the seed, so any drift means the simulation's behaviour
+  changed, and the guard flags them near-exactly (recovery latency gets
+  a small tolerance because it is the quantity the paper's fault story
+  is judged on — a threshold, not an identity).
+* **wall-clock** metrics — points-per-second throughput.  These are
+  machine-dependent; the guard compares them with a relative tolerance
+  and CI can skip them entirely (``--skip-wallclock``) so a slow runner
+  never produces a false alarm while local runs still catch real
+  slowdowns.
+
+The recorded ``BENCH_fig3.json`` / ``BENCH_faults.json`` files live at
+the repo root; ``check_baseline`` re-runs the configuration they embed
+and returns a list of regression descriptions (empty = pass).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.telemetry.observe import point_label
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BENCHES",
+    "record_baseline",
+    "measure_bench",
+    "check_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Version tag of the baseline file format (bump on breaking change).
+BASELINE_SCHEMA = "repro.telemetry.baseline/1"
+
+#: Canonical (small, seconds-scale) configurations per bench.
+BENCHES: Dict[str, Dict[str, Any]] = {
+    "fig3": {
+        "n_objects": [16, 32],
+        "localities": [1.0, 0.5, 0.0],
+        "n_trials": 3,
+        "seed": 42,
+    },
+    "faults": {
+        "rates": [0.0, 0.1],
+        "n_objects": [16],
+        "n_trials": 3,
+        "seed": 42,
+    },
+}
+
+#: Deterministic metrics matching this substring are latency thresholds,
+#: checked with ``latency_tolerance`` instead of exact equality.
+_LATENCY_MARKER = "recovery_p95"
+
+#: Absolute slack (simulated cycles) under the latency check, so a zero
+#: baseline still has a meaningful threshold.
+_LATENCY_SLACK_CYCLES = 2.0
+
+
+def measure_bench(bench: str, config: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one bench configuration; returns deterministic + wall-clock
+    measurements in the baseline's shape."""
+    if bench == "fig3":
+        from repro.csd.simulator import figure3_series
+
+        start = time.perf_counter()
+        series = figure3_series(
+            localities=list(config["localities"]),
+            n_trials=int(config["n_trials"]),
+            seed=int(config["seed"]),
+            n_objects_list=list(config["n_objects"]),
+        )
+        elapsed = time.perf_counter() - start
+        deterministic: Dict[str, float] = {}
+        n_points = 0
+        for n, points in sorted(series.items()):
+            for point in points:
+                label = point_label(n=n, loc=point.locality_knob)
+                deterministic[f"fig3.used_channels{label}"] = float(
+                    point.used_channels
+                )
+                deterministic[f"fig3.blocked{label}"] = float(point.blocked)
+                n_points += 1
+    elif bench == "faults":
+        from repro.faults.campaign import run_campaign
+
+        start = time.perf_counter()
+        report = run_campaign(
+            rates=list(config["rates"]),
+            n_objects_list=list(config["n_objects"]),
+            n_trials=int(config["n_trials"]),
+            seed=int(config["seed"]),
+        )
+        elapsed = time.perf_counter() - start
+        deterministic = {}
+        n_points = 0
+        for point in report["points"]:
+            label = point_label(n=point["n_objects"], rate=point["rate"])
+            deterministic[f"faults.survival{label}"] = float(point["survival"])
+            deterministic[f"faults.recovery_p95{label}"] = float(
+                point["recovery_cycles"]["p95"]
+            )
+            n_points += 1
+    else:
+        raise ValueError(f"unknown bench {bench!r} (want one of {sorted(BENCHES)})")
+    elapsed = max(elapsed, 1e-9)
+    return {
+        "deterministic": deterministic,
+        "wallclock": {
+            "elapsed_s": elapsed,
+            "points_per_s": n_points / elapsed,
+        },
+    }
+
+
+def record_baseline(
+    bench: str, config: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Measure ``bench`` and wrap the result as a baseline document."""
+    if config is None:
+        config = BENCHES[bench] if bench in BENCHES else None
+    if config is None:
+        raise ValueError(f"unknown bench {bench!r} (want one of {sorted(BENCHES)})")
+    measured = measure_bench(bench, config)
+    return {
+        "schema": BASELINE_SCHEMA,
+        "bench": bench,
+        "config": config,
+        "deterministic": measured["deterministic"],
+        "wallclock": measured["wallclock"],
+    }
+
+
+def check_baseline(
+    baseline: Dict[str, Any],
+    measured: Optional[Dict[str, Any]] = None,
+    throughput_tolerance: float = 0.15,
+    latency_tolerance: float = 0.15,
+    skip_wallclock: bool = False,
+) -> List[str]:
+    """Compare a fresh measurement against a recorded baseline.
+
+    Returns human-readable regression descriptions; an empty list means
+    the baseline holds.  ``measured`` defaults to re-running the
+    baseline's own configuration.  A 20% synthetic throughput drop or a
+    20% synthetic p95-latency inflation fails at the default 15%
+    tolerances — that is the guard's acceptance contract.
+    """
+    if not isinstance(baseline, dict) or baseline.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"not a baseline document (want schema {BASELINE_SCHEMA!r})"
+        )
+    if measured is None:
+        measured = measure_bench(baseline["bench"], baseline["config"])
+    regressions: List[str] = []
+    base_det = baseline.get("deterministic", {})
+    got_det = measured.get("deterministic", {})
+    for name in sorted(base_det):
+        expected = float(base_det[name])
+        if name not in got_det:
+            regressions.append(f"{name}: missing from measurement")
+            continue
+        actual = float(got_det[name])
+        if _LATENCY_MARKER in name:
+            limit = expected * (1.0 + latency_tolerance) + _LATENCY_SLACK_CYCLES
+            if actual > limit:
+                regressions.append(
+                    f"{name}: p95 recovery latency {actual:g} cycles exceeds "
+                    f"baseline {expected:g} (limit {limit:g})"
+                )
+        elif abs(actual - expected) > 1e-9:
+            regressions.append(
+                f"{name}: deterministic metric changed "
+                f"{expected:g} -> {actual:g}"
+            )
+    for name in sorted(got_det):
+        if name not in base_det:
+            regressions.append(f"{name}: new metric absent from baseline")
+    if not skip_wallclock:
+        base_tp = float(baseline.get("wallclock", {}).get("points_per_s", 0.0))
+        got_tp = float(measured.get("wallclock", {}).get("points_per_s", 0.0))
+        if base_tp > 0 and got_tp < base_tp * (1.0 - throughput_tolerance):
+            regressions.append(
+                f"throughput: {got_tp:.2f} points/s is more than "
+                f"{throughput_tolerance:.0%} below baseline {base_tp:.2f}"
+            )
+    return regressions
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate a ``BENCH_*.json`` baseline.
+
+    Raises
+    ------
+    ValueError
+        On unparseable JSON or a wrong schema tag (CLI exit code 2).
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not JSON ({exc})") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a baseline document (want schema {BASELINE_SCHEMA!r})"
+        )
+    return doc
+
+
+def write_baseline(baseline: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Canonical serialization: sorted keys, indent 2, trailing newline."""
+    path = Path(path)
+    path.write_text(json.dumps(baseline, sort_keys=True, indent=2) + "\n")
+    return path

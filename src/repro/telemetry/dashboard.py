@@ -1,0 +1,277 @@
+"""Self-contained HTML dashboard for an observation document.
+
+``render_dashboard`` turns one observation document (see
+:mod:`repro.telemetry.exposition`) into a single HTML file with **no
+external dependencies**: styles are inline, charts are inline SVG, and
+hover detail uses native ``<title>`` tooltips — the artifact opens from
+a CI tarball or an ``file://`` URL identically.
+
+Rendering is byte-deterministic: everything iterates the document's
+canonically-sorted structures, numbers render through the same
+``repr``-based formatter the other exporters use, and no timestamps or
+environment strings are embedded.  Visual conventions: a single
+sequential blue ramp for heatmap magnitude, one series per line panel
+(the panel title names it, so no legend is needed), and a ``<details>``
+table view per chart for non-visual access.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Tuple
+
+from repro.telemetry.observe import natural_key
+
+__all__ = ["render_dashboard", "SEQUENTIAL_RAMP"]
+
+_RAMP_LO = (0xCD, 0xE2, 0xFB)
+_RAMP_HI = (0x0D, 0x36, 0x6B)
+
+#: 13-step light-to-dark sequential blue ramp for heatmap magnitude.
+SEQUENTIAL_RAMP: Tuple[str, ...] = tuple(
+    "#%02x%02x%02x"
+    % tuple(
+        round(lo + (hi - lo) * step / 12)
+        for lo, hi in zip(_RAMP_LO, _RAMP_HI)
+    )
+    for step in range(13)
+)
+
+_LINE_COLOR = "#2a78d6"
+_SURFACE = "#fcfcfb"
+_TABLE_CAP = 2000
+
+_CSS = """
+:root { color-scheme: light; }
+body { font: 14px/1.45 system-ui, sans-serif; margin: 24px;
+       background: %(surface)s; color: #1f2430; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; border-bottom: 1px solid #e3e3df;
+     padding-bottom: 4px; }
+h3 { font-size: 13px; margin: 16px 0 4px; font-weight: 600; }
+.sub { color: #6b7280; font-size: 12px; margin-bottom: 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; }
+.tile { border: 1px solid #e3e3df; border-radius: 6px; padding: 8px 14px;
+        background: #ffffff; min-width: 140px; }
+.tile .v { font-size: 20px; font-weight: 600; }
+.tile .n { color: #6b7280; font-size: 11px; word-break: break-all; }
+svg { display: block; background: #ffffff; border: 1px solid #e3e3df;
+      border-radius: 6px; }
+.axis { fill: #6b7280; font-size: 10px; }
+.rowlab { fill: #1f2430; font-size: 10px; }
+details { margin: 6px 0 0; }
+summary { cursor: pointer; color: #6b7280; font-size: 12px; }
+table { border-collapse: collapse; font-size: 12px; margin-top: 6px; }
+td, th { border: 1px solid #e3e3df; padding: 2px 8px; text-align: right; }
+th { background: #f4f4f1; }
+td:first-child, th:first-child { text-align: left; }
+""" % {"surface": _SURFACE}
+
+
+def _num(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _esc(text: Any) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _ramp_color(value: float, lo: float, hi: float) -> str:
+    if hi <= lo:
+        return SEQUENTIAL_RAMP[len(SEQUENTIAL_RAMP) // 2]
+    frac = (value - lo) / (hi - lo)
+    step = min(len(SEQUENTIAL_RAMP) - 1, max(0, int(frac * 12 + 0.5)))
+    return SEQUENTIAL_RAMP[step]
+
+
+# -- panels ------------------------------------------------------------------
+
+
+def _stat_tiles(gauges: Dict[str, Any]) -> List[str]:
+    out = ["<div class=tiles>"]
+    for name, state in sorted(gauges.items()):
+        out.append(
+            f"<div class=tile><div class=v>{_num(state['value'])}</div>"
+            f"<div class=n>{_esc(name)}</div></div>"
+        )
+    out.append("</div>")
+    return out
+
+
+def _series_panel(name: str, state: Dict[str, Any]) -> List[str]:
+    samples: List[Tuple[int, float]] = [
+        (int(c), float(v)) for c, v in state["samples"]
+    ]
+    width, height, pad_l, pad_r, pad_t, pad_b = 640, 150, 46, 10, 10, 22
+    xs = [c for c, _ in samples]
+    ys = [v for _, v in samples]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+
+    def sx(c: int) -> float:
+        return pad_l + (c - x_lo) / (x_hi - x_lo) * (width - pad_l - pad_r)
+
+    def sy(v: float) -> float:
+        return pad_t + (y_hi - v) / (y_hi - y_lo) * (height - pad_t - pad_b)
+
+    points = " ".join(f"{sx(c):.1f},{sy(v):.1f}" for c, v in samples)
+    out = [f"<h3>{_esc(name)}</h3>"]
+    out.append(
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="{_esc(name)} time series">'
+    )
+    out.append(
+        f'<text class=axis x="{pad_l - 4}" y="{sy(y_hi):.1f}" '
+        f'text-anchor="end" dominant-baseline="middle">{_num(y_hi)}</text>'
+    )
+    out.append(
+        f'<text class=axis x="{pad_l - 4}" y="{sy(y_lo):.1f}" '
+        f'text-anchor="end" dominant-baseline="middle">{_num(y_lo)}</text>'
+    )
+    out.append(
+        f'<text class=axis x="{pad_l}" y="{height - 6}">cycle {x_lo}</text>'
+    )
+    out.append(
+        f'<text class=axis x="{width - pad_r}" y="{height - 6}" '
+        f'text-anchor="end">cycle {x_hi}</text>'
+    )
+    out.append(
+        f'<polyline fill="none" stroke="{_LINE_COLOR}" stroke-width="2" '
+        f'points="{points}"/>'
+    )
+    for c, v in samples:
+        out.append(
+            f'<circle cx="{sx(c):.1f}" cy="{sy(v):.1f}" r="3" '
+            f'fill="{_LINE_COLOR}"><title>cycle {c}: {_num(v)}</title>'
+            "</circle>"
+        )
+    out.append("</svg>")
+    out.extend(
+        _table(
+            ["cycle", "value"],
+            [[str(c), _num(v)] for c, v in samples],
+            f"{len(samples)} samples",
+        )
+    )
+    return out
+
+
+def _heatmap_panel(name: str, state: Dict[str, Any]) -> List[str]:
+    cells = [(str(r), int(c), float(v)) for r, c, v in state["cells"]]
+    rows = sorted({r for r, _, _ in cells}, key=natural_key)
+    cycles = sorted({c for _, c, _ in cells})
+    values = [v for _, _, v in cells]
+    v_lo, v_hi = min(values), max(values)
+    lookup = {(r, c): v for r, c, v in cells}
+    cell_w = max(4, min(24, 560 // max(1, len(cycles))))
+    cell_h = max(6, min(18, 360 // max(1, len(rows))))
+    pad_l, pad_t, pad_b = 74, 6, 20
+    width = pad_l + cell_w * len(cycles) + 10
+    height = pad_t + cell_h * len(rows) + pad_b
+    out = [f"<h3>{_esc(name)}</h3>"]
+    out.append(
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="{_esc(name)} heatmap">'
+    )
+    for ri, row in enumerate(rows):
+        y = pad_t + ri * cell_h
+        out.append(
+            f'<text class=rowlab x="{pad_l - 4}" y="{y + cell_h / 2:.1f}" '
+            f'text-anchor="end" dominant-baseline="middle">{_esc(row)}</text>'
+        )
+        for ci, cycle in enumerate(cycles):
+            value = lookup.get((row, cycle))
+            if value is None:
+                continue
+            color = _ramp_color(value, v_lo, v_hi)
+            out.append(
+                f'<rect x="{pad_l + ci * cell_w}" y="{y}" '
+                f'width="{cell_w - 1}" height="{cell_h - 1}" fill="{color}">'
+                f"<title>{_esc(row)}, cycle {cycle}: {_num(value)}</title>"
+                "</rect>"
+            )
+    out.append(
+        f'<text class=axis x="{pad_l}" y="{height - 6}">cycle {cycles[0]}</text>'
+    )
+    out.append(
+        f'<text class=axis x="{width - 10}" y="{height - 6}" '
+        f'text-anchor="end">cycle {cycles[-1]}</text>'
+    )
+    out.append("</svg>")
+    sorted_cells = sorted(cells, key=lambda c: (natural_key(c[0]), c[1]))
+    out.extend(
+        _table(
+            ["row", "cycle", "value"],
+            [[r, str(c), _num(v)] for r, c, v in sorted_cells],
+            f"{len(cells)} cells (range {_num(v_lo)}..{_num(v_hi)})",
+        )
+    )
+    return out
+
+
+def _table(
+    headers: List[str], rows: List[List[str]], summary: str
+) -> List[str]:
+    shown = rows[:_TABLE_CAP]
+    note = (
+        f" (showing first {_TABLE_CAP} of {len(rows)})"
+        if len(rows) > _TABLE_CAP
+        else ""
+    )
+    out = [f"<details><summary>table: {_esc(summary)}{note}</summary>"]
+    out.append("<table><tr>")
+    out.extend(f"<th>{_esc(h)}</th>" for h in headers)
+    out.append("</tr>")
+    for row in shown:
+        out.append(
+            "<tr>" + "".join(f"<td>{_esc(v)}</td>" for v in row) + "</tr>"
+        )
+    out.append("</table></details>")
+    return out
+
+
+# -- document ----------------------------------------------------------------
+
+
+def render_dashboard(doc: Dict[str, Any], title: str = None) -> str:
+    """Render one observation document as a standalone HTML page."""
+    from repro.telemetry.exposition import OBSERVE_SCHEMA
+
+    if not isinstance(doc, dict) or doc.get("schema") != OBSERVE_SCHEMA:
+        raise ValueError("render_dashboard needs an observation document")
+    title = title or doc.get("title", "observation")
+    parts = [
+        "<!doctype html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<div class=sub>{_esc(doc['schema'])} &middot; "
+        f"registry {_esc(doc.get('registry', 'repro'))}</div>",
+    ]
+    gauges = doc.get("gauges", {})
+    if gauges:
+        parts.append("<h2>Gauges</h2>")
+        parts.extend(_stat_tiles(gauges))
+    series = doc.get("series", {})
+    if series:
+        parts.append("<h2>Time series</h2>")
+        for name, state in sorted(series.items()):
+            parts.extend(_series_panel(name, state))
+    heatmaps = doc.get("heatmaps", {})
+    if heatmaps:
+        parts.append("<h2>Heatmaps</h2>")
+        for name, state in sorted(heatmaps.items()):
+            parts.extend(_heatmap_panel(name, state))
+    if not (gauges or series or heatmaps):
+        parts.append("<p>No observation data recorded.</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

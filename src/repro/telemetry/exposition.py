@@ -1,0 +1,394 @@
+"""Exporters for observation data: OpenMetrics, CSV, JSON, dashboard.
+
+One registry snapshot becomes one **observation document** — a plain,
+JSON-safe dict with a schema tag — and every exporter renders from that
+document, never from live objects.  The document (and therefore every
+rendering) is canonical:
+
+* empty instruments are elided (``Registry.reset`` keeps instrument
+  keys, and forked pool workers inherit the parent's names — without
+  elision a parallel run would expose ghost families a fresh serial
+  process lacks);
+* wall-clock timer seconds are excluded (only call counts travel), so
+  two runs of the same seed compare byte-for-byte no matter the host;
+* families, samples and cells are sorted on stable keys.
+
+These two rules are what make ``--observe`` output byte-identical
+between a serial sweep and a ``--workers N`` one.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.observe import natural_key
+
+__all__ = [
+    "OBSERVE_SCHEMA",
+    "observation_document",
+    "to_openmetrics",
+    "series_csv",
+    "heatmap_csv",
+    "observe_json",
+    "load_observation",
+    "write_observation",
+    "format_observe_report",
+]
+
+#: Version tag of the observation document format (bump on breaking change).
+OBSERVE_SCHEMA = "repro.telemetry.observe/1"
+
+_NAME_SPLIT = re.compile(r"^(?P<base>[^\[\]]+)(?:\[(?P<labels>[^\[\]]*)\])?$")
+_UNSAFE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _num(value: float) -> str:
+    """Deterministic number rendering: integral floats as ints, the rest
+    via ``repr`` (shortest round-trip, platform-independent)."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def split_labels(name: str) -> Tuple[str, List[Tuple[str, str]]]:
+    """Split ``"csd.used_channels[n=16,loc=0.5]"`` into the base name and
+    its ``point_label`` attributes.  A name without a suffix has no
+    labels; a malformed suffix is kept verbatim as part of the base."""
+    match = _NAME_SPLIT.match(name)
+    if match is None:
+        return name, []
+    base = match.group("base")
+    raw = match.group("labels")
+    if raw is None:
+        return base, []
+    labels = []
+    for part in raw.split(","):
+        if "=" in part:
+            key, value = part.split("=", 1)
+            labels.append((key.strip(), value.strip()))
+    return base, labels
+
+
+def _metric_name(base: str, suffix: str = "") -> str:
+    """OpenMetrics family name: ``repro_`` prefix, dots to underscores."""
+    return "repro_" + _UNSAFE.sub("_", base.strip()) + suffix
+
+
+def _label_str(labels: List[Tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_UNSAFE.sub("_", k)}="{v}"' for k, v in labels
+    )
+    return "{" + inner + "}"
+
+
+def _hist_stats(values: List[float]) -> Dict[str, float]:
+    h = Histogram("exposition.tmp", values=list(values))
+    return {
+        "count": h.count,
+        "sum": float(h.total),
+        "min": float(h.min),
+        "max": float(h.max),
+        "mean": float(h.mean),
+        "stddev": float(h.stddev),
+        "p50": float(h.percentile(50)),
+        "p95": float(h.percentile(95)),
+        "p99": float(h.percentile(99)),
+    }
+
+
+def observation_document(
+    snapshot: Dict[str, Any], title: str = "observation"
+) -> Dict[str, Any]:
+    """Distill a :meth:`Registry.snapshot` into the canonical
+    observation document every exporter renders from."""
+    counters = {
+        name: value
+        for name, value in sorted(snapshot.get("counters", {}).items())
+        if value
+    }
+    timers = {
+        name: {"calls": stats["calls"]}
+        for name, stats in sorted(snapshot.get("timers", {}).items())
+        if stats.get("calls")
+    }
+    histograms = {
+        name: _hist_stats(values)
+        for name, values in sorted(snapshot.get("histograms", {}).items())
+        if values
+    }
+    gauges = {
+        name: {
+            "value": float(state.get("value", 0.0)),
+            "updates": int(state.get("updates", 0)),
+        }
+        for name, state in sorted(snapshot.get("gauges", {}).items())
+        if state.get("updates")
+    }
+    series = {
+        name: {
+            "samples": [[int(c), float(v)] for c, v in state.get("samples", ())],
+            "dropped": int(state.get("dropped", 0)),
+        }
+        for name, state in sorted(snapshot.get("series", {}).items())
+        if state.get("samples")
+    }
+    heatmaps = {
+        name: {
+            "cells": [
+                [str(r), int(c), float(v)] for r, c, v in state.get("cells", ())
+            ],
+            "dropped": int(state.get("dropped", 0)),
+        }
+        for name, state in sorted(snapshot.get("heatmaps", {}).items())
+        if state.get("cells")
+    }
+    return {
+        "schema": OBSERVE_SCHEMA,
+        "title": title,
+        "registry": snapshot.get("name", "repro"),
+        "counters": counters,
+        "timers": timers,
+        "histograms": histograms,
+        "gauges": gauges,
+        "series": series,
+        "heatmaps": heatmaps,
+    }
+
+
+def _require_document(doc: Dict[str, Any]) -> None:
+    if not isinstance(doc, dict) or doc.get("schema") != OBSERVE_SCHEMA:
+        raise ValueError(
+            f"not an observation document (want schema {OBSERVE_SCHEMA!r}, "
+            f"got {doc.get('schema') if isinstance(doc, dict) else type(doc).__name__!r})"
+        )
+
+
+# -- OpenMetrics -------------------------------------------------------------
+
+
+def to_openmetrics(doc: Dict[str, Any]) -> str:
+    """Render the document as OpenMetrics text exposition.
+
+    Families are sorted by metric name; point labels parsed from the
+    ``[k=v,...]`` instrument-name suffix become Prometheus labels.
+    Series and heatmaps export scalar digests (their full data lives in
+    the CSV/JSON artifacts); timers export call counts only — never
+    wall seconds — to keep the text byte-comparable across runs.
+    """
+    _require_document(doc)
+    # family name -> (type, help, [(label_str, suffix, value), ...])
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def fam(name: str, kind: str, help_: str) -> Dict[str, Any]:
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = {
+                "type": kind, "help": help_, "samples": []
+            }
+        return entry
+
+    for name, value in doc.get("counters", {}).items():
+        base, labels = split_labels(name)
+        entry = fam(_metric_name(base), "counter", f"counter {base}")
+        entry["samples"].append((_label_str(labels), "_total", value))
+    for name, stats in doc.get("timers", {}).items():
+        base, labels = split_labels(name)
+        entry = fam(
+            _metric_name(base, "_calls"), "counter", f"timer calls {base}"
+        )
+        entry["samples"].append((_label_str(labels), "_total", stats["calls"]))
+    for name, state in doc.get("gauges", {}).items():
+        base, labels = split_labels(name)
+        entry = fam(_metric_name(base), "gauge", f"gauge {base}")
+        entry["samples"].append((_label_str(labels), "", state["value"]))
+    for name, state in doc.get("histograms", {}).items():
+        base, labels = split_labels(name)
+        entry = fam(_metric_name(base), "summary", f"histogram {base}")
+        entry["samples"].append((_label_str(labels), "_count", state["count"]))
+        entry["samples"].append((_label_str(labels), "_sum", state["sum"]))
+        for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            qlabels = labels + [("quantile", q)]
+            entry["samples"].append((_label_str(qlabels), "", state[key]))
+    for name, state in doc.get("series", {}).items():
+        base, labels = split_labels(name)
+        samples = state["samples"]
+        values = [v for _, v in samples]
+        digest = fam(_metric_name(base), "gauge", f"series digest {base}")
+        digest["samples"].append((_label_str(labels), "", samples[-1][1]))
+        count = fam(
+            _metric_name(base, "_samples"), "gauge", f"series samples {base}"
+        )
+        count["samples"].append((_label_str(labels), "", len(samples)))
+        peak = fam(_metric_name(base, "_max"), "gauge", f"series max {base}")
+        peak["samples"].append((_label_str(labels), "", max(values)))
+    for name, state in doc.get("heatmaps", {}).items():
+        base, labels = split_labels(name)
+        cells = state["cells"]
+        count = fam(
+            _metric_name(base, "_cells"), "gauge", f"heatmap cells {base}"
+        )
+        count["samples"].append((_label_str(labels), "", len(cells)))
+        total = fam(
+            _metric_name(base, "_sum"), "gauge", f"heatmap sum {base}"
+        )
+        total["samples"].append(
+            (_label_str(labels), "", sum(v for _, _, v in cells))
+        )
+
+    lines: List[str] = []
+    for name in sorted(families):
+        entry = families[name]
+        lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {entry['type']}")
+        for label_str, suffix, value in sorted(
+            entry["samples"], key=lambda s: (s[1], s[0])
+        ):
+            lines.append(f"{name}{suffix}{label_str} {_num(value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# -- CSV ---------------------------------------------------------------------
+
+
+def series_csv(doc: Dict[str, Any]) -> str:
+    """Long-form CSV of every time-series sample."""
+    _require_document(doc)
+    lines = ["series,cycle,value"]
+    for name, state in sorted(doc.get("series", {}).items()):
+        for cycle, value in state["samples"]:
+            lines.append(f"{name},{cycle},{_num(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def heatmap_csv(doc: Dict[str, Any]) -> str:
+    """Long-form CSV of every heatmap cell (natural row order)."""
+    _require_document(doc)
+    lines = ["heatmap,row,cycle,value"]
+    for name, state in sorted(doc.get("heatmaps", {}).items()):
+        cells = sorted(
+            state["cells"], key=lambda c: (natural_key(c[0]), c[1])
+        )
+        for row, cycle, value in cells:
+            lines.append(f"{name},{row},{cycle},{_num(value)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- JSON --------------------------------------------------------------------
+
+
+def observe_json(doc: Dict[str, Any]) -> str:
+    """Canonical JSON: sorted keys, stable indent, trailing newline."""
+    _require_document(doc)
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def load_observation(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate an ``observe.json`` document.
+
+    Raises
+    ------
+    ValueError
+        On unparseable JSON or a wrong/missing schema tag (the CLI maps
+        this to exit code 2).
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not JSON ({exc})") from exc
+    _require_document(doc)
+    return doc
+
+
+# -- bundle writer -----------------------------------------------------------
+
+
+def write_observation(
+    snapshot: Dict[str, Any],
+    outdir: Union[str, Path],
+    title: str = "observation",
+) -> Dict[str, Path]:
+    """Write the full observation bundle into ``outdir``.
+
+    Returns the paths written: ``observe.json`` (the document),
+    ``metrics.prom`` (OpenMetrics), ``series.csv`` / ``heatmaps.csv``
+    (long-form data), and ``dashboard.html`` (self-contained report).
+    """
+    from repro.telemetry.dashboard import render_dashboard
+
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    doc = observation_document(snapshot, title=title)
+    paths = {
+        "observe.json": observe_json(doc),
+        "metrics.prom": to_openmetrics(doc),
+        "series.csv": series_csv(doc),
+        "heatmaps.csv": heatmap_csv(doc),
+        "dashboard.html": render_dashboard(doc),
+    }
+    written = {}
+    for name, content in paths.items():
+        path = outdir / name
+        path.write_text(content)
+        written[name] = path
+    return written
+
+
+# -- human report ------------------------------------------------------------
+
+
+def format_observe_report(doc: Dict[str, Any]) -> str:
+    """Terminal summary of an observation document (``observe-report``)."""
+    _require_document(doc)
+    lines = [f"observation: {doc.get('title', '?')} [{doc['schema']}]"]
+    gauges = doc.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append(f"gauges ({len(gauges)}):")
+        width = max(len(n) for n in gauges)
+        for name, state in sorted(gauges.items()):
+            lines.append(
+                f"  {name:<{width}}  {_num(state['value']):>12}"
+                f"  ({state['updates']} updates)"
+            )
+    series = doc.get("series", {})
+    if series:
+        lines.append("")
+        lines.append(f"series ({len(series)}):")
+        width = max(len(n) for n in series)
+        for name, state in sorted(series.items()):
+            samples = state["samples"]
+            values = [v for _, v in samples]
+            lines.append(
+                f"  {name:<{width}}  {len(samples):>6} samples"
+                f"  last={_num(samples[-1][1])}"
+                f"  min={_num(min(values))}  max={_num(max(values))}"
+                + (f"  dropped={state['dropped']}" if state["dropped"] else "")
+            )
+    heatmaps = doc.get("heatmaps", {})
+    if heatmaps:
+        lines.append("")
+        lines.append(f"heatmaps ({len(heatmaps)}):")
+        width = max(len(n) for n in heatmaps)
+        for name, state in sorted(heatmaps.items()):
+            cells = state["cells"]
+            rows = {r for r, _, _ in cells}
+            cycles = {c for _, c, _ in cells}
+            lines.append(
+                f"  {name:<{width}}  {len(rows):>4} rows x "
+                f"{len(cycles):>4} cycles  sum={_num(sum(v for _, _, v in cells))}"
+                + (f"  dropped={state['dropped']}" if state["dropped"] else "")
+            )
+    counters = doc.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(f"counters: {len(counters)} non-zero")
+    return "\n".join(lines) + "\n"

@@ -109,6 +109,20 @@ class Histogram:
     def max(self) -> float:
         return max(self.values) if self.values else 0.0
 
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (two-pass over the raw values,
+        so merged worker histograms agree with a serial run exactly)."""
+        n = len(self.values)
+        if n < 2:
+            return 0.0
+        mean = self.total / n
+        return (sum((v - mean) ** 2 for v in self.values) / n) ** 0.5
+
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile, ``0 <= p <= 100``."""
         if not 0 <= p <= 100:

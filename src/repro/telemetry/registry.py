@@ -15,22 +15,27 @@ from typing import Any, Dict
 
 from repro.telemetry.events import EventTrace
 from repro.telemetry.metrics import Counter, Histogram, Timer
+from repro.telemetry.observe import Gauge, Heatmap, Observer, TimeSeries
 from repro.telemetry.tracing import Tracer
 
 __all__ = ["Registry"]
 
 
 class Registry:
-    """A namespace of counters, timers, histograms, one event trace, and
-    one span tracer."""
+    """A namespace of counters, timers, histograms, gauges, time-series,
+    heatmaps, one event trace, and one span tracer."""
 
     def __init__(self, name: str = "repro", trace_capacity: int = 1024) -> None:
         self.name = name
         self.counters: Dict[str, Counter] = {}
         self.timers: Dict[str, Timer] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self.heatmaps: Dict[str, Heatmap] = {}
         self.trace = EventTrace(trace_capacity)
         self.tracer = Tracer()
+        self.observer = Observer()
 
     # -- instrument access (get-or-create) --------------------------------
 
@@ -51,6 +56,24 @@ class Registry:
         if histogram is None:
             histogram = self.histograms[name] = Histogram(name)
         return histogram
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def time_series(self, name: str) -> TimeSeries:
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = TimeSeries(name)
+        return series
+
+    def heatmap(self, name: str) -> Heatmap:
+        heatmap = self.heatmaps.get(name)
+        if heatmap is None:
+            heatmap = self.heatmaps[name] = Heatmap(name)
+        return heatmap
 
     def event(self, name: str, **fields: Any) -> None:
         self.trace.record(name, **fields)
@@ -75,6 +98,11 @@ class Registry:
             "histograms": {
                 n: list(h.values) for n, h in sorted(self.histograms.items())
             },
+            "gauges": {n: g.state() for n, g in sorted(self.gauges.items())},
+            "series": {n: s.state() for n, s in sorted(self.series.items())},
+            "heatmaps": {
+                n: h.state() for n, h in sorted(self.heatmaps.items())
+            },
             "events_dropped": self.trace.dropped,
             "spans": self.tracer.snapshot(),
         }
@@ -89,6 +117,12 @@ class Registry:
             timer.calls += stats["calls"]
         for name, values in snapshot.get("histograms", {}).items():
             self.histogram(name).extend(values)
+        for name, state in snapshot.get("gauges", {}).items():
+            self.gauge(name).merge_state(state)
+        for name, state in snapshot.get("series", {}).items():
+            self.time_series(name).merge_state(state)
+        for name, state in snapshot.get("heatmaps", {}).items():
+            self.heatmap(name).merge_state(state)
         self.trace.dropped += snapshot.get("events_dropped", 0)
         spans = snapshot.get("spans")
         if spans:
@@ -101,6 +135,12 @@ class Registry:
             timer.reset()
         for histogram in self.histograms.values():
             histogram.reset()
+        for gauge in self.gauges.values():
+            gauge.reset()
+        for series in self.series.values():
+            series.reset()
+        for heatmap in self.heatmaps.values():
+            heatmap.reset()
         self.trace.clear()
         self.tracer.clear()
 

@@ -141,6 +141,19 @@ class STopology:
         one chain switch per grid edge, two shift switches per grid edge."""
         return len(self._chain_switches), len(self._shift_switches)
 
+    def chain_switch_states(self) -> Dict[str, int]:
+        """Programming-register value of every chain switch, keyed by a
+        canonical edge label ``"r0c0-r0c1"`` (endpoints sorted row-major)
+        — §3.2's switch settings as one samplable observation: 1 =
+        CHAINED, 0 = UNCHAINED.  Deterministically ordered so exported
+        heatmaps are byte-stable."""
+        states: Dict[str, int] = {}
+        for key, switch in self._chain_switches.items():
+            a, b = sorted(key)
+            label = f"r{a[0]}c{a[1]}-r{b[0]}c{b[1]}"
+            states[label] = 1 if switch.is_chained else 0
+        return dict(sorted(states.items()))
+
     # -- chaining regions -------------------------------------------------
 
     def chain_path(self, path: Iterable[Coord]) -> None:

@@ -1,0 +1,397 @@
+"""Unit tests for the observation layer: gauges, time-series, heatmaps,
+samplers, and the exposition/dashboard exporters built on them."""
+
+import json
+import multiprocessing as mp
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import Gauge, Heatmap, Observer, Sampler, TimeSeries
+from repro.telemetry.dashboard import SEQUENTIAL_RAMP, render_dashboard
+from repro.telemetry.exposition import (
+    OBSERVE_SCHEMA,
+    heatmap_csv,
+    load_observation,
+    observation_document,
+    series_csv,
+    split_labels,
+    to_openmetrics,
+    write_observation,
+)
+from repro.telemetry.observe import natural_key, point_label
+
+
+@pytest.fixture(autouse=True)
+def _clean_observation():
+    telemetry.reset()
+    telemetry.enable_observation(False)
+    yield
+    telemetry.reset()
+    telemetry.enable_observation(False)
+
+
+class TestGauge:
+    def test_set_add_reset(self):
+        g = Gauge("g")
+        g.set(3.0)
+        g.add(2.0)
+        assert g.value == 5.0
+        assert g.updates == 2
+        g.reset()
+        assert g.value == 0.0
+        assert g.updates == 0
+
+    def test_merge_adopts_incoming_when_updated(self):
+        g = Gauge("g")
+        g.set(1.0)
+        other = Gauge("g")
+        other.set(7.0)
+        g.merge_state(other.state())
+        assert g.value == 7.0
+        assert g.updates == 2
+
+    def test_merge_ignores_idle_incoming(self):
+        g = Gauge("g")
+        g.set(1.0)
+        g.merge_state(Gauge("g").state())
+        assert g.value == 1.0
+        assert g.updates == 1
+
+
+class TestTimeSeries:
+    def test_records_in_cycle_order(self):
+        ts = TimeSeries("s")
+        ts.record(4, 2.0)
+        ts.record(1, 9.0)
+        assert ts.samples() == [(1, 9.0), (4, 2.0)]
+        assert ts.last == 2.0
+        assert ts.min == 2.0
+        assert ts.max == 9.0
+
+    def test_ring_keeps_newest(self):
+        ts = TimeSeries("s", capacity=3)
+        for c in range(10):
+            ts.record(c, float(c))
+        assert len(ts) == 3
+        assert ts.samples() == [(7, 7.0), (8, 8.0), (9, 9.0)]
+
+    def test_merge_interleaves_and_evicts_oldest(self):
+        a = TimeSeries("s", capacity=4)
+        b = TimeSeries("s", capacity=4)
+        for c in (0, 2, 4):
+            a.record(c, 1.0)
+        for c in (1, 3, 5):
+            b.record(c, 2.0)
+        a.merge_state(b.state())
+        assert [c for c, _ in a.samples()] == [2, 3, 4, 5]
+
+
+class TestHeatmap:
+    def test_cells_are_additive(self):
+        hm = Heatmap("h")
+        hm.add("s1", 0, 1.0)
+        hm.add("s1", 0, 2.0)
+        hm.add(3, 1, 5.0)
+        assert hm.cell("s1", 0) == 3.0
+        assert hm.cell(3, 1) == 5.0
+        assert hm.row_total("s1") == 3.0
+
+    def test_rows_natural_sorted(self):
+        hm = Heatmap("h")
+        for row in ("s10", "s2", "s1"):
+            hm.add(row, 0, 1.0)
+        assert hm.rows() == ["s1", "s2", "s10"]
+
+    def test_matrix_shape(self):
+        hm = Heatmap("h")
+        hm.add("a", 0, 1.0)
+        hm.add("b", 2, 4.0)
+        rows, cycles, grid = hm.matrix()
+        assert rows == ["a", "b"]
+        assert cycles == [0, 2]
+        assert grid[1][1] == 4.0
+        assert grid[0][1] == 0.0
+
+    def test_merge_is_commutative(self):
+        def filled(cells):
+            hm = Heatmap("h")
+            for r, c, v in cells:
+                hm.add(r, c, v)
+            return hm
+
+        left = [("a", 0, 1.0), ("b", 1, 2.0)]
+        right = [("a", 0, 3.0), ("c", 2, 4.0)]
+        ab = filled(left)
+        ab.merge_state(filled(right).state())
+        ba = filled(right)
+        ba.merge_state(filled(left).state())
+        assert ab.state() == ba.state()
+
+
+class TestSampler:
+    def test_stride_skips_cycles(self):
+        ts = TimeSeries("s")
+        values = iter(range(100))
+        sampler = Sampler(stride=3)
+        sampler.attach_series(ts, lambda: float(next(values)))
+        for _ in range(9):
+            sampler.tick()
+        assert sampler.samples_taken == 3
+        assert [c for c, _ in ts.samples()] == [3, 6, 9]
+
+    def test_samples_mapping_and_sequence_probes(self):
+        hm_map = Heatmap("m")
+        hm_seq = Heatmap("q")
+        sampler = Sampler(stride=1)
+        sampler.attach_heatmap(hm_map, lambda: {"x": 2.0})
+        sampler.attach_heatmap(hm_seq, lambda: [5.0, 7.0])
+        sampler.tick()
+        assert hm_map.cell("x", 1) == 2.0
+        assert hm_seq.cell(0, 1) == 5.0
+        assert hm_seq.cell(1, 1) == 7.0
+
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Sampler(stride=0)
+
+
+class TestObserver:
+    def test_disabled_by_default(self):
+        assert Observer().enabled is False
+
+    def test_effective_stride_prefers_explicit(self):
+        obs = Observer()
+        obs.stride = 5
+        assert obs.effective_stride(17) == 5
+        obs.stride = 0
+        assert obs.effective_stride(17) == 17
+
+    def test_enable_observation_toggles_module_observer(self):
+        obs = telemetry.enable_observation(True, stride=4)
+        assert obs is telemetry.observer()
+        assert obs.enabled and obs.stride == 4
+        telemetry.enable_observation(False)
+        assert telemetry.observer().enabled is False
+
+
+class TestLabels:
+    def test_point_label_formats_floats_compactly(self):
+        assert point_label(n=16, loc=0.5) == "[n=16,loc=0.5]"
+        assert point_label(rate=0.0) == "[rate=0]"
+
+    def test_split_labels_round_trip(self):
+        base, labels = split_labels("csd.segment_demand[n=16,loc=0.5]")
+        assert base == "csd.segment_demand"
+        assert labels == [("n", "16"), ("loc", "0.5")]
+        assert split_labels("plain.name") == ("plain.name", [])
+
+    def test_natural_key_orders_numerically(self):
+        assert sorted(["s10", "s9", "r2c10", "r2c2"], key=natural_key) == [
+            "r2c2",
+            "r2c10",
+            "s9",
+            "s10",
+        ]
+
+
+class TestRegistryRoundTrip:
+    def _populate(self):
+        telemetry.gauge("g").set(4.0)
+        telemetry.time_series("s").record(2, 1.5)
+        telemetry.heatmap("h").add("row", 0, 3.0)
+
+    def test_snapshot_carries_observation_state(self):
+        self._populate()
+        snap = telemetry.snapshot()
+        assert snap["gauges"]["g"]["value"] == 4.0
+        assert snap["series"]["s"]["samples"] == [[2, 1.5]] or snap[
+            "series"
+        ]["s"]["samples"] == [(2, 1.5)]
+        assert len(snap["heatmaps"]["h"]["cells"]) == 1
+
+    def test_snapshot_merge_round_trips(self):
+        self._populate()
+        snap = telemetry.snapshot()
+        telemetry.reset()
+        telemetry.heatmap("h").add("row", 0, 1.0)
+        telemetry.merge(snap)
+        assert telemetry.gauge("g").value == 4.0
+        assert telemetry.heatmap("h").cell("row", 0) == 4.0
+        assert telemetry.time_series("s").samples() == [(2, 1.5)]
+
+    def test_snapshot_is_picklable_and_json_safe(self):
+        self._populate()
+        snap = telemetry.snapshot()
+        json.dumps(snap)  # must not raise
+
+
+def _observe_point(task):
+    n, loc = task
+    from repro.csd.simulator import sweep_locality
+
+    telemetry.reset()
+    telemetry.enable_observation(True)
+    try:
+        sweep_locality(n, [loc], n_trials=2, seed=42)
+        return telemetry.snapshot()
+    finally:
+        telemetry.enable_observation(False)
+
+
+class TestParallelIdentity:
+    """The tentpole's determinism contract: merging worker snapshots
+    must reproduce the serial exposition byte for byte."""
+
+    TASKS = [(16, 1.0), (16, 0.0), (32, 0.5)]
+
+    def _exposition(self, snapshot):
+        doc = observation_document(snapshot, title="identity")
+        return to_openmetrics(doc), heatmap_csv(doc), series_csv(doc)
+
+    def test_pool_merge_matches_serial(self):
+        serial_snaps = [_observe_point(t) for t in self.TASKS]
+        telemetry.reset()
+        for snap in serial_snaps:
+            telemetry.merge(snap)
+        serial = self._exposition(telemetry.snapshot())
+
+        with mp.get_context("spawn").Pool(2) as pool:
+            worker_snaps = pool.map(_observe_point, self.TASKS)
+        telemetry.reset()
+        for snap in worker_snaps:
+            telemetry.merge(snap)
+        parallel = self._exposition(telemetry.snapshot())
+
+        assert serial == parallel
+
+
+class TestObservationDocument:
+    def test_elides_empty_instruments(self):
+        telemetry.gauge("idle")
+        telemetry.time_series("idle.s")
+        telemetry.heatmap("idle.h")
+        telemetry.counter("idle.c")
+        telemetry.gauge("live").set(1.0)
+        doc = observation_document(telemetry.snapshot(), title="t")
+        assert doc["schema"] == OBSERVE_SCHEMA
+        assert "idle" not in doc["gauges"]
+        assert "idle.s" not in doc["series"]
+        assert "idle.h" not in doc["heatmaps"]
+        assert "idle.c" not in doc["counters"]
+        assert "live" in doc["gauges"]
+
+    def test_wall_clock_never_reaches_exposition(self):
+        telemetry.timer("phase").add(1.25)
+        doc = observation_document(telemetry.snapshot(), title="t")
+        text = to_openmetrics(doc)
+        assert "repro_phase_calls_total 1" in text
+        assert "1.25" not in text
+
+
+class TestOpenMetrics:
+    def _doc(self):
+        telemetry.gauge("fig3.used_channels[n=16,loc=0.5]").set(12.0)
+        telemetry.counter("csd.blocked").inc(3)
+        telemetry.time_series("csd.used_channels[n=16,loc=0.5]").record(1, 4.0)
+        telemetry.heatmap("noc.buffer_depth[n=16,rate=0.1]").add("r0c0", 0, 2.0)
+        return observation_document(telemetry.snapshot(), title="t")
+
+    def test_ends_with_eof(self):
+        text = to_openmetrics(self._doc())
+        assert text.endswith("# EOF\n")
+
+    def test_labels_become_prometheus_labels(self):
+        text = to_openmetrics(self._doc())
+        assert 'repro_fig3_used_channels{n="16",loc="0.5"} 12' in text
+        assert "repro_csd_blocked_total 3" in text
+
+    def test_families_are_sorted_and_typed(self):
+        text = to_openmetrics(self._doc())
+        lines = text.splitlines()
+        type_lines = [l for l in lines if l.startswith("# TYPE")]
+        names = [l.split()[2] for l in type_lines]
+        assert names == sorted(names)
+        assert any("gauge" in l for l in type_lines)
+        assert any("counter" in l for l in type_lines)
+
+    def test_heatmap_digest_samples(self):
+        text = to_openmetrics(self._doc())
+        assert 'repro_noc_buffer_depth_cells{n="16",rate="0.1"} 1' in text
+        assert 'repro_noc_buffer_depth_sum{n="16",rate="0.1"} 2' in text
+
+
+class TestCsvExports:
+    def test_long_form_rows(self):
+        telemetry.time_series("s[n=16]").record(3, 1.5)
+        telemetry.heatmap("h[n=16]").add("r1", 2, 4.0)
+        doc = observation_document(telemetry.snapshot(), title="t")
+        s_lines = series_csv(doc).splitlines()
+        assert s_lines[0] == "series,cycle,value"
+        assert "s[n=16],3,1.5" in s_lines[1]
+        h_lines = heatmap_csv(doc).splitlines()
+        assert h_lines[0] == "heatmap,row,cycle,value"
+        assert "h[n=16],r1,2,4" in h_lines[1]
+
+
+class TestDashboard:
+    def _doc(self):
+        telemetry.gauge("faults.survival[n=16,rate=0.1]").set(0.9)
+        ts = telemetry.time_series("csd.used_channels[n=16,loc=0.5]")
+        for c in range(6):
+            ts.record(c, float(c % 3))
+        hm = telemetry.heatmap("csd.segment_demand[n=16,loc=0.5]")
+        for r in range(3):
+            for c in range(4):
+                hm.add(f"s{r}", c, float(r + c))
+        return observation_document(telemetry.snapshot(), title="smoke")
+
+    def test_renders_self_contained_html(self):
+        page = render_dashboard(self._doc())
+        assert page.startswith("<!doctype html>")
+        assert "<svg" in page and "<polyline" in page and "<rect" in page
+        assert "http://" not in page and "https://" not in page
+        assert "<script" not in page
+
+    def test_render_is_deterministic(self):
+        doc = self._doc()
+        assert render_dashboard(doc) == render_dashboard(doc)
+
+    def test_ramp_is_light_to_dark(self):
+        assert len(SEQUENTIAL_RAMP) == 13
+        darkness = [
+            sum(int(color[i : i + 2], 16) for i in (1, 3, 5))
+            for color in SEQUENTIAL_RAMP
+        ]
+        assert darkness == sorted(darkness, reverse=True)
+
+    def test_rejects_non_document(self):
+        with pytest.raises(ValueError):
+            render_dashboard({"schema": "bogus"})
+
+
+class TestWriteObservation:
+    def test_bundle_files_and_reload(self, tmp_path):
+        telemetry.gauge("g[n=16]").set(1.0)
+        paths = write_observation(
+            telemetry.snapshot(), tmp_path / "out", title="t"
+        )
+        assert sorted(paths) == [
+            "dashboard.html",
+            "heatmaps.csv",
+            "metrics.prom",
+            "observe.json",
+            "series.csv",
+        ]
+        doc = load_observation(tmp_path / "out" / "observe.json")
+        assert doc["schema"] == OBSERVE_SCHEMA
+        assert doc["gauges"]["g[n=16]"]["value"] == 1.0
+
+    def test_load_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "observe.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError):
+            load_observation(bad)
+        bad.write_text('{"schema": "something/else"}')
+        with pytest.raises(ValueError):
+            load_observation(bad)

@@ -203,6 +203,56 @@ class TestRegistry:
     def test_empty_summary(self):
         assert "no events recorded" in Registry("t").summary()
 
+    def test_summary_reports_gauges_series_heatmaps(self):
+        reg = Registry("t")
+        reg.gauge("fill").set(0.75)
+        reg.time_series("depth").record(0, 1.0)
+        reg.time_series("depth").record(4, 3.0)
+        reg.heatmap("demand").add("s0", 0, 2.0)
+        out = reg.summary()
+        assert "Gauge" in out and "fill" in out
+        assert "Series" in out and "depth" in out
+        assert "Heatmap" in out and "demand" in out
+
+    def test_summary_orders_gauges_deterministically(self):
+        reg = Registry("t")
+        reg.gauge("b.second").set(2.0)
+        reg.gauge("a.first").set(1.0)
+        out = reg.summary()
+        assert out.index("a.first") < out.index("b.second")
+
+    def test_summary_elides_idle_observation_instruments(self):
+        reg = Registry("t")
+        reg.gauge("idle.gauge")
+        reg.time_series("idle.series")
+        reg.heatmap("idle.heatmap")
+        reg.counter("loud").inc()
+        out = reg.summary()
+        assert "idle." not in out
+
+
+class TestHistogramStats:
+    def test_min_and_stddev(self):
+        from repro.telemetry.metrics import Histogram
+
+        h = Histogram("lat", values=[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert h.min == 2.0
+        assert h.stddev == 2.0  # classic population-stddev example
+
+    def test_idle_histogram_stats_are_zero(self):
+        from repro.telemetry.metrics import Histogram
+
+        h = Histogram("lat")
+        assert h.min == 0.0
+        assert h.stddev == 0.0
+        assert Histogram("lat", values=[3.0]).stddev == 0.0
+
+    def test_summary_surfaces_min_and_stddev_columns(self):
+        reg = Registry("t")
+        reg.histogram("lat").extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        out = reg.summary()
+        assert "Min" in out and "Stddev" in out
+
 
 class TestSinks:
     def test_text_sink(self):

@@ -12,9 +12,11 @@ from repro.__main__ import main
 def _clean_telemetry():
     telemetry.reset()
     telemetry.enable_tracing(False)
+    telemetry.enable_observation(False)
     yield
     telemetry.reset()
     telemetry.enable_tracing(False)
+    telemetry.enable_observation(False)
 
 
 class TestTableCommand:
@@ -131,6 +133,128 @@ class TestTraceCommands:
         bad.write_text("not json {")
         assert main(["trace-report", str(bad)]) == 2
         assert "cannot read trace" in capsys.readouterr().err
+
+    def test_report_json_without_trace_events_is_an_error(
+        self, capsys, tmp_path
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a trace"}')
+        assert main(["trace-report", str(bad)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+
+BUNDLE_FILES = [
+    "dashboard.html",
+    "heatmaps.csv",
+    "metrics.prom",
+    "observe.json",
+    "series.csv",
+]
+
+
+class TestObserveCommands:
+    def test_fig3_observe_writes_bundle(self, capsys, tmp_path):
+        out = tmp_path / "obs"
+        assert main(
+            ["fig3", "--n-objects", "16", "--trials", "2",
+             "--observe", str(out)]
+        ) == 0
+        assert "wrote observation bundle" in capsys.readouterr().out
+        for name in BUNDLE_FILES:
+            assert (out / name).exists(), name
+        assert (out / "metrics.prom").read_text().endswith("# EOF\n")
+        assert "repro_fig3_used_channels" in (out / "metrics.prom").read_text()
+        assert telemetry.observer().enabled is False
+
+    def test_faults_observe_writes_bundle(self, capsys, tmp_path):
+        out = tmp_path / "obs"
+        assert main(
+            ["faults", "--rates", "0.1", "--n-objects", "16",
+             "--trials", "1", "--observe", str(out)]
+        ) == 0
+        metrics = (out / "metrics.prom").read_text()
+        assert "repro_faults_survival" in metrics
+        assert "repro_faults_recovery_p95" in metrics
+        assert "repro_noc_buffer_depth_cells" in metrics
+
+    def test_observe_workers_match_serial_bytes(self, capsys, tmp_path):
+        """Acceptance criterion: serial and --workers runs produce
+        byte-identical OpenMetrics and heatmap artifacts."""
+        serial, parallel = tmp_path / "serial", tmp_path / "parallel"
+        args = ["fig3", "--n-objects", "16", "32", "--trials", "2"]
+        assert main(args + ["--observe", str(serial)]) == 0
+        assert main(
+            args + ["--observe", str(parallel), "--workers", "2"]
+        ) == 0
+        for name in BUNDLE_FILES:
+            assert (serial / name).read_bytes() == (
+                parallel / name
+            ).read_bytes(), name
+
+    def test_observe_report_round_trip(self, capsys, tmp_path):
+        out = tmp_path / "obs"
+        assert main(
+            ["fig3", "--n-objects", "16", "--trials", "2",
+             "--observe", str(out)]
+        ) == 0
+        capsys.readouterr()
+        # accepts the directory or the observe.json inside it
+        assert main(["observe-report", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "fig3.used_channels[n=16,loc=" in report
+        assert main(["observe-report", str(out / "observe.json")]) == 0
+
+    def test_observe_report_missing_is_an_error(self, capsys, tmp_path):
+        assert main(["observe-report", str(tmp_path / "nope")]) == 2
+        assert "cannot read observation" in capsys.readouterr().err
+
+    def test_observe_report_malformed_is_an_error(self, capsys, tmp_path):
+        bad = tmp_path / "observe.json"
+        bad.write_text("{broken")
+        assert main(["observe-report", str(bad)]) == 2
+        assert "cannot read observation" in capsys.readouterr().err
+
+
+class TestQuietFlag:
+    def test_quiet_suppresses_fig3_banner(self, capsys, tmp_path):
+        out = tmp_path / "obs"
+        assert main(
+            ["fig3", "--n-objects", "16", "--trials", "2",
+             "--observe", str(out), "--quiet"]
+        ) == 0
+        assert "seed=" not in capsys.readouterr().out
+
+    def test_quiet_suppresses_faults_banner(self, capsys):
+        assert main(
+            ["faults", "--rates", "0.1", "--n-objects", "16",
+             "--trials", "1", "--quiet"]
+        ) == 0
+        assert "seed=" not in capsys.readouterr().out
+
+
+class TestBaselineCommand:
+    def test_record_then_check_passes(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_fig3.json"
+        assert main(
+            ["baseline", "record", "--bench", "fig3", "--out", str(out)]
+        ) == 0
+        assert "recorded fig3 baseline" in capsys.readouterr().out
+        assert main(
+            ["baseline", "check", str(out), "--skip-wallclock"]
+        ) == 0
+        assert "baseline holds" in capsys.readouterr().out
+
+    def test_check_malformed_is_an_error(self, capsys, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{nope")
+        assert main(["baseline", "check", str(bad)]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_unknown_bench_rejected(self, capsys, tmp_path):
+        assert main(
+            ["baseline", "record", "--bench", "fig9",
+             "--out", str(tmp_path / "x.json")]
+        ) == 2
 
 
 class TestFaultsCommand:

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.analysis",
     "repro.faults",
+    "repro.telemetry",
 ]
 
 

@@ -1,0 +1,60 @@
+"""Benchmark: the sweep engine's warm-over-cold speedup at N=256.
+
+This is the engine's acceptance criterion: re-running the N_object=256
+Figure 3 sweep on a warm :class:`repro.engine.SweepEngine` must be at
+least 2x faster than the cold run, because every trial replays from the
+trial cache instead of re-drawing the workload and re-resolving every
+grant.  Both runs (and the legacy serial sweep) must agree exactly —
+the engine buys throughput, never different numbers.
+
+Results land in ``benchmarks/results/engine_speedup.txt``.
+"""
+
+import time
+
+from repro import telemetry
+from repro.csd.simulator import figure3_series
+from repro.engine import SweepEngine, run_fig3
+
+N_OBJECTS = [256]
+LOCALITIES = [1.0, 0.5, 0.0]
+N_TRIALS = 5
+SEED = 42
+MIN_SPEEDUP = 2.0
+
+
+def test_warm_engine_is_at_least_2x_faster(emit):
+    kwargs = dict(
+        localities=LOCALITIES, n_trials=N_TRIALS, seed=SEED,
+        n_objects_list=N_OBJECTS,
+    )
+    engine = SweepEngine()
+    telemetry.reset()
+
+    t0 = time.perf_counter()
+    cold = run_fig3(engine=engine, **kwargs)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_fig3(engine=engine, **kwargs)
+    warm_s = max(time.perf_counter() - t0, 1e-9)
+
+    legacy = figure3_series(**kwargs)
+    assert warm == cold == legacy, "engine output diverged from legacy"
+
+    speedup = cold_s / warm_s
+    stats = engine.stats()
+    lines = [
+        "Engine warm-vs-cold speedup (Figure 3, N=256)",
+        f"  cold: {cold_s * 1e3:8.1f} ms   "
+        f"(live resolve, {stats['trial_cache']['misses']} trial misses)",
+        f"  warm: {warm_s * 1e3:8.1f} ms   "
+        f"({stats['trial_cache']['hits']} trial hits)",
+        f"  speedup: {speedup:.1f}x   (floor {MIN_SPEEDUP:g}x)",
+        f"  trials cached={engine.trials_cached} live={engine.trials_live}",
+    ]
+    emit("engine_speedup", "\n".join(lines))
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm engine only {speedup:.2f}x faster than cold "
+        f"(floor {MIN_SPEEDUP}x)"
+    )

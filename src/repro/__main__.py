@@ -6,6 +6,7 @@ Usage::
     python -m repro table 4          # Table 4 (APs / delay / GOPS)
     python -m repro fig3             # Figure 3 channel-demand series
     python -m repro fig3 --workers 4 --stats  # parallel sweep + telemetry
+    python -m repro fig3 --engine --workers 4 # batched route-memoized engine
     python -m repro fig3 --trace out.json     # Perfetto-loadable span trace
     python -m repro fig3 --observe out/       # OpenMetrics + dashboard bundle
     python -m repro trace-report out.json     # critical path / latencies
@@ -71,6 +72,18 @@ def _cmd_table(number: int) -> int:
     return 0
 
 
+def _engine_stderr_summary(command: str) -> None:
+    """One engine-effectiveness line on stderr (stdout stays byte-identical
+    to the legacy path, so cache stats must not land there)."""
+    counters = telemetry.snapshot().get("counters", {})
+    cached = counters.get("engine.trials.cached", 0)
+    live = counters.get("engine.trials.live", 0)
+    print(
+        f"{command}: engine trials cached={cached} live={live}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_fig3(
     n_objects: List[int],
     trials: int,
@@ -80,9 +93,17 @@ def _cmd_fig3(
     trace: Optional[str] = None,
     observe: Optional[str] = None,
     quiet: bool = False,
+    engine: bool = False,
 ) -> int:
     from repro.csd.simulator import figure3_series
 
+    use_engine = engine and not trace and not observe
+    if engine and not use_engine:
+        print(
+            "fig3: --engine cannot replay traces/observations; "
+            "running the instrumented path instead",
+            file=sys.stderr,
+        )
     localities = [1.0, 0.8, 0.6, 0.4, 0.2, 0.0]
     if stats or trace or observe:
         if not quiet:
@@ -100,13 +121,24 @@ def _cmd_fig3(
     if observe:
         telemetry.enable_observation()
     try:
-        raw = figure3_series(
-            localities=localities,
-            n_trials=trials,
-            n_objects_list=n_objects,
-            seed=seed,
-            workers=workers,
-        )
+        if use_engine:
+            from repro.engine import run_fig3
+
+            raw = run_fig3(
+                localities=localities,
+                n_trials=trials,
+                n_objects_list=n_objects,
+                seed=seed,
+                workers=workers,
+            )
+        else:
+            raw = figure3_series(
+                localities=localities,
+                n_trials=trials,
+                n_objects_list=n_objects,
+                seed=seed,
+                workers=workers,
+            )
     finally:
         if trace:
             telemetry.enable_tracing(False)
@@ -141,6 +173,8 @@ def _cmd_fig3(
             f"rollbacks={reg.counter('chained.connect.rollbacks').value}"
         )
         telemetry.TextSink(sys.stdout).emit(reg)
+    if use_engine:
+        _engine_stderr_summary("fig3")
     return 0
 
 
@@ -165,9 +199,17 @@ def _cmd_faults(
     report_path: Optional[str] = None,
     observe: Optional[str] = None,
     quiet: bool = False,
+    engine: bool = False,
 ) -> int:
     from repro.faults.campaign import report_json, run_campaign
 
+    use_engine = engine and not trace and not observe
+    if engine and not use_engine:
+        print(
+            "faults: --engine cannot replay traces/observations; "
+            "running the instrumented path instead",
+            file=sys.stderr,
+        )
     if not quiet:
         # reproducibility banner: the campaign derives every fault draw
         # and every trial seed from exactly these knobs
@@ -183,13 +225,24 @@ def _cmd_faults(
     if observe:
         telemetry.enable_observation()
     try:
-        report = run_campaign(
-            rates,
-            n_objects_list=n_objects,
-            n_trials=trials,
-            seed=seed,
-            workers=workers,
-        )
+        if use_engine:
+            from repro.engine import run_faults
+
+            report = run_faults(
+                rates,
+                n_objects_list=n_objects,
+                n_trials=trials,
+                seed=seed,
+                workers=workers,
+            )
+        else:
+            report = run_campaign(
+                rates,
+                n_objects_list=n_objects,
+                n_trials=trials,
+                seed=seed,
+                workers=workers,
+            )
     finally:
         if trace:
             telemetry.enable_tracing(False)
@@ -245,6 +298,8 @@ def _cmd_faults(
             f"p99={rec.percentile(99):g}"
         )
         telemetry.TextSink(sys.stdout).emit(reg)
+    if use_engine:
+        _engine_stderr_summary("faults")
     return 0
 
 
@@ -393,6 +448,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quiet", action="store_true",
         help="suppress the reproducibility banner",
     )
+    p_fig3.add_argument(
+        "--engine", action="store_true",
+        help="run trials through the batched, route-memoized sweep "
+        "engine (byte-identical stdout; cache stats go to stderr; "
+        "ignored under --trace/--observe)",
+    )
 
     p_faults = sub.add_parser(
         "faults",
@@ -446,6 +507,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quiet", action="store_true",
         help="suppress the reproducibility banner",
     )
+    p_faults.add_argument(
+        "--engine", action="store_true",
+        help="run the CSD phase of every trial through the batched, "
+        "route-memoized sweep engine (byte-identical report; cache "
+        "stats go to stderr; ignored under --trace/--observe)",
+    )
 
     p_report = sub.add_parser(
         "trace-report",
@@ -471,7 +538,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_record = baseline_sub.add_parser(
         "record", help="run a bench and write its baseline file"
     )
-    p_record.add_argument("--bench", required=True, help="fig3 or faults")
+    p_record.add_argument(
+        "--bench", required=True, help="fig3, faults, or engine"
+    )
     p_record.add_argument(
         "--out", default=None,
         help="output path (default BENCH_<bench>.json)",
@@ -506,7 +575,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fig3(
             args.n_objects, args.trials, workers=args.workers,
             stats=args.stats, seed=args.seed, trace=args.trace,
-            observe=args.observe, quiet=args.quiet,
+            observe=args.observe, quiet=args.quiet, engine=args.engine,
         )
     if args.command == "faults":
         if args.rates is not None:
@@ -519,7 +588,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             rates, args.n_objects, args.trials, workers=args.workers,
             stats=args.stats, seed=args.seed, trace=args.trace,
             report_path=args.report, observe=args.observe,
-            quiet=args.quiet,
+            quiet=args.quiet, engine=args.engine,
         )
     if args.command == "trace-report":
         return _cmd_trace_report(args.trace_file)

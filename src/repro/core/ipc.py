@@ -21,12 +21,16 @@ from repro.core.states import ProcessorStateMachine
 
 __all__ = ["MessageRecord", "Mailbox"]
 
-_msg_ids = itertools.count()
-
 
 @dataclass(frozen=True)
 class MessageRecord:
-    """One delivered value, for tracing pipelined executions."""
+    """One delivered value, for tracing pipelined executions.
+
+    ``msg_id`` is the position of the delivery in its *own* mailbox's
+    log (0, 1, 2, ...), not a process-wide serial: two mailboxes fed the
+    same delivery sequence produce byte-identical logs, in any process,
+    regardless of what was imported or delivered before.
+    """
 
     msg_id: int
     sender: Hashable
@@ -41,6 +45,10 @@ class Mailbox:
         self._state = owner_state
         self._slots: Dict[Any, Any] = {}
         self.log: List[MessageRecord] = []
+        # per-mailbox, not module-global: message ids must not depend on
+        # import-time history or on other mailboxes' traffic, or logs
+        # diverge between serial runs, re-runs, and spawned pool workers
+        self._msg_ids = itertools.count()
 
     def deliver(self, sender: Hashable, key: Any, value: Any) -> MessageRecord:
         """A predecessor stores a value.
@@ -57,7 +65,7 @@ class Mailbox:
                 "external writes only land in the inactive state"
             )
         self._slots[key] = value
-        record = MessageRecord(next(_msg_ids), sender, key, value)
+        record = MessageRecord(next(self._msg_ids), sender, key, value)
         self.log.append(record)
         return record
 

@@ -210,6 +210,32 @@ class CSDSimulator:
 # -- sweep engine -----------------------------------------------------------
 
 
+def _aggregate_point(
+    n_objects: int, locality: float, trials: Sequence[SimulationResult]
+) -> SimulationResult:
+    """Fold one point's trial results into the averaged point.
+
+    Shared verbatim by the serial sweep, the per-point pool fan-out, and
+    the batched engine path (:mod:`repro.engine.sweep`): ``np.mean`` over
+    the trials in trial order is the whole formula, so any path feeding
+    the same trial results in the same order produces bit-identical
+    floats.
+    """
+    return SimulationResult(
+        n_objects=n_objects,
+        locality_knob=locality,
+        realized_locality=float(
+            np.mean([t.realized_locality for t in trials])
+        ),
+        used_channels=int(round(np.mean([t.used_channels for t in trials]))),
+        highest_channel=int(
+            round(np.mean([t.highest_channel for t in trials]))
+        ),
+        requests=trials[0].requests,
+        blocked=int(round(np.mean([t.blocked for t in trials]))),
+    )
+
+
 def _sweep_point(
     n_objects: int, locality: float, n_trials: int, seed: int
 ) -> SimulationResult:
@@ -223,19 +249,7 @@ def _sweep_point(
     ):
         sim = CSDSimulator(n_objects, seed=seed)
         trials = sim.run_many(locality, n_trials)
-    point = SimulationResult(
-        n_objects=n_objects,
-        locality_knob=locality,
-        realized_locality=float(
-            np.mean([t.realized_locality for t in trials])
-        ),
-        used_channels=int(round(np.mean([t.used_channels for t in trials]))),
-        highest_channel=int(
-            round(np.mean([t.highest_channel for t in trials]))
-        ),
-        requests=trials[0].requests,
-        blocked=int(round(np.mean([t.blocked for t in trials]))),
-    )
+    point = _aggregate_point(n_objects, locality, trials)
     if telemetry.observer().enabled:
         label = point_label(n=n_objects, loc=locality)
         telemetry.gauge(f"fig3.used_channels{label}").set(point.used_channels)

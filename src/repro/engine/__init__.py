@@ -1,0 +1,30 @@
+"""High-throughput batched sweep engine (shared by the fig3/faults CLIs).
+
+Layers, bottom up:
+
+* :mod:`repro.engine.cache` — the bounded LRU both caches sit on;
+* :mod:`repro.engine.routes` — :class:`RouteMemo`, the interned
+  channel-occupancy state machine with a memoized transition table;
+* :mod:`repro.engine.core` — :class:`SweepEngine`, the memoizing trial
+  runner with byte-identical telemetry replay;
+* :mod:`repro.engine.sweep` — batched, load-balanced dispatch of whole
+  sweeps (:func:`run_fig3`, :func:`run_faults`).
+
+Everything here is an accelerator, never an oracle: any cache miss,
+capacity overflow, or instrumentation request falls back to the live
+simulator, and cached output is byte-identical to the serial paths.
+"""
+
+from repro.engine.cache import LRUCache
+from repro.engine.core import SweepEngine, TrialEntry
+from repro.engine.routes import RouteMemo
+from repro.engine.sweep import run_faults, run_fig3
+
+__all__ = [
+    "LRUCache",
+    "RouteMemo",
+    "SweepEngine",
+    "TrialEntry",
+    "run_fig3",
+    "run_faults",
+]

@@ -1,0 +1,256 @@
+"""The sweep engine: memoized, replayable Figure-3 trial execution.
+
+A Figure 3 (or rate-0 fault-campaign) trial is a pure function of
+``(n_objects, locality, trial_seed, two_source)``: the workload draws
+every request from a seeded RNG and the grant protocol is deterministic.
+The engine exploits that at three levels:
+
+* a **request cache** keyed on the workload parameters, so re-resolved
+  trials skip the numpy draws;
+* a **route memo** (:class:`repro.engine.routes.RouteMemo`) shared by
+  every trial of one channel geometry, so the grant resolution inside a
+  cold trial runs on interned states and cached transitions instead of
+  scanning live channel objects;
+* a **trial cache** holding the finished
+  :class:`~repro.csd.simulator.SimulationResult` together with the
+  telemetry the live path would have produced (attempt count, blocked
+  spans in order), so a warm trial costs one dict lookup plus a counter
+  replay.
+
+**Byte-identity contract.**  A cached trial must be indistinguishable —
+in its result *and* in the telemetry registry — from running
+:meth:`repro.csd.simulator.CSDSimulator.run_trial` live.  The fast path
+therefore only engages when nothing order- or object-dependent would be
+recorded: tracing and observation disabled, no live faults
+(``faults is None`` or a fault-free plan), and a concrete trial seed.
+Under a retry policy the fast path additionally requires the resolved
+trial to have zero blocked requests (first-try successes leave no
+retry telemetry; a blocked request would).  Anything else falls back to
+the live simulator, unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.csd.locality import LocalityWorkload
+from repro.csd.simulator import CSDSimulator, SimulationResult
+from repro.engine.cache import LRUCache
+from repro.engine.routes import RouteMemo
+
+__all__ = ["SweepEngine", "TrialEntry"]
+
+#: Default trial-cache capacity (a full Figure 3 series at 10 trials is
+#: 5 sizes x 11 localities x 10 = 550 entries; leave headroom for warm
+#: re-runs at other seeds).
+DEFAULT_TRIAL_CAPACITY = 8_192
+
+#: Default request-set cache capacity (request lists are the big
+#: entries — N-1 dataclasses each — so this is kept tighter).
+DEFAULT_REQUEST_CAPACITY = 2_048
+
+
+@dataclass(frozen=True)
+class TrialEntry:
+    """A resolved trial: its result plus the telemetry to replay.
+
+    ``attempts`` is the number of connect attempts (one per source of
+    every request); ``blocked_spans`` the ``(lo, hi)`` spans that found
+    no free channel, in attempt order — exactly the ``csd.block`` events
+    the live path emits.
+    """
+
+    result: SimulationResult
+    attempts: int
+    blocked_spans: Tuple[Tuple[int, int], ...]
+
+
+class SweepEngine:
+    """Memoizing trial runner shared by the fig3 and faults sweeps."""
+
+    def __init__(
+        self,
+        trial_capacity: int = DEFAULT_TRIAL_CAPACITY,
+        request_capacity: int = DEFAULT_REQUEST_CAPACITY,
+    ) -> None:
+        self._trials = LRUCache(trial_capacity)
+        self._requests = LRUCache(request_capacity)
+        self._memos: Dict[Tuple[int, int], RouteMemo] = {}
+        #: Trials served from cache (replayed) vs. run on the live path.
+        self.trials_cached = 0
+        self.trials_live = 0
+
+    # -- memo plumbing ------------------------------------------------------
+
+    def _memo(self, n_channels: int, n_segments: int) -> RouteMemo:
+        key = (n_channels, n_segments)
+        memo = self._memos.get(key)
+        if memo is None:
+            memo = self._memos[key] = RouteMemo(n_channels, n_segments)
+        return memo
+
+    def trial_requests(
+        self, n_objects: int, locality: float, seed: int, two_source: bool
+    ):
+        """The (cached) workload of one trial: ``(requests, realized_locality)``.
+
+        Requests are frozen dataclasses drawn exactly as
+        :class:`~repro.csd.locality.LocalityWorkload` draws them, so
+        sharing one list between trials (and with callers) is safe.
+        """
+        key = (n_objects, locality, seed, two_source)
+        cached = self._requests.get(key)
+        if cached is not None:
+            return cached
+        workload = LocalityWorkload(n_objects, locality, seed=seed)
+        requests = (
+            workload.requests_two_source() if two_source else workload.requests()
+        )
+        entry = (requests, workload.realized_locality(requests))
+        self._requests.put(key, entry)
+        return entry
+
+    # -- resolution ---------------------------------------------------------
+
+    def _resolve_trial(
+        self, n_objects: int, locality: float, seed: int, two_source: bool
+    ) -> TrialEntry:
+        """Resolve one trial purely on the route memo (no live network)."""
+        requests, realized = self.trial_requests(
+            n_objects, locality, seed, two_source
+        )
+        n_channels = 2 * n_objects if two_source else n_objects
+        memo = self._memo(n_channels, n_objects - 1)
+        state_id = memo.empty_state_id
+        live_state = None
+        attempts = 0
+        blocked: List[Tuple[int, int]] = []
+        for req in requests:
+            for source in req.sources:
+                if source == req.sink:  # cannot happen by construction
+                    continue
+                attempts += 1
+                lo, hi = (
+                    (source, req.sink) if source < req.sink else (req.sink, source)
+                )
+                if live_state is None:
+                    step = memo.transition(state_id, lo, hi)
+                    if step is not None:
+                        granted, state_id = step
+                        if granted is None:
+                            blocked.append((lo, hi))
+                        continue
+                    # intern budget exhausted: finish on the live state
+                    live_state = memo.state(state_id)
+                granted, live_state = memo.resolve_live(live_state, lo, hi)
+                if granted is None:
+                    blocked.append((lo, hi))
+        final = live_state if live_state is not None else memo.state(state_id)
+        highest = 0
+        for idx in range(len(final) - 1, -1, -1):
+            if final[idx]:
+                highest = idx + 1
+                break
+        result = SimulationResult(
+            n_objects=n_objects,
+            locality_knob=locality,
+            realized_locality=realized,
+            used_channels=sum(1 for spans in final if spans),
+            highest_channel=highest,
+            requests=len(requests),
+            blocked=len(blocked),
+        )
+        return TrialEntry(result, attempts, tuple(blocked))
+
+    @staticmethod
+    def _replay(entry: TrialEntry) -> None:
+        """Re-emit the telemetry the live trial would have produced.
+
+        Counter totals, instrument creation, and ``csd.block`` event
+        order all match the live path; instruments the live path never
+        touches (e.g. grants in an all-blocked trial) stay untouched.
+        """
+        telemetry.counter("fig3.trials").inc()
+        with telemetry.scope("fig3.trial"):
+            telemetry.counter("csd.connect.requests").inc(entry.attempts)
+            grants = entry.attempts - len(entry.blocked_spans)
+            if grants:
+                telemetry.counter("csd.connect.grants").inc(grants)
+            for lo, hi in entry.blocked_spans:
+                telemetry.counter("csd.connect.blocks").inc()
+                telemetry.event("csd.block", lo=lo, hi=hi)
+
+    def run_csd_trial(
+        self,
+        n_objects: int,
+        locality: float,
+        trial_seed: Optional[int],
+        two_source: bool = False,
+        faults=None,
+        retry_policy=None,
+        sample_series: bool = False,
+    ) -> SimulationResult:
+        """Run (or replay) one trial; see the module docstring for when
+        the cached path engages.  Drop-in equivalent of
+        :meth:`CSDSimulator.run_trial` with the same arguments."""
+        fast = (
+            trial_seed is not None
+            and not telemetry.tracer().enabled
+            and not telemetry.observer().enabled
+            and (faults is None or faults.plan.fault_free)
+        )
+        if fast:
+            key = (n_objects, float(locality), int(trial_seed), bool(two_source))
+            entry = self._trials.get(key)
+            if entry is None:
+                entry = self._resolve_trial(
+                    n_objects, float(locality), int(trial_seed), bool(two_source)
+                )
+                self._trials.put(key, entry)
+            if retry_policy is None or not entry.blocked_spans:
+                self.trials_cached += 1
+                self._replay(entry)
+                return entry.result
+            # a blocked request under a retry policy exercises backoff
+            # counters the replay cannot reproduce — run it live instead
+        self.trials_live += 1
+        return CSDSimulator(n_objects).run_trial(
+            locality,
+            trial_seed=trial_seed,
+            two_source=two_source,
+            faults=faults,
+            retry_policy=retry_policy,
+            sample_series=sample_series,
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "trials_cached": self.trials_cached,
+            "trials_live": self.trials_live,
+            "trial_cache": self._trials.stats(),
+            "request_cache": self._requests.stats(),
+            "route_memos": {
+                f"ch{nc}xseg{ns}": memo.stats()
+                for (nc, ns), memo in sorted(self._memos.items())
+            },
+        }
+
+    def format_stats(self) -> str:
+        """One status line (the CLI prints this to stderr)."""
+        t = self._trials.stats()
+        route_hits = sum(
+            m.stats()["transition_hits"] for m in self._memos.values()
+        )
+        route_misses = sum(
+            m.stats()["transition_misses"] for m in self._memos.values()
+        )
+        return (
+            f"engine: trials cached={self.trials_cached} "
+            f"live={self.trials_live} "
+            f"trial-cache {t['hits']}h/{t['misses']}m "
+            f"route {route_hits}h/{route_misses}m"
+        )

@@ -1,0 +1,141 @@
+"""Route memoization: interned channel states + cached grant transitions.
+
+The Figure 3 hot loop resolves the same routing subproblem over and
+over: *given this pool occupancy, which channel does the priority
+encoder grant for span ``[lo, hi)``?*  The live protocol
+(:meth:`repro.csd.dynamic_csd.DynamicCSDNetwork.connect`) answers by
+scanning every channel's occupant list per request.  This layer answers
+from a cache instead:
+
+* a **channel state** is the canonical immutable form of the pool — one
+  tuple per channel of its occupied ``(lo, hi)`` spans, sorted — and is
+  *interned* to a small integer id, so states reached by different trials
+  through different request orders unify;
+* a **transition** ``(state_id, lo, hi) -> (granted, next_state_id)``
+  is resolved once with the same first-fit scan the hardware's priority
+  encoder performs (lowest channel whose span is free), then served from
+  a bounded LRU.
+
+Both tables are bounded.  When the intern table fills, :meth:`transition`
+returns ``None`` and the caller continues on live (un-interned) states
+via :meth:`resolve_live` — correctness never depends on capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.csd.priority_encoder import PriorityEncoder
+from repro.engine.cache import LRUCache
+
+__all__ = ["ChannelState", "RouteMemo"]
+
+#: Canonical pool occupancy: per channel, its occupied spans sorted.
+ChannelState = Tuple[Tuple[Tuple[int, int], ...], ...]
+
+#: Default intern budget — states are tiny tuples, but a 256-object
+#: sweep can visit millions of distinct occupancies; the bound keeps the
+#: table from growing with sweep length.
+DEFAULT_MAX_STATES = 200_000
+
+#: Default transition-cache capacity.
+DEFAULT_MAX_TRANSITIONS = 400_000
+
+
+class RouteMemo:
+    """Grant-resolution cache for one ``(n_channels, n_segments)`` geometry."""
+
+    def __init__(
+        self,
+        n_channels: int,
+        n_segments: int,
+        max_states: int = DEFAULT_MAX_STATES,
+        max_transitions: int = DEFAULT_MAX_TRANSITIONS,
+    ) -> None:
+        if n_channels < 1:
+            raise ValueError("need at least one channel")
+        if n_segments < 1:
+            raise ValueError("need at least one segment")
+        self.n_channels = n_channels
+        self.n_segments = n_segments
+        self.max_states = max_states
+        self.encoder = PriorityEncoder(n_channels)
+        empty: ChannelState = tuple(() for _ in range(n_channels))
+        self._state_ids: Dict[ChannelState, int] = {empty: 0}
+        self._states: List[ChannelState] = [empty]
+        self._transitions: LRUCache = LRUCache(max_transitions)
+        #: Transitions that could not be interned (state budget full).
+        self.fallbacks = 0
+
+    @property
+    def empty_state_id(self) -> int:
+        return 0
+
+    def state(self, state_id: int) -> ChannelState:
+        return self._states[state_id]
+
+    def state_count(self) -> int:
+        return len(self._states)
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_live(
+        self, state: ChannelState, lo: int, hi: int
+    ) -> Tuple[Optional[int], ChannelState]:
+        """First-fit grant on an explicit state, no caching.
+
+        Mirrors the live protocol exactly: the request survives on every
+        channel whose span fits (within the segment range, overlapping no
+        occupant) and the priority encoder grants the lowest survivor.
+        """
+        if hi > self.n_segments:
+            return None, state
+
+        def is_free(idx: int) -> bool:
+            return all(
+                hi <= s_lo or s_hi <= lo for s_lo, s_hi in state[idx]
+            )
+
+        granted = self.encoder.grant_first_fit(is_free)
+        if granted is None:
+            return None, state
+        spans = tuple(sorted(state[granted] + ((lo, hi),)))
+        return granted, state[:granted] + (spans,) + state[granted + 1 :]
+
+    def transition(
+        self, state_id: int, lo: int, hi: int
+    ) -> Optional[Tuple[Optional[int], int]]:
+        """Cached grant: ``(granted_channel_or_None, next_state_id)``.
+
+        Returns ``None`` (not a transition) only when the successor
+        state would exceed the intern budget — the caller must then
+        materialize the state and continue with :meth:`resolve_live`.
+        """
+        key = (state_id, lo, hi)
+        cached = self._transitions.get(key)
+        if cached is not None:
+            return cached
+        granted, next_state = self.resolve_live(self._states[state_id], lo, hi)
+        if granted is None:
+            result = (None, state_id)
+        else:
+            next_id = self._state_ids.get(next_state)
+            if next_id is None:
+                if len(self._states) >= self.max_states:
+                    self.fallbacks += 1
+                    return None
+                next_id = len(self._states)
+                self._state_ids[next_state] = next_id
+                self._states.append(next_state)
+            result = (granted, next_id)
+        self._transitions.put(key, result)
+        return result
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        out = {"states": len(self._states), "fallbacks": self.fallbacks}
+        out.update(
+            {f"transition_{k}": v for k, v in self._transitions.stats().items()}
+        )
+        return out

@@ -1,0 +1,370 @@
+"""Batched, dynamically load-balanced sweep dispatch over the engine.
+
+The legacy parallel paths (:func:`repro.csd.simulator.figure3_series`,
+:func:`repro.faults.campaign.run_campaign`) fan out one *sweep point*
+per pool task via ``Executor.map`` — fixed-size work units, one straggler
+point stalls the tail.  This layer flattens every sweep into *(point,
+trial)* tasks, chunks them into batches, and dispatches the batches with
+``submit`` + ``as_completed`` so free workers steal whatever is left.
+Each worker process keeps one persistent :class:`~repro.engine.core.SweepEngine`,
+so route-memo and trial-cache state accumulates across the batches it
+serves.
+
+Determinism: batches are slices of the flattened task list, results are
+reassembled by batch index (never completion order), per-trial telemetry
+captures are summed in trial order, and the per-point aggregation is the
+exact helper the serial paths use — so the batched output is
+byte-identical to the serial one.  Tracing and observation cannot be
+replayed from a cache, so when either is enabled these entry points
+delegate to the legacy instrumented paths unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import telemetry
+from repro.csd.simulator import (
+    FIGURE3_NOBJECTS,
+    SimulationResult,
+    _aggregate_point,
+    figure3_series,
+)
+from repro.faults.campaign import (
+    CAMPAIGN_SCHEMA,
+    DEFAULT_POLICY,
+    _LOCALITY,
+    _aggregate_campaign_point,
+    _capture_before,
+    _capture_delta,
+    RetryPolicy,
+    run_campaign,
+    run_fault_trial,
+)
+from repro.engine.core import SweepEngine
+
+__all__ = ["run_fig3", "run_faults", "DEFAULT_BATCHES_PER_WORKER"]
+
+#: Batches per worker the auto batch size aims for: small enough that a
+#: straggler batch costs ~1/4 of one worker's share, large enough that
+#: dispatch overhead stays negligible.
+DEFAULT_BATCHES_PER_WORKER = 4
+
+#: Default localities of the full Figure 3 series (mirrors
+#: :func:`repro.csd.simulator.figure3_series`).
+_DEFAULT_LOCALITIES = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0]
+
+#: One engine per worker process, created lazily on the first batch and
+#: reused for every batch that lands on this worker — that reuse is what
+#: keeps the route memo warm across batches.
+_WORKER_ENGINE: Optional[SweepEngine] = None
+
+
+def _worker_engine() -> SweepEngine:
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:
+        _WORKER_ENGINE = SweepEngine()
+    return _WORKER_ENGINE
+
+
+def _instrumented() -> bool:
+    return telemetry.tracer().enabled or telemetry.observer().enabled
+
+
+def _chunked(tasks: List[Any], workers: int, batch_size: Optional[int]):
+    if batch_size is None:
+        per = workers * DEFAULT_BATCHES_PER_WORKER
+        batch_size = max(1, -(-len(tasks) // per))
+    return [
+        tuple(tasks[i : i + batch_size])
+        for i in range(0, len(tasks), batch_size)
+    ]
+
+
+def _record_engine_telemetry(cached: int, live: int) -> None:
+    """Engine effectiveness counters for ``--stats`` / snapshots.  Only
+    touched when non-zero, so an engine run that cached nothing leaves
+    the registry exactly as the legacy path would."""
+    if cached:
+        telemetry.counter("engine.trials.cached").inc(cached)
+    if live:
+        telemetry.counter("engine.trials.live").inc(live)
+
+
+# -- Figure 3 ---------------------------------------------------------------
+
+
+def _engine_fig3_point(
+    engine: SweepEngine, n_objects: int, locality: float, n_trials: int, seed: int
+) -> SimulationResult:
+    """Serial engine twin of :func:`repro.csd.simulator._sweep_point`
+    (minus the observer gauges, which imply the legacy path)."""
+    with telemetry.scope("fig3.point"), telemetry.tracer().span(
+        "fig3.point", kind="sweep", n_objects=n_objects,
+        locality=locality, trials=n_trials, seed=seed,
+    ):
+        trials = [
+            engine.run_csd_trial(
+                n_objects, locality, seed + 1000 * t, sample_series=(t == 0)
+            )
+            for t in range(n_trials)
+        ]
+    return _aggregate_point(n_objects, locality, trials)
+
+
+def _fig3_chunk(args):
+    """Worker entry: run one batch of trials on this worker's persistent
+    engine; ship the results with the batch's telemetry delta and its
+    wall-clock latency."""
+    chunk_index, items = args
+    telemetry.reset()
+    engine = _worker_engine()
+    cached0, live0 = engine.trials_cached, engine.trials_live
+    start = time.perf_counter()
+    results = [
+        engine.run_csd_trial(n, loc, trial_seed, sample_series=sample)
+        for n, loc, trial_seed, sample in items
+    ]
+    elapsed = time.perf_counter() - start
+    return (
+        chunk_index,
+        results,
+        telemetry.snapshot(),
+        elapsed,
+        engine.trials_cached - cached0,
+        engine.trials_live - live0,
+    )
+
+
+def run_fig3(
+    localities: Optional[Sequence[float]] = None,
+    n_trials: int = 5,
+    seed: int = 42,
+    n_objects_list: Sequence[int] = FIGURE3_NOBJECTS,
+    workers: Optional[int] = None,
+    engine: Optional[SweepEngine] = None,
+    batch_size: Optional[int] = None,
+) -> Dict[int, List[SimulationResult]]:
+    """Engine-path :func:`~repro.csd.simulator.figure3_series`: same
+    return shape, byte-identical results, trial batching instead of
+    per-point fan-out.  With tracing or observation enabled it delegates
+    to the legacy instrumented path."""
+    if localities is None:
+        localities = list(_DEFAULT_LOCALITIES)
+    if _instrumented():
+        return figure3_series(
+            localities=localities, n_trials=n_trials, seed=seed,
+            n_objects_list=n_objects_list, workers=workers,
+        )
+    points = [(n, loc) for n in n_objects_list for loc in localities]
+    if workers is not None and workers > 1:
+        flat = _run_fig3_batched(points, n_trials, seed, workers, batch_size)
+        results = []
+        for index, (n, loc) in enumerate(points):
+            trials = flat[index * n_trials : (index + 1) * n_trials]
+            with telemetry.scope("fig3.point"), telemetry.tracer().span(
+                "fig3.point", kind="sweep", n_objects=n, locality=loc,
+                trials=n_trials, seed=seed,
+            ):
+                pass  # trials already ran in the pool; keep the timer's call count
+            results.append(_aggregate_point(n, loc, trials))
+    else:
+        eng = engine if engine is not None else SweepEngine()
+        cached0, live0 = eng.trials_cached, eng.trials_live
+        results = [
+            _engine_fig3_point(eng, n, loc, n_trials, seed) for n, loc in points
+        ]
+        _record_engine_telemetry(
+            eng.trials_cached - cached0, eng.trials_live - live0
+        )
+    series: Dict[int, List[SimulationResult]] = {}
+    for point in results:
+        series.setdefault(point.n_objects, []).append(point)
+    return series
+
+
+def _run_fig3_batched(
+    points: List[Tuple[int, float]],
+    n_trials: int,
+    seed: int,
+    workers: int,
+    batch_size: Optional[int],
+) -> List[SimulationResult]:
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    tasks = [
+        (n, loc, seed + 1000 * t, t == 0)
+        for n, loc in points
+        for t in range(n_trials)
+    ]
+    chunks = _chunked(tasks, workers, batch_size)
+    payloads = list(enumerate(chunks))
+    done: Dict[int, Tuple[List[SimulationResult], Dict[str, Any], float, int, int]] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_fig3_chunk, payload) for payload in payloads]
+        for future in as_completed(futures):
+            index, results, snap, elapsed, cached, live = future.result()
+            done[index] = (results, snap, elapsed, cached, live)
+    flat: List[SimulationResult] = []
+    latency = telemetry.histogram("engine.batch.seconds")
+    for index in range(len(chunks)):
+        results, snap, elapsed, cached, live = done[index]
+        telemetry.merge(snap)  # batch-index order == serial trial order
+        latency.observe(elapsed)
+        _record_engine_telemetry(cached, live)
+        flat.extend(results)
+    return flat
+
+
+# -- fault campaign ---------------------------------------------------------
+
+
+def _faults_chunk(args):
+    """Worker entry: one batch of fault trials, each with its own
+    counter-delta/recovery capture so the parent can rebuild exact
+    per-point captures regardless of how batches split the points."""
+    chunk_index, items, seed, policy_tuple, locality = args
+    telemetry.reset()
+    engine = _worker_engine()
+    cached0, live0 = engine.trials_cached, engine.trials_live
+    policy = RetryPolicy(*policy_tuple)
+    start = time.perf_counter()
+    out = []
+    for n_objects, rate, trial in items:
+        before = _capture_before()
+        result = run_fault_trial(
+            n_objects, rate, trial, seed, policy=policy, locality=locality,
+            engine=engine,
+        )
+        out.append((result, *_capture_delta(before)))
+    elapsed = time.perf_counter() - start
+    return (
+        chunk_index,
+        out,
+        telemetry.snapshot(),
+        elapsed,
+        engine.trials_cached - cached0,
+        engine.trials_live - live0,
+    )
+
+
+def run_faults(
+    rates: Sequence[float],
+    n_objects_list: Sequence[int] = (16, 32, 64),
+    n_trials: int = 8,
+    seed: int = 42,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    locality: float = _LOCALITY,
+    workers: Optional[int] = None,
+    engine: Optional[SweepEngine] = None,
+    batch_size: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Engine-path :func:`~repro.faults.campaign.run_campaign`: same
+    report schema, byte-identical content, trial batching instead of
+    per-point fan-out.  With tracing or observation enabled it delegates
+    to the legacy instrumented path."""
+    if _instrumented():
+        return run_campaign(
+            rates, n_objects_list=n_objects_list, n_trials=n_trials,
+            seed=seed, policy=policy, locality=locality, workers=workers,
+        )
+    if not rates:
+        raise ValueError("need at least one fault rate")
+    if not n_objects_list:
+        raise ValueError("need at least one array size")
+    grid = [(n, r) for r in rates for n in n_objects_list]
+    points: List[Dict[str, Any]]
+    if workers is not None and workers > 1:
+        points = _run_faults_batched(
+            grid, n_trials, seed, policy, locality, workers, batch_size
+        )
+    else:
+        from repro.faults.campaign import campaign_point
+
+        eng = engine if engine is not None else SweepEngine()
+        cached0, live0 = eng.trials_cached, eng.trials_live
+        points = [
+            campaign_point(
+                n, r, n_trials, seed, policy=policy, locality=locality,
+                engine=eng,
+            )
+            for n, r in grid
+        ]
+        _record_engine_telemetry(
+            eng.trials_cached - cached0, eng.trials_live - live0
+        )
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "seed": seed,
+        "trials": n_trials,
+        "locality": float(locality),
+        "rates": [float(r) for r in rates],
+        "n_objects": [int(n) for n in n_objects_list],
+        "policy": {
+            "max_attempts": policy.max_attempts,
+            "base_backoff_cycles": policy.base_backoff_cycles,
+            "backoff_multiplier": policy.backoff_multiplier,
+        },
+        "points": points,
+    }
+
+
+def _run_faults_batched(
+    grid: List[Tuple[int, float]],
+    n_trials: int,
+    seed: int,
+    policy: RetryPolicy,
+    locality: float,
+    workers: int,
+    batch_size: Optional[int],
+) -> List[Dict[str, Any]]:
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    policy_tuple = (
+        policy.max_attempts,
+        policy.base_backoff_cycles,
+        policy.backoff_multiplier,
+    )
+    tasks = [(n, r, t) for n, r in grid for t in range(n_trials)]
+    chunks = _chunked(tasks, workers, batch_size)
+    done: Dict[int, Tuple[list, Dict[str, Any], float, int, int]] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_faults_chunk, (i, chunk, seed, policy_tuple, locality))
+            for i, chunk in enumerate(chunks)
+        ]
+        for future in as_completed(futures):
+            index, out, snap, elapsed, cached, live = future.result()
+            done[index] = (out, snap, elapsed, cached, live)
+    flat: List[Tuple[Dict[str, Any], Dict[str, float], List[float]]] = []
+    latency = telemetry.histogram("engine.batch.seconds")
+    for index in range(len(chunks)):
+        out, snap, elapsed, cached, live = done[index]
+        telemetry.merge(snap)  # batch-index order == serial trial order
+        latency.observe(elapsed)
+        _record_engine_telemetry(cached, live)
+        flat.extend(out)
+    points: List[Dict[str, Any]] = []
+    for index, (n_objects, rate) in enumerate(grid):
+        window = flat[index * n_trials : (index + 1) * n_trials]
+        trials = [w[0] for w in window]
+        # per-trial captures summed in trial order == one point-wide capture
+        deltas = {
+            name: sum(w[1][name] for w in window)
+            for name in window[0][1]
+        }
+        recovery: List[float] = []
+        for w in window:
+            recovery.extend(w[2])
+        with telemetry.scope("faults.point"), telemetry.tracer().span(
+            "faults.point", kind="campaign", n_objects=n_objects,
+            rate=rate, trials=n_trials, seed=seed,
+        ):
+            pass  # trials already ran in the pool; keep the timer's call count
+        points.append(
+            _aggregate_campaign_point(
+                n_objects, rate, n_trials, locality, trials, deltas, recovery
+            )
+        )
+    return points

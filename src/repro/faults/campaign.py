@@ -247,8 +247,15 @@ def run_fault_trial(
     seed: int,
     policy: RetryPolicy = DEFAULT_POLICY,
     locality: float = _LOCALITY,
+    engine=None,
 ) -> Dict[str, Any]:
-    """One Monte-Carlo trial: fresh fault universe, all three phases."""
+    """One Monte-Carlo trial: fresh fault universe, all three phases.
+
+    ``engine`` (a :class:`repro.engine.SweepEngine`) routes the CSD
+    phase through the trial cache; the engine itself guarantees the
+    cached path only engages when it is byte-identical to the live one
+    (fault-free plan, no blocks under the retry policy).
+    """
     injector = FaultInjector(
         FaultPlan.uniform(_plan_seed(seed, n_objects, rate, trial), rate)
     )
@@ -257,15 +264,23 @@ def run_fault_trial(
         if telemetry.observer().enabled
         else None
     )
-    sim = CSDSimulator(n_objects, seed=seed)
     # same trial-seed derivation as CSDSimulator.run_many, so the rate-0
     # campaign replays the Figure 3 sweep byte-for-byte
-    csd = sim.run_trial(
-        locality,
-        trial_seed=seed + 1000 * trial,
-        faults=injector,
-        retry_policy=policy,
-    )
+    if engine is not None:
+        csd = engine.run_csd_trial(
+            n_objects,
+            locality,
+            seed + 1000 * trial,
+            faults=injector,
+            retry_policy=policy,
+        )
+    else:
+        csd = CSDSimulator(n_objects, seed=seed).run_trial(
+            locality,
+            trial_seed=seed + 1000 * trial,
+            faults=injector,
+            retry_policy=policy,
+        )
     reconfig, degrader = _reconfig_phase(
         injector, policy, trial_seed=seed + 1000 * trial, label=label
     )
@@ -302,54 +317,53 @@ def _percentiles(values: Sequence[float]) -> Dict[str, float]:
     }
 
 
-def campaign_point(
+def _capture_before() -> Tuple[Dict[str, float], int]:
+    """Snapshot the campaign counters and the recovery-histogram length
+    so a later :func:`_capture_delta` isolates one stretch of work."""
+    return (
+        {name: telemetry.counter(name).value for name in _COUNTERS},
+        len(telemetry.histogram("faults.recovery.cycles").values),
+    )
+
+
+def _capture_delta(
+    before: Tuple[Dict[str, float], int]
+) -> Tuple[Dict[str, float], List[float]]:
+    """Counter deltas and new recovery samples since ``before``.
+
+    Deltas are additive and the histogram only appends, so per-trial
+    captures summed (and slices concatenated) in trial order equal one
+    capture around the whole point — the identity the batched engine
+    path relies on."""
+    counters, hist_before = before
+    deltas = {
+        name: telemetry.counter(name).value - counters[name]
+        for name in _COUNTERS
+    }
+    recovery = list(
+        telemetry.histogram("faults.recovery.cycles").values[hist_before:]
+    )
+    return deltas, recovery
+
+
+def _aggregate_campaign_point(
     n_objects: int,
     rate: float,
     n_trials: int,
-    seed: int,
-    policy: RetryPolicy = DEFAULT_POLICY,
-    locality: float = _LOCALITY,
+    locality: float,
+    trials: List[Dict[str, Any]],
+    deltas: Dict[str, float],
+    recovery: Sequence[float],
 ) -> Dict[str, Any]:
-    """One averaged campaign point (the unit of parallel fan-out).
-
-    The returned dict is JSON-safe (ints, floats, strings only — no
-    process-dependent ids, no timestamps), which is what makes the
-    serial and parallel reports byte-comparable.
-    """
-    if n_trials < 1:
-        raise ValueError("need at least one trial")
-    if not 0.0 <= rate <= 1.0:
-        raise ValueError("fault rate must be in [0, 1]")
-    before = {name: telemetry.counter(name).value for name in _COUNTERS}
-    hist_before = len(telemetry.histogram("faults.recovery.cycles").values)
-    with telemetry.scope("faults.point"), telemetry.tracer().span(
-        "faults.point", kind="campaign", n_objects=n_objects,
-        rate=rate, trials=n_trials, seed=seed,
-    ):
-        trials = [
-            run_fault_trial(
-                n_objects, rate, t, seed, policy=policy, locality=locality
-            )
-            for t in range(n_trials)
-        ]
-    deltas = {
-        name: telemetry.counter(name).value - before[name]
-        for name in _COUNTERS
-    }
-    recovery = telemetry.histogram("faults.recovery.cycles").values[hist_before:]
+    """Fold one point's trial dicts (plus its telemetry capture) into
+    the report entry.  Shared verbatim by the serial path, the per-point
+    pool fan-out, and the batched engine path, so every path feeding the
+    same trials in trial order produces bit-identical entries."""
     csd_trials = [t["csd"] for t in trials]
     outcomes = {
         key: sum(1 for t in trials if t["reconfig"]["outcome"] == key)
         for key in ("first_try", "recovered", "degraded", "lost")
     }
-    if telemetry.observer().enabled:
-        label = point_label(n=n_objects, rate=rate)
-        telemetry.gauge(f"faults.survival{label}").set(
-            float(np.mean([1.0 if t["survived"] else 0.0 for t in trials]))
-        )
-        telemetry.gauge(f"faults.recovery_p95{label}").set(
-            _percentiles(recovery)["p95"]
-        )
     return {
         "n_objects": n_objects,
         "rate": float(rate),
@@ -381,6 +395,51 @@ def campaign_point(
         "recovery_cycles": _percentiles(recovery),
         "survival": float(np.mean([1.0 if t["survived"] else 0.0 for t in trials])),
     }
+
+
+def campaign_point(
+    n_objects: int,
+    rate: float,
+    n_trials: int,
+    seed: int,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    locality: float = _LOCALITY,
+    engine=None,
+) -> Dict[str, Any]:
+    """One averaged campaign point (the unit of parallel fan-out).
+
+    The returned dict is JSON-safe (ints, floats, strings only — no
+    process-dependent ids, no timestamps), which is what makes the
+    serial and parallel reports byte-comparable.
+    """
+    if n_trials < 1:
+        raise ValueError("need at least one trial")
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("fault rate must be in [0, 1]")
+    before = _capture_before()
+    with telemetry.scope("faults.point"), telemetry.tracer().span(
+        "faults.point", kind="campaign", n_objects=n_objects,
+        rate=rate, trials=n_trials, seed=seed,
+    ):
+        trials = [
+            run_fault_trial(
+                n_objects, rate, t, seed, policy=policy, locality=locality,
+                engine=engine,
+            )
+            for t in range(n_trials)
+        ]
+    deltas, recovery = _capture_delta(before)
+    if telemetry.observer().enabled:
+        label = point_label(n=n_objects, rate=rate)
+        telemetry.gauge(f"faults.survival{label}").set(
+            float(np.mean([1.0 if t["survived"] else 0.0 for t in trials]))
+        )
+        telemetry.gauge(f"faults.recovery_p95{label}").set(
+            _percentiles(recovery)["p95"]
+        )
+    return _aggregate_campaign_point(
+        n_objects, rate, n_trials, locality, trials, deltas, recovery
+    )
 
 
 # -- campaign sweep (serial and process-pool paths) -------------------------

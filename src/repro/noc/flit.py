@@ -17,7 +17,13 @@ __all__ = ["FlitType", "Flit", "Packet", "make_packet"]
 
 Coord = Tuple[int, int]
 
-_packet_ids = itertools.count()
+#: Fallback id stream for callers that pass no ``packet_id``.  It only
+#: guarantees in-process uniqueness; code whose output must be
+#: deterministic across runs and worker processes (the wormhole
+#: configurator, traffic generators) owns its own counter and passes
+#: ``packet_id`` explicitly, because this module-global stream depends
+#: on import-time history.
+_fallback_packet_ids = itertools.count()
 
 
 class FlitType(enum.Enum):
@@ -73,11 +79,15 @@ def make_packet(
     payloads: Optional[List[Any]] = None,
     n_flits: Optional[int] = None,
     vc: int = 0,
+    packet_id: Optional[int] = None,
 ) -> Packet:
     """Build a packet of ``n_flits`` (or one per payload, min 1).
 
     The flit sequence is HEAD, BODY..., TAIL — or a single HEAD_TAIL.
-    All flits travel on virtual channel ``vc``.
+    All flits travel on virtual channel ``vc``.  ``packet_id`` lets the
+    caller supply a deterministic id (scoped to its own counter); when
+    omitted, an id is drawn from a process-wide fallback stream that is
+    unique but *not* reproducible across runs.
     """
     if payloads is None:
         payloads = [None] * (n_flits if n_flits is not None else 1)
@@ -87,7 +97,7 @@ def make_packet(
         raise ValueError("a packet needs at least one flit")
     if vc < 0:
         raise ValueError("virtual channel cannot be negative")
-    pid = next(_packet_ids)
+    pid = next(_fallback_packet_ids) if packet_id is None else packet_id
     n = len(payloads)
     flits: List[Flit] = []
     for i, payload in enumerate(payloads):

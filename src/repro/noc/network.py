@@ -294,7 +294,14 @@ class RouterNetwork:
         return sum(d.latency for d in self.delivered) / len(self.delivered)
 
     def record_for(self, packet_id: int) -> Optional[DeliveryRecord]:
-        for rec in self.delivered:
+        """The most recent delivery record for ``packet_id``.
+
+        Most recent, not first: packet ids are scoped to whoever created
+        the packet (e.g. a :class:`WormholeConfigurator`'s own counter),
+        so one network may legitimately see the same id twice over its
+        lifetime; callers always want the delivery they just drained.
+        """
+        for rec in reversed(self.delivered):
             if rec.packet_id == packet_id:
                 return rec
         return None

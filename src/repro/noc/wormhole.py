@@ -43,8 +43,6 @@ __all__ = ["ScalingOperation", "WormholeConfigurator"]
 
 Coord = Tuple[int, int]
 
-_op_ids = itertools.count()
-
 
 @dataclass(frozen=True)
 class ScalingOperation:
@@ -92,6 +90,11 @@ class WormholeConfigurator:
         #: switch silently ignores its programming instruction, which the
         #: post-delivery verify turns into an abort-and-retreat.
         self.faults = faults
+        # per-configurator, not module-global: op and packet ids would
+        # otherwise depend on import-time history and leak into trace
+        # attributes, breaking cross-run and serial-vs-parallel identity
+        self._op_ids = itertools.count()
+        self._packet_ids = itertools.count()
 
     # -- up-scaling ---------------------------------------------------------
 
@@ -108,7 +111,7 @@ class WormholeConfigurator:
         RegionError
             If the region path leaves the fabric.
         """
-        op_id = next(_op_ids)
+        op_id = next(self._op_ids)
         worm_token = ("worm", op_id)
         tracer = telemetry.tracer()
         tspan = None
@@ -283,7 +286,8 @@ class WormholeConfigurator:
         self.network.on_deliver = apply_payload
         try:
             packet = make_packet(
-                self.origin, region.path[0], payloads=payloads or [None]
+                self.origin, region.path[0], payloads=payloads or [None],
+                packet_id=next(self._packet_ids),
             )
             self.network.inject(packet)
             self.network.run_until_drained()

@@ -1,8 +1,8 @@
 """Benchmark baselines and the regression guard over them.
 
 ``record_baseline`` runs a small canonical configuration of one of the
-two headline benches (the Figure 3 sweep, the fault campaign) and
-captures two kinds of numbers:
+headline benches (the Figure 3 sweep, the fault campaign, the sweep
+engine's warm-vs-cold speedup) and captures two kinds of numbers:
 
 * **deterministic** metrics — used/blocked channel counts, survival
   fractions, p95 recovery latency *in simulated cycles*.  These derive
@@ -16,9 +16,19 @@ captures two kinds of numbers:
   never produces a false alarm while local runs still catch real
   slowdowns.
 
-The recorded ``BENCH_fig3.json`` / ``BENCH_faults.json`` files live at
-the repo root; ``check_baseline`` re-runs the configuration they embed
-and returns a list of regression descriptions (empty = pass).
+The ``engine`` bench is special: it runs the Figure 3 configuration
+twice on one :class:`repro.engine.SweepEngine` — cold, then warm — plus
+once on the legacy serial path.  Its deterministic metrics include two
+identity bits (warm == cold, engine == legacy) so a byte-identity break
+fails the guard even under ``--skip-wallclock``; its wall-clock section
+carries ``cold_s`` / ``warm_s`` / ``speedup``, and the guard requires
+the warm run to be at least ``2x`` faster unless wall-clock checks are
+skipped.
+
+The recorded ``BENCH_fig3.json`` / ``BENCH_faults.json`` /
+``BENCH_engine.json`` files live at the repo root; ``check_baseline``
+re-runs the configuration they embed and returns a list of regression
+descriptions (empty = pass).
 """
 
 from __future__ import annotations
@@ -57,6 +67,14 @@ BENCHES: Dict[str, Dict[str, Any]] = {
         "n_trials": 3,
         "seed": 42,
     },
+    # the sweep engine's acceptance configuration: the N=256 sweep must
+    # run >=2x faster warm than cold
+    "engine": {
+        "n_objects": [256],
+        "localities": [1.0, 0.5, 0.0],
+        "n_trials": 5,
+        "seed": 42,
+    },
 }
 
 #: Deterministic metrics matching this substring are latency thresholds,
@@ -66,6 +84,9 @@ _LATENCY_MARKER = "recovery_p95"
 #: Absolute slack (simulated cycles) under the latency check, so a zero
 #: baseline still has a meaningful threshold.
 _LATENCY_SLACK_CYCLES = 2.0
+
+#: Minimum warm-over-cold speedup the engine bench must sustain.
+_ENGINE_MIN_SPEEDUP = 2.0
 
 
 def measure_bench(bench: str, config: Dict[str, Any]) -> Dict[str, Any]:
@@ -112,15 +133,56 @@ def measure_bench(bench: str, config: Dict[str, Any]) -> Dict[str, Any]:
                 point["recovery_cycles"]["p95"]
             )
             n_points += 1
+    elif bench == "engine":
+        from repro.csd.simulator import figure3_series
+        from repro.engine import SweepEngine, run_fig3
+
+        kwargs = dict(
+            localities=list(config["localities"]),
+            n_trials=int(config["n_trials"]),
+            seed=int(config["seed"]),
+            n_objects_list=list(config["n_objects"]),
+        )
+        engine = SweepEngine()
+        start = time.perf_counter()
+        cold = run_fig3(engine=engine, **kwargs)
+        cold_s = max(time.perf_counter() - start, 1e-9)
+        start = time.perf_counter()
+        warm = run_fig3(engine=engine, **kwargs)
+        warm_s = max(time.perf_counter() - start, 1e-9)
+        legacy = figure3_series(**kwargs)
+        deterministic = {}
+        n_points = 0
+        for n, points in sorted(cold.items()):
+            for point in points:
+                label = point_label(n=n, loc=point.locality_knob)
+                deterministic[f"engine.used_channels{label}"] = float(
+                    point.used_channels
+                )
+                deterministic[f"engine.blocked{label}"] = float(point.blocked)
+                n_points += 1
+        # identity bits: a byte-identity break trips the deterministic
+        # guard even when wall-clock checks are skipped
+        deterministic["engine.identical_warm"] = float(warm == cold)
+        deterministic["engine.identical_legacy"] = float(legacy == cold)
+        elapsed = cold_s + warm_s
+        wallclock_extra = {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "speedup": cold_s / warm_s,
+        }
     else:
         raise ValueError(f"unknown bench {bench!r} (want one of {sorted(BENCHES)})")
     elapsed = max(elapsed, 1e-9)
+    wallclock = {
+        "elapsed_s": elapsed,
+        "points_per_s": n_points / elapsed,
+    }
+    if bench == "engine":
+        wallclock.update(wallclock_extra)
     return {
         "deterministic": deterministic,
-        "wallclock": {
-            "elapsed_s": elapsed,
-            "points_per_s": n_points / elapsed,
-        },
+        "wallclock": wallclock,
     }
 
 
@@ -194,6 +256,12 @@ def check_baseline(
             regressions.append(
                 f"throughput: {got_tp:.2f} points/s is more than "
                 f"{throughput_tolerance:.0%} below baseline {base_tp:.2f}"
+            )
+        got_speedup = measured.get("wallclock", {}).get("speedup")
+        if got_speedup is not None and float(got_speedup) < _ENGINE_MIN_SPEEDUP:
+            regressions.append(
+                f"engine speedup: warm run only {float(got_speedup):.2f}x "
+                f"faster than cold (floor {_ENGINE_MIN_SPEEDUP:g}x)"
             )
     return regressions
 

@@ -29,6 +29,7 @@ from repro.telemetry.observe import natural_key
 
 __all__ = [
     "OBSERVE_SCHEMA",
+    "split_labels",
     "observation_document",
     "to_openmetrics",
     "series_csv",
@@ -42,8 +43,8 @@ __all__ = [
 #: Version tag of the observation document format (bump on breaking change).
 OBSERVE_SCHEMA = "repro.telemetry.observe/1"
 
-_NAME_SPLIT = re.compile(r"^(?P<base>[^\[\]]+)(?:\[(?P<labels>[^\[\]]*)\])?$")
 _UNSAFE = re.compile(r"[^a-zA-Z0-9_]")
+_LABEL_UNESCAPE = re.compile(r"\\(.)")
 
 
 def _num(value: float) -> str:
@@ -55,23 +56,89 @@ def _num(value: float) -> str:
     return repr(value)
 
 
-def split_labels(name: str) -> Tuple[str, List[Tuple[str, str]]]:
+def _split_unescaped(text: str, sep: str, maxsplit: Optional[int] = None) -> List[str]:
+    """Split on ``sep`` wherever it is not backslash-escaped, keeping the
+    escape sequences intact for a later unescape pass."""
+    parts: List[str] = []
+    buf: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n:
+            buf.append(ch)
+            buf.append(text[i + 1])
+            i += 2
+            continue
+        if ch == sep and (maxsplit is None or len(parts) < maxsplit):
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+        i += 1
+    parts.append("".join(buf))
+    return parts
+
+
+def split_labels(
+    name: str, strict: bool = False
+) -> Tuple[str, List[Tuple[str, str]]]:
     """Split ``"csd.used_channels[n=16,loc=0.5]"`` into the base name and
-    its ``point_label`` attributes.  A name without a suffix has no
-    labels; a malformed suffix is kept verbatim as part of the base."""
-    match = _NAME_SPLIT.match(name)
-    if match is None:
+    its ``point_label`` attributes.
+
+    The inverse of :func:`repro.telemetry.observe.point_label`: label
+    values arrive backslash-unescaped, so a value that itself contained
+    ``=``, ``,`` or a bracket round-trips.  A name without a suffix has
+    no labels.  A malformed suffix (stray bracket, label part without a
+    key) keeps the whole name verbatim as the base with no labels — or,
+    with ``strict=True``, raises :class:`ValueError` (``observe-report``
+    maps this to exit code 2).
+    """
+    open_idx: Optional[int] = None
+    close_idx: Optional[int] = None
+    err: Optional[str] = None
+    i, n = 0, len(name)
+    while i < n:
+        ch = name[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == "[":
+            if open_idx is not None:
+                err = "second unescaped '['"
+                break
+            open_idx = i
+        elif ch == "]":
+            if open_idx is None:
+                err = "']' before '['"
+                break
+            if close_idx is not None:
+                err = "second unescaped ']'"
+                break
+            close_idx = i
+        i += 1
+    if err is None and open_idx is None:
         return name, []
-    base = match.group("base")
-    raw = match.group("labels")
-    if raw is None:
-        return base, []
-    labels = []
-    for part in raw.split(","):
-        if "=" in part:
-            key, value = part.split("=", 1)
-            labels.append((key.strip(), value.strip()))
-    return base, labels
+    if err is None and (close_idx is None or close_idx != n - 1 or open_idx == 0):
+        err = "label suffix must close exactly at the end of a base name"
+    labels: List[Tuple[str, str]] = []
+    if err is None:
+        inner = name[open_idx + 1 : close_idx]
+        for part in _split_unescaped(inner, ",") if inner else []:
+            kv = _split_unescaped(part, "=", maxsplit=1)
+            if len(kv) != 2 or not kv[0].strip():
+                err = f"label part {part!r} is not k=v"
+                break
+            labels.append(
+                (
+                    _LABEL_UNESCAPE.sub(r"\1", kv[0].strip()),
+                    _LABEL_UNESCAPE.sub(r"\1", kv[1].strip()),
+                )
+            )
+    if err is not None:
+        if strict:
+            raise ValueError(f"malformed point label in {name!r}: {err}")
+        return name, []
+    return name[:open_idx], labels
 
 
 def _metric_name(base: str, suffix: str = "") -> str:
@@ -296,8 +363,8 @@ def load_observation(path: Union[str, Path]) -> Dict[str, Any]:
     Raises
     ------
     ValueError
-        On unparseable JSON or a wrong/missing schema tag (the CLI maps
-        this to exit code 2).
+        On unparseable JSON, a wrong/missing schema tag, or a malformed
+        instrument-name point label (the CLI maps this to exit code 2).
     """
     path = Path(path)
     try:
@@ -305,6 +372,14 @@ def load_observation(path: Union[str, Path]) -> Dict[str, Any]:
     except json.JSONDecodeError as exc:
         raise ValueError(f"{path}: not JSON ({exc})") from exc
     _require_document(doc)
+    try:
+        for section in (
+            "counters", "timers", "histograms", "gauges", "series", "heatmaps"
+        ):
+            for name in doc.get(section, {}):
+                split_labels(name, strict=True)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
     return doc
 
 

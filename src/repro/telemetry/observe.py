@@ -44,6 +44,7 @@ __all__ = [
     "Heatmap",
     "Sampler",
     "Observer",
+    "escape_label_value",
     "natural_key",
     "point_label",
 ]
@@ -325,6 +326,15 @@ class Observer:
         self.enabled = False
         self.stride = 0
 
+    def reset(self) -> None:
+        """Back to the freshly-constructed state (disabled, auto stride).
+
+        Part of :meth:`repro.telemetry.Registry.reset`: the guard is
+        process-wide mutable state, so a run that enabled observation
+        must not leak it into the next run in the same process."""
+        self.enabled = False
+        self.stride = 0
+
     def effective_stride(self, auto: int = 1) -> int:
         """The stride a site should sample at: the configured one, or
         the site's ``auto`` choice when stride is 0 (auto)."""
@@ -332,6 +342,17 @@ class Observer:
 
 
 _NATURAL_SPLIT = re.compile(r"(\d+)")
+
+#: Characters that are structural inside a ``[k=v,...]`` label and must
+#: be backslash-escaped when they appear in a value.
+_LABEL_SPECIALS = re.compile(r"([\\=,\[\]])")
+
+
+def escape_label_value(text: str) -> str:
+    """Backslash-escape ``\\ = , [ ]`` so a value can carry them without
+    breaking the ``[k=v,...]`` syntax (inverse of
+    :func:`repro.telemetry.exposition.split_labels`)."""
+    return _LABEL_SPECIALS.sub(r"\\\1", text)
 
 
 def natural_key(label: str) -> Tuple[Any, ...]:
@@ -347,8 +368,8 @@ def point_label(**attrs: Any) -> str:
     instrument."""
     parts = []
     for key, value in attrs.items():
-        if isinstance(value, float):
-            parts.append(f"{key}={value:g}")
-        else:
-            parts.append(f"{key}={value}")
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        # keys are keyword-argument identifiers, so only values can
+        # carry structural characters (=, commas, brackets)
+        parts.append(f"{key}={escape_label_value(rendered)}")
     return "[" + ",".join(parts) + "]"

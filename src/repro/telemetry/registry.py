@@ -143,6 +143,12 @@ class Registry:
             heatmap.reset()
         self.trace.clear()
         self.tracer.clear()
+        # the guards are process-wide mutable state too: a run that
+        # enabled tracing or observation must not leak either into the
+        # next run (or a reused pool worker) — reset() means "fresh
+        # process", so callers re-enable what they want afterwards
+        self.tracer.enabled = False
+        self.observer.reset()
 
     # -- reporting ---------------------------------------------------------
 

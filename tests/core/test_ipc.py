@@ -1,6 +1,8 @@
 """Unit tests for inter-processor communication (section 3.4)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import StateTransitionError
 from repro.core.ipc import Mailbox
@@ -80,3 +82,38 @@ class TestLog:
             ("P0", "a", 1),
             ("P1", "b", 2),
         ]
+
+
+deliveries = st.lists(
+    st.tuples(
+        st.sampled_from(["P0", "P1", "P2"]),
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(0, 100),
+    ),
+    max_size=30,
+)
+
+
+class TestLogEqualityProperty:
+    """Message ids are a per-mailbox property: the log of a delivery
+    sequence is identical no matter what other mailboxes saw first —
+    the regression that motivated instance-scoping ``_msg_ids``."""
+
+    @staticmethod
+    def _log_of(seq, prior_noise=()):
+        # traffic to an unrelated mailbox first; it must not leak into
+        # the mailbox under test via any shared counter
+        other = Mailbox(inactive_machine())
+        for sender, key, value in prior_noise:
+            other.deliver(sender, key, value)
+        box = Mailbox(inactive_machine())
+        for sender, key, value in seq:
+            box.deliver(sender, key, value)
+        return [(r.msg_id, r.sender, r.key, r.value) for r in box.log]
+
+    @given(seq=deliveries, noise=deliveries)
+    def test_log_depends_only_on_delivery_sequence(self, seq, noise):
+        quiet = self._log_of(seq)
+        noisy = self._log_of(seq, prior_noise=noise)
+        assert quiet == noisy
+        assert [r[0] for r in quiet] == list(range(len(seq)))

@@ -1,0 +1,128 @@
+"""RouteMemo must be an exact stand-in for the live CSD protocol.
+
+The hypothesis cross-check drives the same request sequence through
+:class:`repro.csd.dynamic_csd.DynamicCSDNetwork` (the protocol the
+simulator trusts) and through :class:`repro.engine.RouteMemo`, asserting
+after every step that the granted channel and the canonical occupancy
+state agree.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChannelAllocationError
+from repro.csd.dynamic_csd import DynamicCSDNetwork
+from repro.engine import RouteMemo
+
+
+class TestBasics:
+    def test_empty_state_is_id_zero(self):
+        memo = RouteMemo(3, 8)
+        assert memo.empty_state_id == 0
+        assert memo.state(0) == ((), (), ())
+        assert memo.state_count() == 1
+
+    def test_first_fit_grants_lowest_channel(self):
+        memo = RouteMemo(3, 8)
+        granted, state_id = memo.transition(0, 0, 4)
+        assert granted == 0
+        assert memo.state(state_id) == (((0, 4),), (), ())
+
+    def test_overlapping_span_moves_to_next_channel(self):
+        memo = RouteMemo(2, 8)
+        _, s1 = memo.transition(0, 0, 4)
+        granted, s2 = memo.transition(s1, 2, 6)
+        assert granted == 1
+        assert memo.state(s2) == (((0, 4),), ((2, 6),))
+
+    def test_disjoint_spans_share_a_channel(self):
+        memo = RouteMemo(2, 8)
+        _, s1 = memo.transition(0, 0, 3)
+        granted, s2 = memo.transition(s1, 3, 6)
+        assert granted == 0
+        assert memo.state(s2) == (((0, 3), (3, 6)), ())
+
+    def test_block_when_all_channels_busy(self):
+        memo = RouteMemo(1, 8)
+        _, s1 = memo.transition(0, 0, 4)
+        granted, s2 = memo.transition(s1, 2, 6)
+        assert granted is None
+        assert s2 == s1  # a blocked request leaves the state unchanged
+
+    def test_span_beyond_segments_blocks(self):
+        memo = RouteMemo(2, 4)
+        granted, state_id = memo.transition(0, 2, 5)
+        assert granted is None and state_id == 0
+
+    def test_states_unify_across_request_orders(self):
+        memo = RouteMemo(2, 8)
+        _, a1 = memo.transition(0, 0, 2)
+        _, a2 = memo.transition(a1, 4, 6)
+        _, b1 = memo.transition(0, 4, 6)
+        _, b2 = memo.transition(b1, 0, 2)
+        assert a2 == b2  # same occupancy -> same interned id
+
+    def test_transition_caching(self):
+        memo = RouteMemo(2, 8)
+        memo.transition(0, 0, 4)
+        memo.transition(0, 0, 4)
+        stats = memo.stats()
+        assert stats["transition_hits"] == 1
+        assert stats["transition_misses"] == 1
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            RouteMemo(0, 4)
+        with pytest.raises(ValueError):
+            RouteMemo(2, 0)
+
+
+class TestInternBudget:
+    def test_fallback_when_budget_exhausted(self):
+        # budget of 1 == only the empty state is internable
+        memo = RouteMemo(2, 8, max_states=1)
+        assert memo.transition(0, 0, 4) is None
+        assert memo.fallbacks == 1
+        # the caller's escape hatch still resolves correctly
+        granted, state = memo.resolve_live(memo.state(0), 0, 4)
+        assert granted == 0
+        assert state == (((0, 4),), ())
+
+    def test_blocked_transitions_never_need_budget(self):
+        # a block has no successor state, so it caches fine even with a
+        # full intern table
+        memo = RouteMemo(1, 4, max_states=1)
+        assert memo.transition(0, 2, 6) == (None, 0)
+        assert memo.fallbacks == 0
+
+
+spans = st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+    lambda t: t[0] != t[1]
+)
+
+
+class TestCrossValidation:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        n_objects=st.integers(4, 10),
+        ops=st.lists(spans, max_size=40),
+    )
+    def test_memo_matches_live_protocol(self, n_objects, ops):
+        net = DynamicCSDNetwork(n_objects)
+        memo = RouteMemo(len(net.pool), n_objects - 1)
+        state_id = memo.empty_state_id
+        for a, b in ops:
+            a %= n_objects
+            b %= n_objects
+            if a == b:
+                continue
+            lo, hi = (a, b) if a < b else (b, a)
+            granted, state_id = memo.transition(state_id, lo, hi)
+            try:
+                conn = net.connect(a, b)
+            except ChannelAllocationError:
+                assert granted is None
+            else:
+                assert granted == conn.channel
+            assert memo.state(state_id) == net.occupancy_state()

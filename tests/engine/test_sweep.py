@@ -1,0 +1,136 @@
+"""Whole-sweep identity: the engine entry points must reproduce the
+legacy serial sweeps byte for byte — results, report JSON, and registry
+— in serial, warm, and batched-parallel modes."""
+
+import pytest
+
+from repro import telemetry
+from repro.csd.simulator import figure3_series
+from repro.engine import SweepEngine, run_faults, run_fig3
+from repro.faults.campaign import report_json, run_campaign
+
+LOCALITIES = [1.0, 0.5, 0.0]
+N_OBJECTS = [16, 32]
+RATES = [0.0, 0.05]
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def _registry_signature():
+    """Counters/events/timer-calls, minus wall time and the engine's own
+    effectiveness metrics (which the legacy path by definition lacks)."""
+    snap = telemetry.snapshot()
+    return (
+        {
+            k: v for k, v in snap.get("counters", {}).items()
+            if not k.startswith("engine.")
+        },
+        {k: v["calls"] for k, v in snap.get("timers", {}).items()},
+        {
+            k: v for k, v in snap.get("histograms", {}).items()
+            if not k.startswith("engine.")
+        },
+    )
+
+
+class TestFig3Identity:
+    def _legacy(self):
+        telemetry.reset()
+        series = figure3_series(
+            localities=LOCALITIES, n_trials=4, seed=42, n_objects_list=N_OBJECTS
+        )
+        return series, _registry_signature()
+
+    def test_serial_engine_matches_legacy(self):
+        series, sig = self._legacy()
+        telemetry.reset()
+        got = run_fig3(
+            localities=LOCALITIES, n_trials=4, seed=42, n_objects_list=N_OBJECTS
+        )
+        assert got == series
+        assert _registry_signature() == sig
+
+    def test_warm_rerun_matches_cold(self):
+        series, sig = self._legacy()
+        engine = SweepEngine()
+        kwargs = dict(
+            localities=LOCALITIES, n_trials=4, seed=42,
+            n_objects_list=N_OBJECTS, engine=engine,
+        )
+        telemetry.reset()
+        cold = run_fig3(**kwargs)
+        telemetry.reset()
+        warm = run_fig3(**kwargs)
+        assert cold == warm == series
+        assert _registry_signature() == sig
+        assert engine.trials_live == 0  # every trial resolved or replayed
+
+    def test_batched_parallel_matches_legacy(self):
+        series, sig = self._legacy()
+        telemetry.reset()
+        got = run_fig3(
+            localities=LOCALITIES, n_trials=4, seed=42,
+            n_objects_list=N_OBJECTS, workers=2,
+        )
+        assert got == series
+        assert _registry_signature() == sig
+
+    def test_instrumented_run_delegates_to_legacy(self):
+        series, _ = self._legacy()
+        telemetry.reset()
+        telemetry.enable_tracing()
+        try:
+            got = run_fig3(
+                localities=LOCALITIES, n_trials=4, seed=42,
+                n_objects_list=N_OBJECTS,
+            )
+        finally:
+            telemetry.enable_tracing(False)
+        assert got == series
+        assert len(telemetry.tracer().spans) > 0  # spans were recorded
+
+
+class TestFaultsIdentity:
+    KW = dict(n_objects_list=N_OBJECTS, n_trials=3, seed=42)
+
+    def _legacy(self):
+        telemetry.reset()
+        report = run_campaign(RATES, **self.KW)
+        return report, report_json(report), _registry_signature()
+
+    def test_serial_engine_report_is_byte_identical(self):
+        _, legacy_json, sig = self._legacy()
+        telemetry.reset()
+        got = run_faults(RATES, **self.KW)
+        assert report_json(got) == legacy_json
+        assert _registry_signature() == sig
+
+    def test_warm_rerun_matches_cold(self):
+        _, legacy_json, _ = self._legacy()
+        engine = SweepEngine()
+        telemetry.reset()
+        cold = run_faults(RATES, engine=engine, **self.KW)
+        telemetry.reset()
+        warm = run_faults(RATES, engine=engine, **self.KW)
+        assert report_json(cold) == report_json(warm) == legacy_json
+        # rate-0 trials replay from cache; faulty trials must stay live
+        assert engine.trials_cached > 0
+        assert engine.trials_live > 0
+
+    def test_batched_parallel_matches_legacy(self):
+        _, legacy_json, sig = self._legacy()
+        telemetry.reset()
+        got = run_faults(RATES, workers=2, **self.KW)
+        assert report_json(got) == legacy_json
+        assert _registry_signature() == sig
+
+    def test_validates_arguments_like_legacy(self):
+        with pytest.raises(ValueError):
+            run_faults([], **self.KW)
+        with pytest.raises(ValueError):
+            run_faults(RATES, n_objects_list=[], n_trials=3, seed=42)

@@ -5,6 +5,8 @@ import json
 import multiprocessing as mp
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro import telemetry
 from repro.telemetry import Gauge, Heatmap, Observer, Sampler, TimeSeries
@@ -186,6 +188,52 @@ class TestLabels:
         assert labels == [("n", "16"), ("loc", "0.5")]
         assert split_labels("plain.name") == ("plain.name", [])
 
+    def test_special_characters_round_trip(self):
+        """point_label escapes the metacharacters; split_labels unescapes
+        them — a value may contain any of ``\\ = , [ ]`` without
+        corrupting the name grammar."""
+        name = "m" + point_label(tag="a=b,c[d]e\\f", n=3)
+        base, labels = split_labels(name, strict=True)
+        assert base == "m"
+        assert labels == [("tag", "a=b,c[d]e\\f"), ("n", "3")]
+
+    @given(
+        values=st.lists(
+            st.text(
+                alphabet=st.characters(
+                    codec="ascii", min_codepoint=33, max_codepoint=126
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_label_values_round_trip_property(self, values):
+        kwargs = {f"k{i}": v for i, v in enumerate(values)}
+        base, labels = split_labels("metric" + point_label(**kwargs), strict=True)
+        assert base == "metric"
+        assert labels == [(f"k{i}", v) for i, v in enumerate(values)]
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "m[n=16",            # unterminated label block
+            "m[n=16]x",          # close bracket not final
+            "m[n=16][k=1]",      # two label blocks
+            "m[=16]",            # empty key
+            "m[n16]",            # no '=' separator
+            "[n=16]",            # empty base name
+        ],
+    )
+    def test_malformed_labels(self, name):
+        # lenient (default): the whole name is the base, no labels
+        assert split_labels(name) == (name, [])
+        # strict: observation loading rejects the document
+        with pytest.raises(ValueError, match="malformed point label"):
+            split_labels(name, strict=True)
+
     def test_natural_key_orders_numerically(self):
         assert sorted(["s10", "s9", "r2c10", "r2c2"], key=natural_key) == [
             "r2c2",
@@ -259,6 +307,38 @@ class TestParallelIdentity:
         with mp.get_context("spawn").Pool(2) as pool:
             worker_snaps = pool.map(_observe_point, self.TASKS)
         telemetry.reset()
+        for snap in worker_snaps:
+            telemetry.merge(snap)
+        parallel = self._exposition(telemetry.snapshot())
+
+        assert serial == parallel
+
+    def test_reset_clears_guard_state(self):
+        """The tracer/observer enable flags are process-wide mutable
+        state like any counter; ``reset`` must return them to the
+        import-time default or they leak between runs (and into forked
+        workers)."""
+        telemetry.enable_tracing()
+        telemetry.enable_observation()
+        telemetry.reset()
+        assert not telemetry.tracer().enabled
+        assert not telemetry.observer().enabled
+
+    def test_pool_merge_identity_survives_parent_guard_leak(self):
+        """Fork workers inherit whatever guard state the parent leaked;
+        the per-task ``reset`` must neutralise it, keeping the merged
+        exposition identical to the clean serial run."""
+        serial_snaps = [_observe_point(t) for t in self.TASKS]
+        telemetry.reset()
+        for snap in serial_snaps:
+            telemetry.merge(snap)
+        serial = self._exposition(telemetry.snapshot())
+
+        telemetry.enable_tracing()
+        telemetry.enable_observation()
+        with mp.get_context("fork").Pool(2) as pool:
+            worker_snaps = pool.map(_observe_point, self.TASKS)
+        telemetry.reset()  # also clears the guards leaked above
         for snap in worker_snaps:
             telemetry.merge(snap)
         parallel = self._exposition(telemetry.snapshot())

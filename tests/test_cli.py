@@ -214,6 +214,23 @@ class TestObserveCommands:
         assert main(["observe-report", str(bad)]) == 2
         assert "cannot read observation" in capsys.readouterr().err
 
+    def test_observe_report_malformed_label_is_an_error(self, capsys, tmp_path):
+        """An instrument name with a broken label block must be rejected
+        with exit 2, not silently mis-parsed into wrong labels."""
+        out = tmp_path / "obs"
+        assert main(
+            ["fig3", "--n-objects", "16", "--trials", "2",
+             "--observe", str(out)]
+        ) == 0
+        capsys.readouterr()
+        doc_path = out / "observe.json"
+        doc = json.loads(doc_path.read_text())
+        first = next(iter(doc["gauges"]))
+        doc["gauges"]["broken[n=16"] = doc["gauges"].pop(first)
+        doc_path.write_text(json.dumps(doc))
+        assert main(["observe-report", str(doc_path)]) == 2
+        assert "malformed point label" in capsys.readouterr().err
+
 
 class TestQuietFlag:
     def test_quiet_suppresses_fig3_banner(self, capsys, tmp_path):
@@ -232,6 +249,46 @@ class TestQuietFlag:
         assert "seed=" not in capsys.readouterr().out
 
 
+class TestEngineFlag:
+    """``--engine`` must change throughput only: stdout and the report
+    file stay byte-identical to the legacy path."""
+
+    def _fig3(self, capsys, extra=()):
+        assert main(
+            ["fig3", "--n-objects", "16", "32", "--trials", "3", *extra]
+        ) == 0
+        return capsys.readouterr()
+
+    def test_fig3_engine_matches_plain_stdout(self, capsys):
+        plain = self._fig3(capsys).out
+        eng = self._fig3(capsys, ["--engine"])
+        assert eng.out == plain
+        assert "engine trials" in eng.err  # stats go to stderr only
+
+    def test_fig3_engine_workers_match_plain_stdout(self, capsys):
+        plain = self._fig3(capsys).out
+        eng = self._fig3(capsys, ["--engine", "--workers", "2"])
+        assert eng.out == plain
+
+    def test_faults_engine_report_matches_plain(self, capsys, tmp_path):
+        plain, eng = tmp_path / "plain.json", tmp_path / "eng.json"
+        base = [
+            "faults", "--rates", "0", "0.05", "--n-objects", "16",
+            "--trials", "2", "--quiet",
+        ]
+        assert main([*base, "--report", str(plain)]) == 0
+        assert main([*base, "--engine", "--report", str(eng)]) == 0
+        err = capsys.readouterr().err
+        assert plain.read_bytes() == eng.read_bytes()
+        assert "engine trials" in err
+
+    def test_engine_with_observe_falls_back(self, capsys, tmp_path):
+        out = tmp_path / "obs"
+        res = self._fig3(capsys, ["--engine", "--observe", str(out)])
+        assert "--engine cannot replay" in res.err
+        assert (out / "observe.json").exists()
+
+
 class TestBaselineCommand:
     def test_record_then_check_passes(self, capsys, tmp_path):
         out = tmp_path / "BENCH_fig3.json"
@@ -242,6 +299,19 @@ class TestBaselineCommand:
         assert main(
             ["baseline", "check", str(out), "--skip-wallclock"]
         ) == 0
+        assert "baseline holds" in capsys.readouterr().out
+
+    def test_engine_bench_record_then_check(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        assert main(
+            ["baseline", "record", "--bench", "engine", "--out", str(out)]
+        ) == 0
+        assert "recorded engine baseline" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["wallclock"]["speedup"] >= 2.0
+        assert doc["deterministic"]["engine.identical_warm"] == 1.0
+        assert doc["deterministic"]["engine.identical_legacy"] == 1.0
+        assert main(["baseline", "check", str(out), "--skip-wallclock"]) == 0
         assert "baseline holds" in capsys.readouterr().out
 
     def test_check_malformed_is_an_error(self, capsys, tmp_path):

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.faults",
     "repro.telemetry",
+    "repro.engine",
 ]
 
 

@@ -21,7 +21,7 @@ from repro.telemetry.baseline import (
 )
 
 REPO_ROOT = pathlib.Path(__file__).parent.parent
-BASELINES = ["BENCH_fig3.json", "BENCH_faults.json"]
+BASELINES = ["BENCH_fig3.json", "BENCH_faults.json", "BENCH_megascale.json"]
 
 
 @pytest.mark.parametrize("name", BASELINES)

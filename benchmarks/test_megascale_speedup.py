@@ -1,0 +1,43 @@
+"""Benchmark: the vector CSD kernel's cold-path speedup at N=256.
+
+This is the megascale kernel's acceptance criterion: resolving the
+seeded N_object=256 Figure-3 request sequences through
+:class:`repro.megascale.kernel.VectorCSDKernel` must be at least 50x
+faster than the live :class:`repro.csd.dynamic_csd.DynamicCSDNetwork`,
+and — non-negotiably — produce the identical grant sequence for every
+attempt of every trial.  The kernel buys throughput, never different
+numbers.
+
+Results land in ``benchmarks/results/megascale_speedup.txt``.
+"""
+
+from repro.megascale.bench import measure_kernel_speedup
+
+N_OBJECTS = 256
+SEED = 42
+MIN_SPEEDUP = 50.0
+
+
+def test_vector_kernel_is_at_least_50x_faster(emit):
+    result = measure_kernel_speedup(n_objects=N_OBJECTS, seed=SEED)
+
+    lines = [
+        f"Vector kernel cold-path speedup (Figure 3, N={N_OBJECTS})",
+        f"  attempts: {result['attempts']}   "
+        f"({len(result['localities'])} localities x "
+        f"{result['trials_per_locality']} trials)",
+        f"  live:   {result['live_s'] * 1e3:8.1f} ms",
+        f"  vector: {result['kernel_s'] * 1e3:8.1f} ms",
+        f"  speedup: {result['kernel_speedup']:.1f}x   "
+        f"(floor {MIN_SPEEDUP:g}x)",
+        f"  identical grants: {result['identical']}",
+    ]
+    emit("megascale_speedup", "\n".join(lines))
+
+    assert result["identical"], (
+        "vector kernel grants diverged from the live network"
+    )
+    assert result["kernel_speedup"] >= MIN_SPEEDUP, (
+        f"vector kernel only {result['kernel_speedup']:.2f}x faster than "
+        f"the live network (floor {MIN_SPEEDUP}x)"
+    )

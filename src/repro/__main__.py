@@ -94,10 +94,21 @@ def _cmd_fig3(
     observe: Optional[str] = None,
     quiet: bool = False,
     engine: bool = False,
+    kernel: str = "route",
 ) -> int:
     from repro.csd.simulator import figure3_series
 
     use_engine = engine and not trace and not observe
+    if kernel == "vector" and not use_engine:
+        # the vector kernel only exists inside the engine's cold path,
+        # and the engine cannot replay traces/observations — so this is
+        # a contradiction in the request, not something to paper over
+        print(
+            "fig3: --kernel vector needs --engine and is incompatible "
+            "with --trace/--observe",
+            file=sys.stderr,
+        )
+        return 2
     if engine and not use_engine:
         print(
             "fig3: --engine cannot replay traces/observations; "
@@ -130,6 +141,7 @@ def _cmd_fig3(
                 n_objects_list=n_objects,
                 seed=seed,
                 workers=workers,
+                kernel=kernel,
             )
         else:
             raw = figure3_series(
@@ -200,10 +212,19 @@ def _cmd_faults(
     observe: Optional[str] = None,
     quiet: bool = False,
     engine: bool = False,
+    kernel: str = "route",
+    csd_rate: Optional[float] = None,
 ) -> int:
     from repro.faults.campaign import report_json, run_campaign
 
     use_engine = engine and not trace and not observe
+    if kernel == "vector" and not use_engine:
+        print(
+            "faults: --kernel vector needs --engine and is incompatible "
+            "with --trace/--observe",
+            file=sys.stderr,
+        )
+        return 2
     if engine and not use_engine:
         print(
             "faults: --engine cannot replay traces/observations; "
@@ -234,6 +255,8 @@ def _cmd_faults(
                 n_trials=trials,
                 seed=seed,
                 workers=workers,
+                kernel=kernel,
+                csd_rate=csd_rate,
             )
         else:
             report = run_campaign(
@@ -242,6 +265,7 @@ def _cmd_faults(
                 n_trials=trials,
                 seed=seed,
                 workers=workers,
+                csd_rate=csd_rate,
             )
     finally:
         if trace:
@@ -454,6 +478,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "engine (byte-identical stdout; cache stats go to stderr; "
         "ignored under --trace/--observe)",
     )
+    p_fig3.add_argument(
+        "--kernel", choices=("route", "vector"), default="route",
+        help="cold-path backend of the sweep engine: 'route' (interned "
+        "route memo) or 'vector' (numpy span-array kernel, flat "
+        "per-trial cost at mega-N); requires --engine, bit-identical "
+        "stdout either way",
+    )
 
     p_faults = sub.add_parser(
         "faults",
@@ -513,6 +544,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "route-memoized sweep engine (byte-identical report; cache "
         "stats go to stderr; ignored under --trace/--observe)",
     )
+    p_faults.add_argument(
+        "--kernel", choices=("route", "vector"), default="route",
+        help="cold-path backend of the sweep engine (see fig3 --kernel); "
+        "requires --engine",
+    )
+    p_faults.add_argument(
+        "--csd-rate", type=float, default=None,
+        help="pin the CSD-segment fault rate at this value while --rates "
+        "sweeps every other fault kind (0 keeps the datapath fault-free "
+        "so the engine's cached/vector kernels stay engaged); recorded "
+        "in the report as 'csd_rate'",
+    )
 
     p_report = sub.add_parser(
         "trace-report",
@@ -539,7 +582,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "record", help="run a bench and write its baseline file"
     )
     p_record.add_argument(
-        "--bench", required=True, help="fig3, faults, or engine"
+        "--bench", required=True, help="fig3, faults, engine, or megascale"
     )
     p_record.add_argument(
         "--out", default=None,
@@ -576,6 +619,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.n_objects, args.trials, workers=args.workers,
             stats=args.stats, seed=args.seed, trace=args.trace,
             observe=args.observe, quiet=args.quiet, engine=args.engine,
+            kernel=args.kernel,
         )
     if args.command == "faults":
         if args.rates is not None:
@@ -588,7 +632,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             rates, args.n_objects, args.trials, workers=args.workers,
             stats=args.stats, seed=args.seed, trace=args.trace,
             report_path=args.report, observe=args.observe,
-            quiet=args.quiet, engine=args.engine,
+            quiet=args.quiet, engine=args.engine, kernel=args.kernel,
+            csd_rate=args.csd_rate,
         )
     if args.command == "trace-report":
         return _cmd_trace_report(args.trace_file)

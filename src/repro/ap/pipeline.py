@@ -30,7 +30,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import CapacityError, ConfigurationError
+from repro.errors import (
+    CapacityError,
+    ChannelAllocationError,
+    ConfigurationError,
+)
 from repro.csd.dynamic_csd import Connection, DynamicCSDNetwork
 from repro.ap.config_stream import ConfigElement, ConfigStream
 from repro.ap.stack import ObjectStack
@@ -167,7 +171,7 @@ class AdaptiveProcessor:
             if object_id in key:
                 try:
                     self.network.disconnect(conn)
-                except Exception:
+                except ChannelAllocationError:
                     pass  # already evicted by a stack shift
                 del self._connections[key]
 

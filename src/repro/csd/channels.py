@@ -120,6 +120,12 @@ class Channel:
     def span_of(self, owner: Hashable) -> Optional[Span]:
         return self._occupants.get(owner)
 
+    def spans(self) -> Tuple[Span, ...]:
+        """Every occupied span, in insertion (occupation) order — the
+        public read surface for observers that used to reach into
+        ``_occupants`` directly."""
+        return tuple(self._occupants.values())
+
     @property
     def occupants(self) -> Tuple[Hashable, ...]:
         return tuple(self._occupants)
@@ -202,12 +208,24 @@ class ChannelPool:
     def segment_demand(self) -> List[int]:
         """How many channels occupy each segment position — channel
         demand *along the linear array* (§2.6's locality story made
-        spatial: local datapaths leave the far segments cold)."""
-        demand = [0] * self.n_segments
+        spatial: local datapaths leave the far segments cold).
+
+        Computed with a difference array + prefix sum: each span adds
+        ``+1`` at ``lo`` and ``-1`` at ``hi``, so the cost is
+        O(spans + segments) per sample instead of walking every segment
+        of every span — the observer ticks this once per protocol cycle,
+        and at mega-scale N the old walk dominated the sample budget.
+        """
+        diff = [0] * (self.n_segments + 1)
         for channel in self.channels:
-            for span in channel._occupants.values():
-                for seg in range(span.lo, span.hi):
-                    demand[seg] += 1
+            for span in channel.spans():
+                diff[span.lo] += 1
+                diff[span.hi] -= 1
+        demand: List[int] = []
+        running = 0
+        for seg in range(self.n_segments):
+            running += diff[seg]
+            demand.append(running)
         return demand
 
     def channel_occupancy(self) -> List[int]:

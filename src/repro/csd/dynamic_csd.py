@@ -225,8 +225,8 @@ class DynamicCSDNetwork:
             )
         # rebuild surviving connection records with shifted positions
         for conn_id, conn in list(self._connections.items()):
-            new_span = channel_span = self.pool[conn.channel].span_of(conn_id)
-            assert channel_span is not None
+            new_span = self.pool[conn.channel].span_of(conn_id)
+            assert new_span is not None
             self._connections[conn_id] = Connection(
                 conn_id,
                 conn.channel,
@@ -264,7 +264,7 @@ class DynamicCSDNetwork:
         the memoized resolver against the live protocol step by step.
         """
         return tuple(
-            tuple(sorted((s.lo, s.hi) for s in ch._occupants.values()))
+            tuple(sorted((s.lo, s.hi) for s in ch.spans()))
             for ch in self.pool
         )
 

@@ -15,13 +15,14 @@ capacity overflow, or instrumentation request falls back to the live
 simulator, and cached output is byte-identical to the serial paths.
 """
 
-from repro.engine.cache import LRUCache
+from repro.engine.cache import LRUCache, MISSING
 from repro.engine.core import SweepEngine, TrialEntry
 from repro.engine.routes import RouteMemo
 from repro.engine.sweep import run_faults, run_fig3
 
 __all__ = [
     "LRUCache",
+    "MISSING",
     "RouteMemo",
     "SweepEngine",
     "TrialEntry",

@@ -12,9 +12,14 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional
 
-__all__ = ["LRUCache"]
+__all__ = ["LRUCache", "MISSING"]
 
-_MISSING = object()
+#: Public miss sentinel returned by :meth:`LRUCache.get_or_miss` — the
+#: only value the cache can never store, so a cached ``None`` (or any
+#: other falsy result) is distinguishable from a genuine miss.
+MISSING = object()
+
+_MISSING = MISSING
 
 
 class LRUCache:
@@ -41,6 +46,20 @@ class LRUCache:
         if value is _MISSING:
             self.misses += 1
             return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def get_or_miss(self, key: Hashable) -> Any:
+        """Like :meth:`get`, but a miss returns the :data:`MISSING`
+        sentinel instead of ``None`` — callers that may legitimately
+        cache falsy values (``None``, ``0``, ``()``) must use this, or
+        every such entry is recomputed (and miscounted as a miss)
+        forever."""
+        value = self._data.get(key, MISSING)
+        if value is MISSING:
+            self.misses += 1
+            return MISSING
         self._data.move_to_end(key)
         self.hits += 1
         return value

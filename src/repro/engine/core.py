@@ -21,8 +21,10 @@ The engine exploits that at three levels:
 in its result *and* in the telemetry registry — from running
 :meth:`repro.csd.simulator.CSDSimulator.run_trial` live.  The fast path
 therefore only engages when nothing order- or object-dependent would be
-recorded: tracing and observation disabled, no live faults
-(``faults is None`` or a fault-free plan), and a concrete trial seed.
+recorded: tracing and observation disabled, no live CSD faults
+(``faults is None``, or a plan whose CSD-segment rate is zero and no
+quarantined CSD site — other fault kinds never touch this protocol), and
+a concrete trial seed.
 Under a retry policy the fast path additionally requires the resolved
 trial to have zero blocked requests (first-try successes leave no
 retry telemetry; a blocked request would).  Anything else falls back to
@@ -37,8 +39,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro import telemetry
 from repro.csd.locality import LocalityWorkload
 from repro.csd.simulator import CSDSimulator, SimulationResult
-from repro.engine.cache import LRUCache
+from repro.engine.cache import LRUCache, MISSING
 from repro.engine.routes import RouteMemo
+from repro.faults.model import FaultKind
+from repro.megascale.kernel import VectorCSDKernel
 
 __all__ = ["SweepEngine", "TrialEntry"]
 
@@ -74,7 +78,18 @@ class SweepEngine:
         self,
         trial_capacity: int = DEFAULT_TRIAL_CAPACITY,
         request_capacity: int = DEFAULT_REQUEST_CAPACITY,
+        kernel: str = "route",
     ) -> None:
+        if kernel not in ("route", "vector"):
+            raise ValueError(
+                f"unknown cold-path kernel {kernel!r} (want 'route' or 'vector')"
+            )
+        #: Cold-path backend: ``"route"`` resolves grants on the interned
+        #: route memo; ``"vector"`` runs the numpy span-array kernel
+        #: (:class:`repro.megascale.kernel.VectorCSDKernel`) — same
+        #: results bit-for-bit, but per-trial cost that stays flat as
+        #: ``n_objects`` grows into the thousands.
+        self.kernel = kernel
         self._trials = LRUCache(trial_capacity)
         self._requests = LRUCache(request_capacity)
         self._memos: Dict[Tuple[int, int], RouteMemo] = {}
@@ -101,8 +116,8 @@ class SweepEngine:
         sharing one list between trials (and with callers) is safe.
         """
         key = (n_objects, locality, seed, two_source)
-        cached = self._requests.get(key)
-        if cached is not None:
+        cached = self._requests.get_or_miss(key)
+        if cached is not MISSING:
             return cached
         workload = LocalityWorkload(n_objects, locality, seed=seed)
         requests = (
@@ -117,11 +132,16 @@ class SweepEngine:
     def _resolve_trial(
         self, n_objects: int, locality: float, seed: int, two_source: bool
     ) -> TrialEntry:
-        """Resolve one trial purely on the route memo (no live network)."""
+        """Resolve one trial purely on the active cold-path kernel (no
+        live network): the route memo, or the vector span-array kernel."""
         requests, realized = self.trial_requests(
             n_objects, locality, seed, two_source
         )
         n_channels = 2 * n_objects if two_source else n_objects
+        if self.kernel == "vector":
+            return self._resolve_trial_vector(
+                n_objects, locality, realized, requests, n_channels
+            )
         memo = self._memo(n_channels, n_objects - 1)
         state_id = memo.empty_state_id
         live_state = None
@@ -164,6 +184,42 @@ class SweepEngine:
         )
         return TrialEntry(result, attempts, tuple(blocked))
 
+    def _resolve_trial_vector(
+        self,
+        n_objects: int,
+        locality: float,
+        realized: float,
+        requests,
+        n_channels: int,
+    ) -> TrialEntry:
+        """Vector-kernel twin of the route-memo resolution: identical
+        attempt order, identical first-fit grants, identical blocks."""
+        spans: List[Tuple[int, int]] = []
+        for req in requests:
+            for source in req.sources:
+                if source == req.sink:  # cannot happen by construction
+                    continue
+                spans.append(
+                    (source, req.sink) if source < req.sink
+                    else (req.sink, source)
+                )
+        kern = VectorCSDKernel(n_channels, n_objects - 1)
+        grants = kern.grant_many(spans)
+        attempts = len(spans)
+        blocked = [
+            span for span, granted in zip(spans, grants) if granted is None
+        ]
+        result = SimulationResult(
+            n_objects=n_objects,
+            locality_knob=locality,
+            realized_locality=realized,
+            used_channels=kern.used_channels(),
+            highest_channel=kern.highest_used_channel(),
+            requests=len(requests),
+            blocked=len(blocked),
+        )
+        return TrialEntry(result, attempts, tuple(blocked))
+
     @staticmethod
     def _replay(entry: TrialEntry) -> None:
         """Re-emit the telemetry the live trial would have produced.
@@ -195,16 +251,29 @@ class SweepEngine:
         """Run (or replay) one trial; see the module docstring for when
         the cached path engages.  Drop-in equivalent of
         :meth:`CSDSimulator.run_trial` with the same arguments."""
+        # CSD-fault-freedom is per-kind, not per-plan: with the
+        # CSD_SEGMENT rate at zero, FaultPlan.draw early-returns None
+        # before touching any RNG and the channel filter keeps every
+        # candidate without counters or ledger writes, so a plan that
+        # only faults switches/links/flits still replays byte-identically.
+        # A quarantined site in the CSD domain (degradation can force one
+        # faulty regardless of the plan) disables the fast path.
+        csd_fault_free = faults is None or (
+            faults.plan.rate_for(FaultKind.CSD_SEGMENT) == 0.0
+            and not any(
+                site.startswith("csd/") for site in faults.quarantined_sites()
+            )
+        )
         fast = (
             trial_seed is not None
             and not telemetry.tracer().enabled
             and not telemetry.observer().enabled
-            and (faults is None or faults.plan.fault_free)
+            and csd_fault_free
         )
         if fast:
             key = (n_objects, float(locality), int(trial_seed), bool(two_source))
-            entry = self._trials.get(key)
-            if entry is None:
+            entry = self._trials.get_or_miss(key)
+            if entry is MISSING:
                 entry = self._resolve_trial(
                     n_objects, float(locality), int(trial_seed), bool(two_source)
                 )
@@ -229,6 +298,7 @@ class SweepEngine:
 
     def stats(self) -> Dict[str, Any]:
         return {
+            "kernel": self.kernel,
             "trials_cached": self.trials_cached,
             "trials_live": self.trials_live,
             "trial_cache": self._trials.stats(),

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.csd.priority_encoder import PriorityEncoder
-from repro.engine.cache import LRUCache
+from repro.engine.cache import LRUCache, MISSING
 
 __all__ = ["ChannelState", "RouteMemo"]
 
@@ -112,8 +112,8 @@ class RouteMemo:
         materialize the state and continue with :meth:`resolve_live`.
         """
         key = (state_id, lo, hi)
-        cached = self._transitions.get(key)
-        if cached is not None:
+        cached = self._transitions.get_or_miss(key)
+        if cached is not MISSING:
             return cached
         granted, next_state = self.resolve_live(self._states[state_id], lo, hi)
         if granted is None:

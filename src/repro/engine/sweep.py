@@ -55,17 +55,20 @@ DEFAULT_BATCHES_PER_WORKER = 4
 #: :func:`repro.csd.simulator.figure3_series`).
 _DEFAULT_LOCALITIES = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0]
 
-#: One engine per worker process, created lazily on the first batch and
-#: reused for every batch that lands on this worker — that reuse is what
-#: keeps the route memo warm across batches.
-_WORKER_ENGINE: Optional[SweepEngine] = None
+#: One engine per (worker process, kernel), created lazily on the first
+#: batch and reused for every batch that lands on this worker — that
+#: reuse is what keeps the route memo (or the vector kernel's trial
+#: cache) warm across batches.  Keyed by kernel so a worker serving a
+#: ``--kernel vector`` run never hands those batches a route-memo engine
+#: left over from an earlier run in the same pool.
+_WORKER_ENGINES: Dict[str, SweepEngine] = {}
 
 
-def _worker_engine() -> SweepEngine:
-    global _WORKER_ENGINE
-    if _WORKER_ENGINE is None:
-        _WORKER_ENGINE = SweepEngine()
-    return _WORKER_ENGINE
+def _worker_engine(kernel: str = "route") -> SweepEngine:
+    engine = _WORKER_ENGINES.get(kernel)
+    if engine is None:
+        engine = _WORKER_ENGINES[kernel] = SweepEngine(kernel=kernel)
+    return engine
 
 
 def _instrumented() -> bool:
@@ -117,9 +120,9 @@ def _fig3_chunk(args):
     """Worker entry: run one batch of trials on this worker's persistent
     engine; ship the results with the batch's telemetry delta and its
     wall-clock latency."""
-    chunk_index, items = args
+    chunk_index, items, kernel = args
     telemetry.reset()
-    engine = _worker_engine()
+    engine = _worker_engine(kernel)
     cached0, live0 = engine.trials_cached, engine.trials_live
     start = time.perf_counter()
     results = [
@@ -145,21 +148,36 @@ def run_fig3(
     workers: Optional[int] = None,
     engine: Optional[SweepEngine] = None,
     batch_size: Optional[int] = None,
+    kernel: str = "route",
 ) -> Dict[int, List[SimulationResult]]:
     """Engine-path :func:`~repro.csd.simulator.figure3_series`: same
     return shape, byte-identical results, trial batching instead of
     per-point fan-out.  With tracing or observation enabled it delegates
-    to the legacy instrumented path."""
+    to the legacy instrumented path (which has no vector cold path, so
+    ``kernel`` must stay at its default there).
+
+    ``kernel`` picks the cold-path backend of every engine this sweep
+    creates (``"route"`` or ``"vector"``, see
+    :class:`~repro.engine.core.SweepEngine`); a caller-supplied
+    ``engine`` brings its own kernel and wins.
+    """
     if localities is None:
         localities = list(_DEFAULT_LOCALITIES)
     if _instrumented():
+        if kernel != "route":
+            raise ValueError(
+                "the vector kernel cannot replay tracing/observation; "
+                "run without --trace/--observe or with kernel='route'"
+            )
         return figure3_series(
             localities=localities, n_trials=n_trials, seed=seed,
             n_objects_list=n_objects_list, workers=workers,
         )
     points = [(n, loc) for n in n_objects_list for loc in localities]
     if workers is not None and workers > 1:
-        flat = _run_fig3_batched(points, n_trials, seed, workers, batch_size)
+        flat = _run_fig3_batched(
+            points, n_trials, seed, workers, batch_size, kernel
+        )
         results = []
         for index, (n, loc) in enumerate(points):
             trials = flat[index * n_trials : (index + 1) * n_trials]
@@ -170,7 +188,7 @@ def run_fig3(
                 pass  # trials already ran in the pool; keep the timer's call count
             results.append(_aggregate_point(n, loc, trials))
     else:
-        eng = engine if engine is not None else SweepEngine()
+        eng = engine if engine is not None else SweepEngine(kernel=kernel)
         cached0, live0 = eng.trials_cached, eng.trials_live
         results = [
             _engine_fig3_point(eng, n, loc, n_trials, seed) for n, loc in points
@@ -190,6 +208,7 @@ def _run_fig3_batched(
     seed: int,
     workers: int,
     batch_size: Optional[int],
+    kernel: str,
 ) -> List[SimulationResult]:
     from concurrent.futures import ProcessPoolExecutor, as_completed
 
@@ -199,7 +218,7 @@ def _run_fig3_batched(
         for t in range(n_trials)
     ]
     chunks = _chunked(tasks, workers, batch_size)
-    payloads = list(enumerate(chunks))
+    payloads = [(i, chunk, kernel) for i, chunk in enumerate(chunks)]
     done: Dict[int, Tuple[List[SimulationResult], Dict[str, Any], float, int, int]] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(_fig3_chunk, payload) for payload in payloads]
@@ -224,9 +243,9 @@ def _faults_chunk(args):
     """Worker entry: one batch of fault trials, each with its own
     counter-delta/recovery capture so the parent can rebuild exact
     per-point captures regardless of how batches split the points."""
-    chunk_index, items, seed, policy_tuple, locality = args
+    chunk_index, items, seed, policy_tuple, locality, kernel, csd_rate = args
     telemetry.reset()
-    engine = _worker_engine()
+    engine = _worker_engine(kernel)
     cached0, live0 = engine.trials_cached, engine.trials_live
     policy = RetryPolicy(*policy_tuple)
     start = time.perf_counter()
@@ -235,7 +254,7 @@ def _faults_chunk(args):
         before = _capture_before()
         result = run_fault_trial(
             n_objects, rate, trial, seed, policy=policy, locality=locality,
-            engine=engine,
+            engine=engine, csd_rate=csd_rate,
         )
         out.append((result, *_capture_delta(before)))
     elapsed = time.perf_counter() - start
@@ -259,15 +278,31 @@ def run_faults(
     workers: Optional[int] = None,
     engine: Optional[SweepEngine] = None,
     batch_size: Optional[int] = None,
+    kernel: str = "route",
+    csd_rate: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Engine-path :func:`~repro.faults.campaign.run_campaign`: same
     report schema, byte-identical content, trial batching instead of
     per-point fan-out.  With tracing or observation enabled it delegates
-    to the legacy instrumented path."""
+    to the legacy instrumented path.
+
+    ``kernel`` picks the engines' cold-path backend (as in
+    :func:`run_fig3`); ``csd_rate`` pins the CSD-segment fault rate
+    independently of the swept ``rates`` (as in
+    :func:`~repro.faults.campaign.run_campaign`) — ``csd_rate=0.0`` is
+    what lets the vector kernel serve the datapath phase of a faulty
+    reconfiguration campaign.
+    """
     if _instrumented():
+        if kernel != "route":
+            raise ValueError(
+                "the vector kernel cannot replay tracing/observation; "
+                "run without --trace/--observe or with kernel='route'"
+            )
         return run_campaign(
             rates, n_objects_list=n_objects_list, n_trials=n_trials,
             seed=seed, policy=policy, locality=locality, workers=workers,
+            csd_rate=csd_rate,
         )
     if not rates:
         raise ValueError("need at least one fault rate")
@@ -277,24 +312,25 @@ def run_faults(
     points: List[Dict[str, Any]]
     if workers is not None and workers > 1:
         points = _run_faults_batched(
-            grid, n_trials, seed, policy, locality, workers, batch_size
+            grid, n_trials, seed, policy, locality, workers, batch_size,
+            kernel, csd_rate,
         )
     else:
         from repro.faults.campaign import campaign_point
 
-        eng = engine if engine is not None else SweepEngine()
+        eng = engine if engine is not None else SweepEngine(kernel=kernel)
         cached0, live0 = eng.trials_cached, eng.trials_live
         points = [
             campaign_point(
                 n, r, n_trials, seed, policy=policy, locality=locality,
-                engine=eng,
+                engine=eng, csd_rate=csd_rate,
             )
             for n, r in grid
         ]
         _record_engine_telemetry(
             eng.trials_cached - cached0, eng.trials_live - live0
         )
-    return {
+    report: Dict[str, Any] = {
         "schema": CAMPAIGN_SCHEMA,
         "seed": seed,
         "trials": n_trials,
@@ -308,6 +344,9 @@ def run_faults(
         },
         "points": points,
     }
+    if csd_rate is not None:
+        report["csd_rate"] = float(csd_rate)
+    return report
 
 
 def _run_faults_batched(
@@ -318,6 +357,8 @@ def _run_faults_batched(
     locality: float,
     workers: int,
     batch_size: Optional[int],
+    kernel: str,
+    csd_rate: Optional[float],
 ) -> List[Dict[str, Any]]:
     from concurrent.futures import ProcessPoolExecutor, as_completed
 
@@ -331,7 +372,10 @@ def _run_faults_batched(
     done: Dict[int, Tuple[list, Dict[str, Any], float, int, int]] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
-            pool.submit(_faults_chunk, (i, chunk, seed, policy_tuple, locality))
+            pool.submit(
+                _faults_chunk,
+                (i, chunk, seed, policy_tuple, locality, kernel, csd_rate),
+            )
             for i, chunk in enumerate(chunks)
         ]
         for future in as_completed(futures):

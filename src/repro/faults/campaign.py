@@ -248,6 +248,7 @@ def run_fault_trial(
     policy: RetryPolicy = DEFAULT_POLICY,
     locality: float = _LOCALITY,
     engine=None,
+    csd_rate: Optional[float] = None,
 ) -> Dict[str, Any]:
     """One Monte-Carlo trial: fresh fault universe, all three phases.
 
@@ -255,10 +256,25 @@ def run_fault_trial(
     phase through the trial cache; the engine itself guarantees the
     cached path only engages when it is byte-identical to the live one
     (fault-free plan, no blocks under the retry policy).
+
+    ``csd_rate`` overrides the CSD-segment fault rate while every other
+    kind keeps ``rate`` — with ``csd_rate=0.0`` the datapath phase is
+    provably fault-free and the engine's cached/vector kernels stay
+    byte-identical even at nonzero reconfiguration-fault rates.  Note
+    the override is per *kind*, not per domain: chained-CSD junction
+    legs draw segment faults of the same kind, so it moves with the
+    override too.
     """
-    injector = FaultInjector(
-        FaultPlan.uniform(_plan_seed(seed, n_objects, rate, trial), rate)
-    )
+    plan_seed = _plan_seed(seed, n_objects, rate, trial)
+    if csd_rate is None:
+        plan = FaultPlan.uniform(plan_seed, rate)
+    else:
+        plan = FaultPlan(
+            seed=plan_seed,
+            default_rate=rate,
+            rates={FaultKind.CSD_SEGMENT: float(csd_rate)},
+        )
+    injector = FaultInjector(plan)
     label = (
         point_label(n=n_objects, rate=rate)
         if telemetry.observer().enabled
@@ -405,6 +421,7 @@ def campaign_point(
     policy: RetryPolicy = DEFAULT_POLICY,
     locality: float = _LOCALITY,
     engine=None,
+    csd_rate: Optional[float] = None,
 ) -> Dict[str, Any]:
     """One averaged campaign point (the unit of parallel fan-out).
 
@@ -424,7 +441,7 @@ def campaign_point(
         trials = [
             run_fault_trial(
                 n_objects, rate, t, seed, policy=policy, locality=locality,
-                engine=engine,
+                engine=engine, csd_rate=csd_rate,
             )
             for t in range(n_trials)
         ]
@@ -445,7 +462,8 @@ def campaign_point(
 # -- campaign sweep (serial and process-pool paths) -------------------------
 
 Task = Tuple[
-    int, float, int, int, Tuple[int, int, int], float, bool, bool, int
+    int, float, int, int, Tuple[int, int, int], float, bool, bool, int,
+    Optional[float],
 ]
 
 
@@ -455,14 +473,15 @@ def _campaign_task(task: Task) -> Tuple[Dict[str, Any], Dict[str, Any]]:
     counts and must report only its own)."""
     (
         n_objects, rate, n_trials, seed, policy_tuple, locality,
-        trace, observe, stride,
+        trace, observe, stride, csd_rate,
     ) = task
     telemetry.reset()
     telemetry.enable_tracing(trace)
     telemetry.enable_observation(observe, stride)
     policy = RetryPolicy(*policy_tuple)
     point = campaign_point(
-        n_objects, rate, n_trials, seed, policy=policy, locality=locality
+        n_objects, rate, n_trials, seed, policy=policy, locality=locality,
+        csd_rate=csd_rate,
     )
     return point, telemetry.snapshot()
 
@@ -475,12 +494,18 @@ def run_campaign(
     policy: RetryPolicy = DEFAULT_POLICY,
     locality: float = _LOCALITY,
     workers: Optional[int] = None,
+    csd_rate: Optional[float] = None,
 ) -> Dict[str, Any]:
     """The full sweep: one point per (rate, n_objects), rate-major order.
 
     ``workers`` > 1 fans the points out over a process pool with worker
     telemetry snapshots folded back in — the report (and the registry)
     is bit-identical to the serial path.
+
+    ``csd_rate``, when given, pins the CSD-segment fault rate at that
+    value across the whole sweep while ``rates`` continues to drive
+    every other fault kind (see :func:`run_fault_trial`); the override
+    is recorded in the report under ``"csd_rate"``.
     """
     if not rates:
         raise ValueError("need at least one fault rate")
@@ -501,7 +526,7 @@ def run_campaign(
         tasks: List[Task] = [
             (
                 n, r, n_trials, seed, policy_tuple, locality,
-                trace, obs.enabled, obs.stride,
+                trace, obs.enabled, obs.stride, csd_rate,
             )
             for n, r in grid
         ]
@@ -513,11 +538,12 @@ def run_campaign(
     else:
         points = [
             campaign_point(
-                n, r, n_trials, seed, policy=policy, locality=locality
+                n, r, n_trials, seed, policy=policy, locality=locality,
+                csd_rate=csd_rate,
             )
             for n, r in grid
         ]
-    return {
+    report: Dict[str, Any] = {
         "schema": CAMPAIGN_SCHEMA,
         "seed": seed,
         "trials": n_trials,
@@ -531,6 +557,9 @@ def run_campaign(
         },
         "points": points,
     }
+    if csd_rate is not None:
+        report["csd_rate"] = float(csd_rate)
+    return report
 
 
 def report_json(report: Dict[str, Any]) -> str:

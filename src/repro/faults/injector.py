@@ -168,6 +168,17 @@ class FaultInjector:
             return False
         return self._active(FaultKind.WORM_FLIT, worm_flit_site(payload))
 
+    def pristine(self) -> bool:
+        """Whether this injector can never fire: a fault-free plan and no
+        quarantined sites.  (Quarantine overrides the plan — ``_active``
+        consults it first — so ``plan.fault_free`` alone is not enough.)
+        Fast paths that skip fault hooks entirely must gate on this."""
+        return self.plan.fault_free and not self._quarantined
+
+    def quarantined_sites(self) -> Tuple[str, ...]:
+        """Sites forced faulty by the degradation layer, sorted."""
+        return tuple(sorted(self._quarantined))
+
     # -- statistics --------------------------------------------------------
 
     @property

@@ -1,0 +1,32 @@
+"""Mega-scale (N = 1024-4096) vectorized kernels.
+
+The paper's Figure 3 stops at N = 256; pushing the same experiments an
+order of magnitude further needs the protocol cold path off Python
+object graphs and onto flat numpy arrays.  This package holds:
+
+* :mod:`repro.megascale.kernel` — the span-array CSD protocol kernel
+  (:class:`VectorCSDKernel`) and its telemetry-bearing drop-in network
+  twin (:class:`VectorCSDNetwork`);
+* :mod:`repro.megascale.noc_kernel` — the closed-form schedule of a
+  solo configuration worm (pure math, consulted by the router network's
+  express delivery path);
+* :mod:`repro.megascale.bench` — the live-vs-vector identity +
+  speedup measurement backing ``BENCH_megascale.json``.
+
+Everything here is held to the repo's byte-identity contract: a vector
+result that differs from the live simulator in any observable — grants,
+blocks, eviction order, telemetry counters — is a bug, and the
+hypothesis lockstep suite in ``tests/megascale/`` enforces it.
+"""
+
+from repro.megascale.bench import measure_kernel_speedup
+from repro.megascale.kernel import VectorCSDKernel, VectorCSDNetwork
+from repro.megascale.noc_kernel import WormSchedule, worm_schedule
+
+__all__ = [
+    "VectorCSDKernel",
+    "VectorCSDNetwork",
+    "WormSchedule",
+    "worm_schedule",
+    "measure_kernel_speedup",
+]

@@ -205,6 +205,101 @@ class RouterNetwork:
                 raise SimulationError(f"exceeded cycle budget {max_cycles}")
         return self.cycle_count
 
+    # -- express delivery (mega-scale fast path) -----------------------------
+
+    def express_eligible(self, packet: Optional[Packet] = None) -> bool:
+        """Whether a solo worm can be delivered by closed form instead of
+        cycle stepping.
+
+        The closed-form schedule (:mod:`repro.megascale.noc_kernel`) is
+        exact only when nothing can perturb or observe the cycle-by-cycle
+        transport: the network must be fully drained (no contention), no
+        tracer span per hop, no sampler tick per cycle, and no fault
+        injector that could stall a link (a pristine injector — rate-0
+        plan, nothing quarantined — is fine: its hooks are no-ops).
+
+        When ``packet`` is given, additionally checks that *its* schedule
+        is exact — single-slot queues make multi-flit, multi-hop timing
+        depend on router commit order, which only the stepped simulator
+        reproduces.
+        """
+        if (
+            not self.is_drained()
+            or telemetry.tracer().enabled
+            or self.sampler is not None
+            or (self.faults is not None and not self.faults.pristine())
+        ):
+            return False
+        if packet is None:
+            return True
+        if packet.src not in self.routers or packet.dst not in self.routers:
+            return False  # let inject() raise the real error
+        from repro.megascale.noc_kernel import worm_schedule
+
+        return worm_schedule(
+            packet.src,
+            packet.dst,
+            len(packet),
+            self.routers[packet.src].queue_capacity,
+        ).exact
+
+    def deliver_express(self, packet: Packet, max_cycles: int = 100_000):
+        """Deliver ``packet`` as if by :meth:`inject` +
+        :meth:`run_until_drained`, without stepping routers.
+
+        Callers must have checked :meth:`express_eligible`.  Every
+        observable matches the stepped run bit-for-bit: the per-flit
+        ``on_deliver`` hook order, each flit's corruption check, the
+        :class:`DeliveryRecord` (``delivered_at`` included), the final
+        ``cycle_count``, and the ``noc.cycles`` / ``noc.flit_moves`` /
+        ``noc.stalls`` / delivery counters.  Returns the delivery record.
+
+        Raises
+        ------
+        SimulationError
+            When the schedule would cross ``max_cycles`` — the stepped
+            run would have exhausted its cycle budget too.
+        """
+        from repro.megascale.noc_kernel import worm_schedule
+
+        if packet.src not in self.routers or packet.dst not in self.routers:
+            raise RoutingError(
+                f"packet {packet.packet_id} endpoints outside the grid"
+            )
+        if any(f.vc >= self.n_vcs for f in packet.flits):
+            raise RoutingError(
+                f"packet {packet.packet_id} uses a VC beyond the "
+                f"{self.n_vcs} provisioned"
+            )
+        schedule = worm_schedule(
+            packet.src,
+            packet.dst,
+            len(packet),
+            self.routers[packet.src].queue_capacity,
+        )
+        if not schedule.exact:
+            raise SimulationError(
+                f"packet {packet.packet_id} has no exact express schedule "
+                "(single-slot queues, multi-flit, multi-hop) — "
+                "deliver it by stepping"
+            )
+        start = self.cycle_count
+        if start + schedule.drain_at > max_cycles:
+            raise SimulationError(f"exceeded cycle budget {max_cycles}")
+        self._inject_time[packet.packet_id] = start
+        self._packet_meta[packet.packet_id] = packet
+        for flit, offset in zip(packet.flits, schedule.eject_offsets()):
+            # _deliver stamps the record from cycle_count, and hooks may
+            # read it: hold the clock at each flit's ejection cycle
+            self.cycle_count = start + offset
+            self._deliver(flit)
+        self.cycle_count = start + schedule.drain_at
+        telemetry.counter("noc.cycles").inc(schedule.drain_at)
+        telemetry.counter("noc.flit_moves").inc(schedule.flit_moves)
+        if schedule.stalls:
+            telemetry.counter("noc.stalls").inc(schedule.stalls)
+        return self.delivered[-1]
+
     # -- delivery bookkeeping ----------------------------------------------
 
     def _deliver(self, flit: Flit) -> None:

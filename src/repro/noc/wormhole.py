@@ -32,6 +32,7 @@ from repro.errors import (
     DefectError,
     FaultInjectionError,
     RegionError,
+    SimulationError,
 )
 from repro.noc.flit import make_packet
 from repro.noc.network import RouterNetwork
@@ -42,6 +43,19 @@ from repro.topology.s_topology import STopology
 __all__ = ["ScalingOperation", "WormholeConfigurator"]
 
 Coord = Tuple[int, int]
+
+#: The exceptions a scaling worm can *legitimately* die of — conflicts,
+#: defects, bad regions, injected faults, transport no-progress.  The
+#: abort/rollback handlers catch exactly these; anything else (an
+#: ``AttributeError`` in a probe, say) is a genuine software defect and
+#: must propagate instead of being counted as an aborted attempt.
+_WORM_FAILURES = (
+    AllocationConflictError,
+    DefectError,
+    FaultInjectionError,
+    RegionError,
+    SimulationError,
+)
 
 
 @dataclass(frozen=True)
@@ -127,7 +141,7 @@ class WormholeConfigurator:
                 self._reserve(region, worm_token)
                 if tracer.enabled:
                     tracer.advance()
-        except Exception:
+        except _WORM_FAILURES:
             # a failed reserve already rolled its own flags back — only
             # close the operation span, don't run the commit-side abort
             if tspan is not None:
@@ -149,7 +163,7 @@ class WormholeConfigurator:
                     cycles = 0
                 if tracer.enabled:
                     tracer.advance()
-        except Exception:
+        except _WORM_FAILURES:
             telemetry.counter("wormhole.aborts").inc()
             telemetry.event(
                 "wormhole.abort", op_id=op_id, region_head=region.path[0]
@@ -199,7 +213,7 @@ class WormholeConfigurator:
                 at = f"switch {a}-{b}"
                 self.fabric.chain_switch(a, b).reserve(token)
                 taken.append((a, b))
-        except Exception as exc:
+        except _WORM_FAILURES as exc:
             if isinstance(exc, AllocationConflictError):
                 telemetry.counter("wormhole.reserve.conflicts").inc()
                 telemetry.instant(
@@ -289,9 +303,15 @@ class WormholeConfigurator:
                 self.origin, region.path[0], payloads=payloads or [None],
                 packet_id=next(self._packet_ids),
             )
-            self.network.inject(packet)
-            self.network.run_until_drained()
-            record = self.network.record_for(packet.packet_id)
+            if self.network.express_eligible(packet):
+                # solo worm on a drained, unobserved, fault-pristine
+                # network: its schedule is closed-form, so skip the
+                # cycle stepping (bit-identical — see deliver_express)
+                record = self.network.deliver_express(packet)
+            else:
+                self.network.inject(packet)
+                self.network.run_until_drained()
+                record = self.network.record_for(packet.packet_id)
         finally:
             self.network.on_deliver = previous_hook
         cycles = (record.delivered_at - start) if record else 0

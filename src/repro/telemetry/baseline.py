@@ -25,8 +25,15 @@ carries ``cold_s`` / ``warm_s`` / ``speedup``, and the guard requires
 the warm run to be at least ``2x`` faster unless wall-clock checks are
 skipped.
 
+The ``megascale`` bench guards the vector CSD kernel the same way:
+identity bits (vector == legacy at small N, identical grant streams in
+the speedup harness), a deterministic mega-N (1024-4096) channel-demand
+series, and a wall-clock ``kernel_speedup`` that must stay above
+``50x`` unless wall-clock checks are skipped.
+
 The recorded ``BENCH_fig3.json`` / ``BENCH_faults.json`` /
-``BENCH_engine.json`` files live at the repo root; ``check_baseline``
+``BENCH_engine.json`` / ``BENCH_megascale.json`` files live at the
+repo root; ``check_baseline``
 re-runs the configuration they embed and returns a list of regression
 descriptions (empty = pass).
 """
@@ -75,6 +82,18 @@ BENCHES: Dict[str, Dict[str, Any]] = {
         "n_trials": 5,
         "seed": 42,
     },
+    # the vector kernel's acceptance configuration: bit-identity to the
+    # legacy sweep at small N, deterministic mega-N series, and a >=50x
+    # protocol-resolution speedup over the live network at N=256
+    "megascale": {
+        "identity_n_objects": [16, 64],
+        "mega_n_objects": [1024, 2048, 4096],
+        "localities": [1.0, 0.5, 0.0],
+        "n_trials": 3,
+        "mega_trials": 2,
+        "speedup_n_objects": 256,
+        "seed": 42,
+    },
 }
 
 #: Deterministic metrics matching this substring are latency thresholds,
@@ -87,6 +106,10 @@ _LATENCY_SLACK_CYCLES = 2.0
 
 #: Minimum warm-over-cold speedup the engine bench must sustain.
 _ENGINE_MIN_SPEEDUP = 2.0
+
+#: Minimum live-over-vector protocol-resolution speedup the megascale
+#: bench must sustain at its acceptance size (N=256).
+_MEGASCALE_MIN_SPEEDUP = 50.0
 
 
 def measure_bench(bench: str, config: Dict[str, Any]) -> Dict[str, Any]:
@@ -171,6 +194,57 @@ def measure_bench(bench: str, config: Dict[str, Any]) -> Dict[str, Any]:
             "warm_s": warm_s,
             "speedup": cold_s / warm_s,
         }
+    elif bench == "megascale":
+        from repro.csd.simulator import figure3_series
+        from repro.engine import run_fig3
+        from repro.megascale.bench import measure_kernel_speedup
+
+        localities = list(config["localities"])
+        seed = int(config["seed"])
+        # identity leg: the vector kernel must replay the legacy sweep
+        # byte-for-byte at sizes the live simulator can still afford
+        id_kwargs = dict(
+            localities=localities,
+            n_trials=int(config["n_trials"]),
+            seed=seed,
+            n_objects_list=list(config["identity_n_objects"]),
+        )
+        vector_small = run_fig3(kernel="vector", **id_kwargs)
+        legacy_small = figure3_series(**id_kwargs)
+        deterministic = {
+            "megascale.identical_legacy": float(vector_small == legacy_small)
+        }
+        # mega leg: sizes only the vector kernel reaches; the series is
+        # seed-deterministic, so any drift is a behaviour change
+        start = time.perf_counter()
+        mega = run_fig3(
+            kernel="vector",
+            localities=localities,
+            n_trials=int(config["mega_trials"]),
+            seed=seed,
+            n_objects_list=list(config["mega_n_objects"]),
+        )
+        elapsed = time.perf_counter() - start
+        n_points = 0
+        for n, points in sorted(mega.items()):
+            for point in points:
+                label = point_label(n=n, loc=point.locality_knob)
+                deterministic[f"megascale.used_channels{label}"] = float(
+                    point.used_channels
+                )
+                deterministic[f"megascale.blocked{label}"] = float(point.blocked)
+                n_points += 1
+        # speedup leg: raw grant resolution, live network vs kernel,
+        # on identical span streams (the kernel bench asserts identity)
+        speed = measure_kernel_speedup(
+            n_objects=int(config["speedup_n_objects"]), seed=seed
+        )
+        deterministic["megascale.identical_speedup"] = float(speed["identical"])
+        wallclock_extra = {
+            "live_s": speed["live_s"],
+            "kernel_s": speed["kernel_s"],
+            "kernel_speedup": speed["kernel_speedup"],
+        }
     else:
         raise ValueError(f"unknown bench {bench!r} (want one of {sorted(BENCHES)})")
     elapsed = max(elapsed, 1e-9)
@@ -178,7 +252,7 @@ def measure_bench(bench: str, config: Dict[str, Any]) -> Dict[str, Any]:
         "elapsed_s": elapsed,
         "points_per_s": n_points / elapsed,
     }
-    if bench == "engine":
+    if bench in ("engine", "megascale"):
         wallclock.update(wallclock_extra)
     return {
         "deterministic": deterministic,
@@ -262,6 +336,13 @@ def check_baseline(
             regressions.append(
                 f"engine speedup: warm run only {float(got_speedup):.2f}x "
                 f"faster than cold (floor {_ENGINE_MIN_SPEEDUP:g}x)"
+            )
+        got_kernel = measured.get("wallclock", {}).get("kernel_speedup")
+        if got_kernel is not None and float(got_kernel) < _MEGASCALE_MIN_SPEEDUP:
+            regressions.append(
+                f"megascale speedup: vector kernel only {float(got_kernel):.2f}x "
+                f"faster than the live network "
+                f"(floor {_MEGASCALE_MIN_SPEEDUP:g}x)"
             )
     return regressions
 

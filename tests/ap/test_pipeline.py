@@ -125,6 +125,20 @@ class TestReleaseTokens:
         with pytest.raises(ConfigurationError):
             ap.release_object(0)
 
+    def test_release_only_swallows_eviction_races(self, monkeypatch):
+        """Disconnecting an already-evicted chain is expected; any other
+        failure inside disconnect is a defect and must propagate."""
+        ap = AdaptiveProcessor(8, library())
+        ap.run(linear_stream(4))
+        assert any(2 in key for key in ap.configured_connections())
+
+        def broken_disconnect(conn):
+            raise AttributeError("defective disconnect")
+
+        monkeypatch.setattr(ap.network, "disconnect", broken_disconnect)
+        with pytest.raises(AttributeError):
+            ap.release_object(2)
+
 
 class TestStageTrace:
     def test_all_five_stages_recorded(self):

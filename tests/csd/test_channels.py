@@ -129,6 +129,66 @@ class TestChannelShift:
         assert len(ch.occupants) == 3
 
 
+class TestChannelShiftDeterminism:
+    def test_eviction_order_is_insertion_order(self):
+        # occupy out of positional order: eviction must follow insertion
+        # order (dict order), not span position — the vector kernel's
+        # shift replays exactly this order, so it is load-bearing
+        ch = Channel(0, 6)
+        ch.occupy(Span(4, 6), "o1")
+        ch.occupy(Span(0, 2), "o2")
+        ch.occupy(Span(2, 4), "o3")
+        assert ch.shift_all(3) == ["o1", "o3"]
+        assert ch.span_of("o2") == Span(3, 5)
+
+    def test_surviving_spans_keep_insertion_order(self):
+        ch = Channel(0, 10)
+        ch.occupy(Span(6, 8), "late")
+        ch.occupy(Span(0, 2), "early")
+        ch.shift_all(1)
+        assert ch.spans() == (Span(7, 9), Span(1, 3))
+
+
+class TestSegmentDemand:
+    def test_counts_channels_per_segment(self):
+        pool = ChannelPool(3, 6)
+        pool[0].occupy(Span(0, 4), "a")
+        pool[1].occupy(Span(2, 6), "b")
+        pool[2].occupy(Span(3, 4), "c")
+        assert pool.segment_demand() == [1, 1, 2, 3, 1, 1]
+
+    def test_empty_pool_all_zero(self):
+        assert ChannelPool(2, 5).segment_demand() == [0, 0, 0, 0, 0]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+                lambda t: t[0] != t[1]
+            ),
+            max_size=12,
+        )
+    )
+    def test_matches_naive_per_segment_walk(self, pairs):
+        # property: the difference-array rewrite equals counting, for
+        # each segment, the channels whose some span contains it
+        pool = ChannelPool(4, 10)
+        for i, (a, b) in enumerate(pairs):
+            span = Span.between(a, b)
+            for ch in pool:
+                if ch.is_span_free(span):
+                    ch.occupy(span, f"o{i}")
+                    break
+        naive = [
+            sum(
+                1
+                for ch in pool
+                if any(seg in span for span in ch.spans())
+            )
+            for seg in range(pool.n_segments)
+        ]
+        assert pool.segment_demand() == naive
+
+
 class TestChannelPool:
     def test_pool_iteration_and_indexing(self):
         pool = ChannelPool(4, 10)

@@ -1,6 +1,6 @@
 """Unit tests for the bounded LRU both engine caches sit on."""
 
-from repro.engine import LRUCache
+from repro.engine import LRUCache, MISSING
 
 
 class TestBasics:
@@ -21,6 +21,38 @@ class TestBasics:
         cache.put("a", 2)
         assert cache.get("a") == 2
         assert len(cache) == 1
+
+
+class TestGetOrMiss:
+    def test_miss_returns_sentinel(self):
+        cache = LRUCache(4)
+        assert cache.get_or_miss("nope") is MISSING
+        assert cache.stats()["misses"] == 1
+
+    def test_cached_falsy_values_hit(self):
+        cache = LRUCache(4)
+        for key, falsy in (("n", None), ("z", 0), ("t", ()), ("s", "")):
+            cache.put(key, falsy)
+        for key, falsy in (("n", None), ("z", 0), ("t", ()), ("s", "")):
+            got = cache.get_or_miss(key)
+            assert got is not MISSING
+            assert got == falsy
+        stats = cache.stats()
+        assert stats["hits"] == 4 and stats["misses"] == 0
+
+    def test_hit_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", None)
+        cache.put("b", 2)
+        assert cache.get_or_miss("a") is None  # "b" is now the oldest
+        cache.put("c", 3)                      # evicts "b"
+        assert cache.get_or_miss("a") is None
+        assert cache.get_or_miss("b") is MISSING
+
+    def test_sentinel_shared_across_caches(self):
+        # one module-level sentinel: callers compare with `is`
+        a, b = LRUCache(2), LRUCache(2)
+        assert a.get_or_miss("x") is b.get_or_miss("x") is MISSING
 
 
 class TestEviction:

@@ -95,6 +95,85 @@ class TestFig3Identity:
         assert len(telemetry.tracer().spans) > 0  # spans were recorded
 
 
+class TestVectorKernelIdentity:
+    """The vector cold path must be indistinguishable from the route
+    memo and the legacy simulator — results and registry alike."""
+
+    def _legacy(self):
+        telemetry.reset()
+        series = figure3_series(
+            localities=LOCALITIES, n_trials=3, seed=7, n_objects_list=N_OBJECTS
+        )
+        return series, _registry_signature()
+
+    def test_fig3_vector_matches_legacy_and_route(self):
+        series, sig = self._legacy()
+        telemetry.reset()
+        vector = run_fig3(
+            localities=LOCALITIES, n_trials=3, seed=7,
+            n_objects_list=N_OBJECTS, kernel="vector",
+        )
+        assert vector == series
+        assert _registry_signature() == sig
+        telemetry.reset()
+        route = run_fig3(
+            localities=LOCALITIES, n_trials=3, seed=7,
+            n_objects_list=N_OBJECTS, kernel="route",
+        )
+        assert vector == route
+
+    def test_fig3_vector_parallel_matches_serial(self):
+        serial = run_fig3(
+            localities=LOCALITIES, n_trials=3, seed=7,
+            n_objects_list=N_OBJECTS, kernel="vector",
+        )
+        telemetry.reset()
+        parallel = run_fig3(
+            localities=LOCALITIES, n_trials=3, seed=7,
+            n_objects_list=N_OBJECTS, kernel="vector", workers=2,
+        )
+        assert parallel == serial
+
+    def test_faults_vector_with_pinned_csd_rate_matches_legacy(self):
+        telemetry.reset()
+        legacy = run_campaign(
+            RATES, n_objects_list=[16], n_trials=2, seed=9, csd_rate=0.0
+        )
+        sig = _registry_signature()
+        telemetry.reset()
+        got = run_faults(
+            RATES, n_objects_list=[16], n_trials=2, seed=9,
+            kernel="vector", csd_rate=0.0,
+        )
+        assert report_json(got) == report_json(legacy)
+        assert _registry_signature() == sig
+        assert got["csd_rate"] == 0.0
+
+    def test_csd_rate_key_absent_when_not_pinned(self):
+        report = run_faults([0.0], n_objects_list=[16], n_trials=1, seed=9)
+        assert "csd_rate" not in report
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            SweepEngine(kernel="simd")
+
+    def test_instrumented_vector_run_rejected(self):
+        telemetry.enable_tracing(True)
+        try:
+            with pytest.raises(ValueError):
+                run_fig3(
+                    localities=LOCALITIES, n_trials=1, seed=7,
+                    n_objects_list=[16], kernel="vector",
+                )
+            with pytest.raises(ValueError):
+                run_faults(
+                    [0.0], n_objects_list=[16], n_trials=1, seed=7,
+                    kernel="vector",
+                )
+        finally:
+            telemetry.enable_tracing(False)
+
+
 class TestFaultsIdentity:
     KW = dict(n_objects_list=N_OBJECTS, n_trials=3, seed=42)
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import telemetry
 from repro.errors import AllocationConflictError, DefectError, RegionError
 from repro.noc.network import RouterNetwork
 from repro.noc.wormhole import WormholeConfigurator
@@ -64,6 +65,34 @@ class TestConfigure:
     def test_region_outside_fabric(self, cfg):
         with pytest.raises(RegionError):
             cfg.configure(path_region([(7, 7), (8, 7)]), owner="P1")
+
+
+class TestDefectsPropagate:
+    """Only protocol failures may be treated as aborted worms; a software
+    defect inside a probe must escape the abort handlers untouched."""
+
+    def test_commit_phase_defect_propagates(self, fabric):
+        class BrokenProbe:
+            def chain_switch_fault(self, a, b):
+                raise AttributeError("defective fault probe")
+
+        cfg = WormholeConfigurator(fabric, faults=BrokenProbe())
+        aborts = telemetry.counter("wormhole.aborts").value
+        with pytest.raises(AttributeError):
+            cfg.configure(path_region([(1, 1), (1, 2)]), owner="P1")
+        # the defect was not laundered into an aborted-attempt statistic
+        assert telemetry.counter("wormhole.aborts").value == aborts
+
+    def test_reserve_phase_defect_propagates(self, fabric, cfg, monkeypatch):
+        switch = fabric.chain_switch((2, 2), (2, 3))
+        monkeypatch.setattr(
+            switch, "reserve",
+            lambda token: (_ for _ in ()).throw(TypeError("bad token")),
+        )
+        conflicts = telemetry.counter("wormhole.reserve.conflicts").value
+        with pytest.raises(TypeError):
+            cfg.configure(path_region([(2, 2), (2, 3)]), owner="P1")
+        assert telemetry.counter("wormhole.reserve.conflicts").value == conflicts
 
 
 class TestRelease:

@@ -50,7 +50,7 @@ class TestRecord:
             measure_bench("fig9", {})
 
     def test_canonical_benches_registered(self):
-        assert sorted(BENCHES) == ["engine", "faults", "fig3"]
+        assert sorted(BENCHES) == ["engine", "faults", "fig3", "megascale"]
 
 
 class TestCheck:

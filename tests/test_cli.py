@@ -289,6 +289,60 @@ class TestEngineFlag:
         assert (out / "observe.json").exists()
 
 
+class TestVectorKernelFlag:
+    """``--kernel vector`` must change throughput only, like ``--engine``
+    — and refuse the combinations the vector path cannot serve."""
+
+    def _fig3(self, capsys, extra=()):
+        assert main(
+            ["fig3", "--n-objects", "16", "32", "--trials", "3", *extra]
+        ) == 0
+        return capsys.readouterr()
+
+    def test_fig3_vector_matches_plain_stdout(self, capsys):
+        plain = self._fig3(capsys).out
+        vec = self._fig3(capsys, ["--engine", "--kernel", "vector"])
+        assert vec.out == plain
+
+    def test_fig3_vector_workers_match_plain_stdout(self, capsys):
+        plain = self._fig3(capsys).out
+        vec = self._fig3(
+            capsys, ["--engine", "--kernel", "vector", "--workers", "2"]
+        )
+        assert vec.out == plain
+
+    def test_vector_without_engine_is_an_error(self, capsys):
+        assert main(
+            ["fig3", "--n-objects", "16", "--trials", "1",
+             "--kernel", "vector"]
+        ) == 2
+        assert "--kernel vector needs --engine" in capsys.readouterr().err
+
+    def test_vector_with_trace_is_an_error(self, capsys, tmp_path):
+        assert main(
+            ["faults", "--rates", "0", "--n-objects", "16", "--trials", "1",
+             "--engine", "--kernel", "vector",
+             "--trace", str(tmp_path / "t.json")]
+        ) == 2
+        assert "--kernel vector" in capsys.readouterr().err
+
+    def test_faults_vector_csd_rate_report_matches_plain(
+        self, capsys, tmp_path
+    ):
+        plain, vec = tmp_path / "plain.json", tmp_path / "vec.json"
+        base = [
+            "faults", "--rates", "0", "0.05", "--n-objects", "16",
+            "--trials", "2", "--csd-rate", "0", "--quiet",
+        ]
+        assert main([*base, "--report", str(plain)]) == 0
+        assert main(
+            [*base, "--engine", "--kernel", "vector", "--report", str(vec)]
+        ) == 0
+        capsys.readouterr()
+        assert plain.read_bytes() == vec.read_bytes()
+        assert json.loads(plain.read_text())["csd_rate"] == 0.0
+
+
 class TestBaselineCommand:
     def test_record_then_check_passes(self, capsys, tmp_path):
         out = tmp_path / "BENCH_fig3.json"

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.faults",
     "repro.telemetry",
     "repro.engine",
+    "repro.megascale",
 ]
 
 

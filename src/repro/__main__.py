@@ -9,8 +9,11 @@ Usage::
     python -m repro fig3 --engine --workers 4 # batched route-memoized engine
     python -m repro fig3 --trace out.json     # Perfetto-loadable span trace
     python -m repro fig3 --observe out/       # OpenMetrics + dashboard bundle
+    python -m repro fig3 --engine --kernel vector --observe out/  # replayed obs
+    python -m repro fig3 --engine --profile --observe out/  # stage self-timing
     python -m repro trace-report out.json     # critical path / latencies
     python -m repro observe-report out/       # summarise an --observe bundle
+    python -m repro profile out/              # summarise the self-profile layer
     python -m repro faults --rate 0.05 --trials 4 --workers 2 --stats
     python -m repro baseline record --bench fig3 --out BENCH_fig3.json
     python -m repro baseline check BENCH_fig3.json --skip-wallclock
@@ -84,6 +87,12 @@ def _engine_stderr_summary(command: str) -> None:
     )
 
 
+def _numpy_version() -> str:
+    import numpy
+
+    return numpy.__version__
+
+
 def _cmd_fig3(
     n_objects: List[int],
     trials: int,
@@ -95,42 +104,48 @@ def _cmd_fig3(
     quiet: bool = False,
     engine: bool = False,
     kernel: str = "route",
+    profile: bool = False,
 ) -> int:
     from repro.csd.simulator import figure3_series
 
-    use_engine = engine and not trace and not observe
-    if kernel == "vector" and not use_engine:
+    use_engine = engine and not trace
+    if kernel == "vector" and (not engine or trace):
         # the vector kernel only exists inside the engine's cold path,
-        # and the engine cannot replay traces/observations — so this is
-        # a contradiction in the request, not something to paper over
+        # and the engine cannot replay traces — so this is a
+        # contradiction in the request, not something to paper over
+        # (observation is fine: cached trials replay their samples)
         print(
             "fig3: --kernel vector needs --engine and is incompatible "
-            "with --trace/--observe",
+            "with --trace",
             file=sys.stderr,
         )
         return 2
     if engine and not use_engine:
         print(
-            "fig3: --engine cannot replay traces/observations; "
-            "running the instrumented path instead",
+            "fig3: --engine cannot replay traces; "
+            "running the traced path instead",
             file=sys.stderr,
         )
     localities = [1.0, 0.8, 0.6, 0.4, 0.2, 0.0]
-    if stats or trace or observe:
+    if stats or trace or observe or profile:
         if not quiet:
             # reproducibility banner: everything needed to reconstruct
-            # this run (the sweep derives every trial seed from these)
+            # this run (the sweep derives every trial seed from these);
+            # numpy's version pins the vector kernels' numerics
             print(
                 f"repro {__version__} fig3: seed={seed} trials={trials} "
                 f"workers={workers if workers else 1} "
                 f"n_objects={','.join(str(n) for n in n_objects)} "
-                f"localities={','.join(f'{x:g}' for x in localities)}"
+                f"localities={','.join(f'{x:g}' for x in localities)} "
+                f"numpy={_numpy_version()}"
             )
         telemetry.reset()  # report only this sweep's counters/spans
     if trace:
         telemetry.enable_tracing()
     if observe:
         telemetry.enable_observation()
+    if profile:
+        telemetry.enable_profiling()
     try:
         if use_engine:
             from repro.engine import run_fig3
@@ -156,6 +171,8 @@ def _cmd_fig3(
             telemetry.enable_tracing(False)
         if observe:
             telemetry.enable_observation(False)
+        if profile:
+            telemetry.enable_profiling(False)
     series = {
         f"Nobject={n}": [
             (p.locality_knob, p.used_channels) for p in raw[n]
@@ -176,6 +193,8 @@ def _cmd_fig3(
         )
     if observe:
         _write_observe_bundle(observe, title="fig3 observation")
+    if profile:
+        _print_profile_summary("fig3 profile")
     if stats:
         reg = telemetry.get_registry()
         print()
@@ -188,6 +207,16 @@ def _cmd_fig3(
     if use_engine:
         _engine_stderr_summary("fig3")
     return 0
+
+
+def _print_profile_summary(title: str) -> None:
+    from repro.telemetry.exposition import (
+        format_profile_report,
+        observation_document,
+    )
+
+    doc = observation_document(telemetry.snapshot(), title=title)
+    print(format_profile_report(doc), end="")
 
 
 def _write_observe_bundle(outdir: str, title: str) -> None:
@@ -214,37 +243,42 @@ def _cmd_faults(
     engine: bool = False,
     kernel: str = "route",
     csd_rate: Optional[float] = None,
+    profile: bool = False,
 ) -> int:
     from repro.faults.campaign import report_json, run_campaign
 
-    use_engine = engine and not trace and not observe
-    if kernel == "vector" and not use_engine:
+    use_engine = engine and not trace
+    if kernel == "vector" and (not engine or trace):
         print(
             "faults: --kernel vector needs --engine and is incompatible "
-            "with --trace/--observe",
+            "with --trace",
             file=sys.stderr,
         )
         return 2
     if engine and not use_engine:
         print(
-            "faults: --engine cannot replay traces/observations; "
-            "running the instrumented path instead",
+            "faults: --engine cannot replay traces; "
+            "running the traced path instead",
             file=sys.stderr,
         )
     if not quiet:
         # reproducibility banner: the campaign derives every fault draw
-        # and every trial seed from exactly these knobs
+        # and every trial seed from exactly these knobs; numpy's version
+        # pins the vector kernels' numerics
         print(
             f"repro {__version__} faults: seed={seed} trials={trials} "
             f"workers={workers if workers else 1} "
             f"rates={','.join(f'{r:g}' for r in rates)} "
-            f"n_objects={','.join(str(n) for n in n_objects)}"
+            f"n_objects={','.join(str(n) for n in n_objects)} "
+            f"numpy={_numpy_version()}"
         )
     telemetry.reset()  # report only this campaign's counters/spans
     if trace:
         telemetry.enable_tracing()
     if observe:
         telemetry.enable_observation()
+    if profile:
+        telemetry.enable_profiling()
     try:
         if use_engine:
             from repro.engine import run_faults
@@ -272,6 +306,8 @@ def _cmd_faults(
             telemetry.enable_tracing(False)
         if observe:
             telemetry.enable_observation(False)
+        if profile:
+            telemetry.enable_profiling(False)
     rows = []
     for p in report["points"]:
         rc = p["reconfig"]
@@ -304,6 +340,8 @@ def _cmd_faults(
         )
     if observe:
         _write_observe_bundle(observe, title="faults observation")
+    if profile:
+        _print_profile_summary("faults profile")
     if stats:
         reg = telemetry.get_registry()
         rec = reg.histogram("faults.recovery.cycles")
@@ -339,23 +377,38 @@ def _cmd_trace_report(path: str) -> int:
     return 0
 
 
-def _cmd_observe_report(path: str) -> int:
+def _load_observe_path(path: str):
     import os
 
-    from repro.telemetry.exposition import (
-        format_observe_report,
-        load_observation,
-    )
+    from repro.telemetry.exposition import load_observation
 
     target = path
     if os.path.isdir(target):
         target = os.path.join(target, "observe.json")
+    return load_observation(target)
+
+
+def _cmd_observe_report(path: str) -> int:
+    from repro.telemetry.exposition import format_observe_report
+
     try:
-        doc = load_observation(target)
+        doc = _load_observe_path(path)
     except (OSError, ValueError) as exc:
         print(f"cannot read observation {path!r}: {exc}", file=sys.stderr)
         return 2
     print(format_observe_report(doc), end="")
+    return 0
+
+
+def _cmd_profile_report(path: str) -> int:
+    from repro.telemetry.exposition import format_profile_report
+
+    try:
+        doc = _load_observe_path(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read observation {path!r}: {exc}", file=sys.stderr)
+        return 2
+    print(format_profile_report(doc), end="")
     return 0
 
 
@@ -431,7 +484,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "Processor (IJNC 2013)",
     )
     parser.add_argument(
-        "--version", action="version", version=f"repro {__version__}"
+        "--version", action="version",
+        version=f"repro {__version__} (numpy {_numpy_version()})",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -475,8 +529,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_fig3.add_argument(
         "--engine", action="store_true",
         help="run trials through the batched, route-memoized sweep "
-        "engine (byte-identical stdout; cache stats go to stderr; "
-        "ignored under --trace/--observe)",
+        "engine (byte-identical stdout and --observe bundle; cache "
+        "stats go to stderr; ignored under --trace)",
     )
     p_fig3.add_argument(
         "--kernel", choices=("route", "vector"), default="route",
@@ -484,6 +538,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "route memo) or 'vector' (numpy span-array kernel, flat "
         "per-trial cost at mega-N); requires --engine, bit-identical "
         "stdout either way",
+    )
+    p_fig3.add_argument(
+        "--profile", action="store_true",
+        help="time the engine's own stages (resolve, replay, kernel "
+        "batch, pool dispatch) and print a self-profile summary; the "
+        "profile.* families also land in the --observe bundle",
     )
 
     p_faults = sub.add_parser(
@@ -541,8 +601,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_faults.add_argument(
         "--engine", action="store_true",
         help="run the CSD phase of every trial through the batched, "
-        "route-memoized sweep engine (byte-identical report; cache "
-        "stats go to stderr; ignored under --trace/--observe)",
+        "route-memoized sweep engine (byte-identical report and "
+        "--observe bundle; cache stats go to stderr; ignored under "
+        "--trace)",
     )
     p_faults.add_argument(
         "--kernel", choices=("route", "vector"), default="route",
@@ -556,6 +617,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "so the engine's cached/vector kernels stay engaged); recorded "
         "in the report as 'csd_rate'",
     )
+    p_faults.add_argument(
+        "--profile", action="store_true",
+        help="time the engine's own stages and print a self-profile "
+        "summary (see fig3 --profile)",
+    )
 
     p_report = sub.add_parser(
         "trace-report",
@@ -566,11 +632,23 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_observe = sub.add_parser(
         "observe-report",
-        help="summarise an --observe bundle (gauges, series, heatmaps)",
+        help="summarise an --observe bundle (gauges, series, heatmaps, "
+        "dropped-sample warnings)",
     )
     p_observe.add_argument(
         "observe_path",
         help="an --observe output directory, or its observe.json file",
+    )
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="summarise the self-profiling layer of an --observe bundle "
+        "(profile.* stage timers and route-memo counters)",
+    )
+    p_profile.add_argument(
+        "observe_path",
+        help="an --observe output directory (from a --profile run), or "
+        "its observe.json file",
     )
 
     p_baseline = sub.add_parser(
@@ -619,7 +697,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.n_objects, args.trials, workers=args.workers,
             stats=args.stats, seed=args.seed, trace=args.trace,
             observe=args.observe, quiet=args.quiet, engine=args.engine,
-            kernel=args.kernel,
+            kernel=args.kernel, profile=args.profile,
         )
     if args.command == "faults":
         if args.rates is not None:
@@ -633,12 +711,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             stats=args.stats, seed=args.seed, trace=args.trace,
             report_path=args.report, observe=args.observe,
             quiet=args.quiet, engine=args.engine, kernel=args.kernel,
-            csd_rate=args.csd_rate,
+            csd_rate=args.csd_rate, profile=args.profile,
         )
     if args.command == "trace-report":
         return _cmd_trace_report(args.trace_file)
     if args.command == "observe-report":
         return _cmd_observe_report(args.observe_path)
+    if args.command == "profile":
+        return _cmd_profile_report(args.observe_path)
     if args.command == "baseline":
         return _cmd_baseline(args)
     if args.command == "chip":

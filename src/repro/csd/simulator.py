@@ -236,6 +236,18 @@ def _aggregate_point(
     )
 
 
+def record_point_gauges(point: SimulationResult) -> None:
+    """Set one Figure-3 point's observation gauges.
+
+    Shared by the legacy sweep and the engine paths
+    (:mod:`repro.engine.sweep`), so every path leaves the same
+    ``fig3.used_channels`` / ``fig3.blocked`` gauge state (one update
+    per point) behind."""
+    label = point_label(n=point.n_objects, loc=point.locality_knob)
+    telemetry.gauge(f"fig3.used_channels{label}").set(point.used_channels)
+    telemetry.gauge(f"fig3.blocked{label}").set(point.blocked)
+
+
 def _sweep_point(
     n_objects: int, locality: float, n_trials: int, seed: int
 ) -> SimulationResult:
@@ -251,9 +263,7 @@ def _sweep_point(
         trials = sim.run_many(locality, n_trials)
     point = _aggregate_point(n_objects, locality, trials)
     if telemetry.observer().enabled:
-        label = point_label(n=n_objects, loc=locality)
-        telemetry.gauge(f"fig3.used_channels{label}").set(point.used_channels)
-        telemetry.gauge(f"fig3.blocked{label}").set(point.blocked)
+        record_point_gauges(point)
     return point
 
 

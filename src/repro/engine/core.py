@@ -21,14 +21,23 @@ The engine exploits that at three levels:
 in its result *and* in the telemetry registry — from running
 :meth:`repro.csd.simulator.CSDSimulator.run_trial` live.  The fast path
 therefore only engages when nothing order- or object-dependent would be
-recorded: tracing and observation disabled, no live CSD faults
-(``faults is None``, or a plan whose CSD-segment rate is zero and no
-quarantined CSD site — other fault kinds never touch this protocol), and
-a concrete trial seed.
+recorded that the replay cannot reproduce: tracing disabled, no live CSD
+faults (``faults is None``, or a plan whose CSD-segment rate is zero and
+no quarantined CSD site — other fault kinds never touch this protocol),
+and a concrete trial seed.
 Under a retry policy the fast path additionally requires the resolved
 trial to have zero blocked requests (first-try successes leave no
 retry telemetry; a blocked request would).  Anything else falls back to
 the live simulator, unchanged.
+
+**Observation replays too.**  Every resolved trial keeps its *grant log*
+(``cycle, lo, hi, channel`` per granted attempt, where a cycle is one
+chaining request, exactly the live sampler's clock).  When observation is
+enabled the fast path feeds that log through
+:class:`repro.megascale.kernel.VectorSampler`, which re-derives the
+segment-demand / channel-occupancy heatmap columns and the used-channel
+series at the same stride the live sampler uses — byte-identical
+observation documents, cached speed.
 """
 
 from __future__ import annotations
@@ -36,13 +45,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro import telemetry
 from repro.csd.locality import LocalityWorkload
 from repro.csd.simulator import CSDSimulator, SimulationResult
 from repro.engine.cache import LRUCache, MISSING
 from repro.engine.routes import RouteMemo
 from repro.faults.model import FaultKind
-from repro.megascale.kernel import VectorCSDKernel
+from repro.megascale.kernel import VectorCSDKernel, VectorSampler
+from repro.telemetry.observe import point_label
 
 __all__ = ["SweepEngine", "TrialEntry"]
 
@@ -63,12 +75,32 @@ class TrialEntry:
     ``attempts`` is the number of connect attempts (one per source of
     every request); ``blocked_spans`` the ``(lo, hi)`` spans that found
     no free channel, in attempt order — exactly the ``csd.block`` events
-    the live path emits.
+    the live path emits.  ``grant_log`` holds the granted attempts as
+    four parallel int64 arrays ``(cycles, lo, hi, channel)`` in grant
+    order, where a cycle is one chaining request (request index + 1 —
+    the live sampler's clock); it is what makes cached observation
+    replay possible (``None`` only for entries built by older callers,
+    which then re-resolve under observation).
     """
 
     result: SimulationResult
     attempts: int
     blocked_spans: Tuple[Tuple[int, int], ...]
+    grant_log: Optional[
+        Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    ] = None
+
+
+def _pack_grant_log(
+    cycles: List[int], rows: List[Tuple[int, int, int]]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Freeze a resolved trial's grants into the compact array form."""
+    return (
+        np.asarray(cycles, dtype=np.int64),
+        np.asarray([r[0] for r in rows], dtype=np.int64),
+        np.asarray([r[1] for r in rows], dtype=np.int64),
+        np.asarray([r[2] for r in rows], dtype=np.int64),
+    )
 
 
 class SweepEngine:
@@ -143,11 +175,15 @@ class SweepEngine:
                 n_objects, locality, realized, requests, n_channels
             )
         memo = self._memo(n_channels, n_objects - 1)
+        profiling = telemetry.profiler().enabled
+        memo_before = memo.stats() if profiling else None
         state_id = memo.empty_state_id
         live_state = None
         attempts = 0
         blocked: List[Tuple[int, int]] = []
-        for req in requests:
+        grant_cycles: List[int] = []
+        grant_rows: List[Tuple[int, int, int]] = []
+        for req_index, req in enumerate(requests):
             for source in req.sources:
                 if source == req.sink:  # cannot happen by construction
                     continue
@@ -161,12 +197,25 @@ class SweepEngine:
                         granted, state_id = step
                         if granted is None:
                             blocked.append((lo, hi))
+                        else:
+                            grant_cycles.append(req_index + 1)
+                            grant_rows.append((lo, hi, granted))
                         continue
                     # intern budget exhausted: finish on the live state
                     live_state = memo.state(state_id)
                 granted, live_state = memo.resolve_live(live_state, lo, hi)
                 if granted is None:
                     blocked.append((lo, hi))
+                else:
+                    grant_cycles.append(req_index + 1)
+                    grant_rows.append((lo, hi, granted))
+        if profiling:
+            memo_after = memo.stats()
+            for stat in ("transition_hits", "transition_misses", "states",
+                         "fallbacks"):
+                delta = memo_after[stat] - memo_before[stat]
+                if delta:
+                    telemetry.counter(f"profile.route.{stat}").inc(delta)
         final = live_state if live_state is not None else memo.state(state_id)
         highest = 0
         for idx in range(len(final) - 1, -1, -1):
@@ -182,7 +231,10 @@ class SweepEngine:
             requests=len(requests),
             blocked=len(blocked),
         )
-        return TrialEntry(result, attempts, tuple(blocked))
+        return TrialEntry(
+            result, attempts, tuple(blocked),
+            _pack_grant_log(grant_cycles, grant_rows),
+        )
 
     def _resolve_trial_vector(
         self,
@@ -195,7 +247,8 @@ class SweepEngine:
         """Vector-kernel twin of the route-memo resolution: identical
         attempt order, identical first-fit grants, identical blocks."""
         spans: List[Tuple[int, int]] = []
-        for req in requests:
+        span_cycles: List[int] = []
+        for req_index, req in enumerate(requests):
             for source in req.sources:
                 if source == req.sink:  # cannot happen by construction
                     continue
@@ -203,11 +256,21 @@ class SweepEngine:
                     (source, req.sink) if source < req.sink
                     else (req.sink, source)
                 )
+                span_cycles.append(req_index + 1)
         kern = VectorCSDKernel(n_channels, n_objects - 1)
-        grants = kern.grant_many(spans)
+        with telemetry.profile_stage("kernel.grant_many"):
+            grants = kern.grant_many(spans)
         attempts = len(spans)
         blocked = [
             span for span, granted in zip(spans, grants) if granted is None
+        ]
+        grant_cycles = [
+            c for c, granted in zip(span_cycles, grants) if granted is not None
+        ]
+        grant_rows = [
+            (span[0], span[1], granted)
+            for span, granted in zip(spans, grants)
+            if granted is not None
         ]
         result = SimulationResult(
             n_objects=n_objects,
@@ -218,7 +281,10 @@ class SweepEngine:
             requests=len(requests),
             blocked=len(blocked),
         )
-        return TrialEntry(result, attempts, tuple(blocked))
+        return TrialEntry(
+            result, attempts, tuple(blocked),
+            _pack_grant_log(grant_cycles, grant_rows),
+        )
 
     @staticmethod
     def _replay(entry: TrialEntry) -> None:
@@ -237,6 +303,40 @@ class SweepEngine:
             for lo, hi in entry.blocked_spans:
                 telemetry.counter("csd.connect.blocks").inc()
                 telemetry.event("csd.block", lo=lo, hi=hi)
+
+    @staticmethod
+    def _replay_observation(
+        entry: TrialEntry,
+        n_objects: int,
+        locality: float,
+        two_source: bool,
+        sample_series: bool,
+    ) -> None:
+        """Re-emit the observation the live trial would have produced.
+
+        Mirrors the sampler block of :meth:`CSDSimulator.run_trial`: the
+        same instruments are created (even when the stride yields zero
+        samples), and :class:`VectorSampler` re-derives every probe
+        reading from the grant log at the same stride — so documents,
+        ring eviction, and cell-cap ``dropped`` tallies all match the
+        live path byte for byte.
+        """
+        label = point_label(n=n_objects, loc=locality)
+        stride = telemetry.observer().effective_stride(max(1, n_objects // 64))
+        segment_heatmap = telemetry.heatmap(f"csd.segment_demand{label}")
+        channel_heatmap = telemetry.heatmap(f"csd.channel_occupancy{label}")
+        series = (
+            telemetry.time_series(f"csd.used_channels{label}")
+            if sample_series
+            else None
+        )
+        n_channels = 2 * n_objects if two_source else n_objects
+        cycles, lo, hi, ch = entry.grant_log
+        sampler = VectorSampler(n_objects - 1, n_channels, stride)
+        sampler.replay(
+            cycles, lo, hi, ch, entry.result.requests,
+            segment_heatmap, channel_heatmap, series=series,
+        )
 
     def run_csd_trial(
         self,
@@ -264,23 +364,31 @@ class SweepEngine:
                 site.startswith("csd/") for site in faults.quarantined_sites()
             )
         )
+        observing = telemetry.observer().enabled
         fast = (
             trial_seed is not None
             and not telemetry.tracer().enabled
-            and not telemetry.observer().enabled
             and csd_fault_free
         )
         if fast:
             key = (n_objects, float(locality), int(trial_seed), bool(two_source))
             entry = self._trials.get_or_miss(key)
-            if entry is MISSING:
-                entry = self._resolve_trial(
-                    n_objects, float(locality), int(trial_seed), bool(two_source)
-                )
+            if entry is MISSING or (observing and entry.grant_log is None):
+                with telemetry.profile_stage("engine.resolve"):
+                    entry = self._resolve_trial(
+                        n_objects, float(locality), int(trial_seed),
+                        bool(two_source),
+                    )
                 self._trials.put(key, entry)
             if retry_policy is None or not entry.blocked_spans:
                 self.trials_cached += 1
-                self._replay(entry)
+                with telemetry.profile_stage("engine.replay"):
+                    self._replay(entry)
+                    if observing:
+                        self._replay_observation(
+                            entry, n_objects, locality, two_source,
+                            sample_series,
+                        )
                 return entry.result
             # a blocked request under a retry policy exercises backoff
             # counters the replay cannot reproduce — run it live instead

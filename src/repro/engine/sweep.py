@@ -14,9 +14,15 @@ Determinism: batches are slices of the flattened task list, results are
 reassembled by batch index (never completion order), per-trial telemetry
 captures are summed in trial order, and the per-point aggregation is the
 exact helper the serial paths use — so the batched output is
-byte-identical to the serial one.  Tracing and observation cannot be
-replayed from a cache, so when either is enabled these entry points
-delegate to the legacy instrumented paths unchanged.
+byte-identical to the serial one.  Tracing cannot be replayed from a
+cache, so with tracing enabled these entry points delegate to the
+legacy traced paths unchanged.  Observation *can* be replayed: cached
+trials re-derive their samples from the grant log through
+:class:`~repro.megascale.kernel.VectorSampler` (see
+:mod:`repro.engine.core`), so ``--engine --observe`` runs stay batched
+and cached — the worker payloads carry the observer (and profiler)
+switches across the process boundary, and the parent sets the same
+per-point gauges the legacy paths set.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.csd.simulator import (
     SimulationResult,
     _aggregate_point,
     figure3_series,
+    record_point_gauges,
 )
 from repro.faults.campaign import (
     CAMPAIGN_SCHEMA,
@@ -39,6 +46,7 @@ from repro.faults.campaign import (
     _capture_before,
     _capture_delta,
     RetryPolicy,
+    record_campaign_gauges,
     run_campaign,
     run_fault_trial,
 )
@@ -71,8 +79,23 @@ def _worker_engine(kernel: str = "route") -> SweepEngine:
     return engine
 
 
-def _instrumented() -> bool:
-    return telemetry.tracer().enabled or telemetry.observer().enabled
+def _traced() -> bool:
+    return telemetry.tracer().enabled
+
+
+def _worker_switches() -> Tuple[bool, int, bool]:
+    """The instrumentation switches a pool worker must restore after its
+    ``telemetry.reset()``: (observation on, observation stride, profiling
+    on).  Tracing never reaches the engine pool (it delegates)."""
+    obs = telemetry.observer()
+    return (obs.enabled, obs.stride, telemetry.profiler().enabled)
+
+
+def _apply_worker_switches(observe: bool, stride: int, profile: bool) -> None:
+    if observe:
+        telemetry.enable_observation(True, stride)
+    if profile:
+        telemetry.enable_profiling(True)
 
 
 def _chunked(tasks: List[Any], workers: int, batch_size: Optional[int]):
@@ -101,8 +124,8 @@ def _record_engine_telemetry(cached: int, live: int) -> None:
 def _engine_fig3_point(
     engine: SweepEngine, n_objects: int, locality: float, n_trials: int, seed: int
 ) -> SimulationResult:
-    """Serial engine twin of :func:`repro.csd.simulator._sweep_point`
-    (minus the observer gauges, which imply the legacy path)."""
+    """Serial engine twin of :func:`repro.csd.simulator._sweep_point`,
+    including the per-point observer gauges."""
     with telemetry.scope("fig3.point"), telemetry.tracer().span(
         "fig3.point", kind="sweep", n_objects=n_objects,
         locality=locality, trials=n_trials, seed=seed,
@@ -113,15 +136,19 @@ def _engine_fig3_point(
             )
             for t in range(n_trials)
         ]
-    return _aggregate_point(n_objects, locality, trials)
+    point = _aggregate_point(n_objects, locality, trials)
+    if telemetry.observer().enabled:
+        record_point_gauges(point)
+    return point
 
 
 def _fig3_chunk(args):
     """Worker entry: run one batch of trials on this worker's persistent
     engine; ship the results with the batch's telemetry delta and its
     wall-clock latency."""
-    chunk_index, items, kernel = args
+    chunk_index, items, kernel, observe, stride, profile = args
     telemetry.reset()
+    _apply_worker_switches(observe, stride, profile)
     engine = _worker_engine(kernel)
     cached0, live0 = engine.trials_cached, engine.trials_live
     start = time.perf_counter()
@@ -152,9 +179,10 @@ def run_fig3(
 ) -> Dict[int, List[SimulationResult]]:
     """Engine-path :func:`~repro.csd.simulator.figure3_series`: same
     return shape, byte-identical results, trial batching instead of
-    per-point fan-out.  With tracing or observation enabled it delegates
-    to the legacy instrumented path (which has no vector cold path, so
-    ``kernel`` must stay at its default there).
+    per-point fan-out.  Observation rides along (cached trials replay
+    their observation documents byte-for-byte); tracing alone still
+    delegates to the legacy traced path, which has no vector cold path,
+    so ``kernel`` must stay at its default there.
 
     ``kernel`` picks the cold-path backend of every engine this sweep
     creates (``"route"`` or ``"vector"``, see
@@ -163,11 +191,11 @@ def run_fig3(
     """
     if localities is None:
         localities = list(_DEFAULT_LOCALITIES)
-    if _instrumented():
+    if _traced():
         if kernel != "route":
             raise ValueError(
-                "the vector kernel cannot replay tracing/observation; "
-                "run without --trace/--observe or with kernel='route'"
+                "the vector kernel cannot replay tracing; "
+                "run without --trace or with kernel='route'"
             )
         return figure3_series(
             localities=localities, n_trials=n_trials, seed=seed,
@@ -179,6 +207,7 @@ def run_fig3(
             points, n_trials, seed, workers, batch_size, kernel
         )
         results = []
+        observing = telemetry.observer().enabled
         for index, (n, loc) in enumerate(points):
             trials = flat[index * n_trials : (index + 1) * n_trials]
             with telemetry.scope("fig3.point"), telemetry.tracer().span(
@@ -186,7 +215,10 @@ def run_fig3(
                 trials=n_trials, seed=seed,
             ):
                 pass  # trials already ran in the pool; keep the timer's call count
-            results.append(_aggregate_point(n, loc, trials))
+            point = _aggregate_point(n, loc, trials)
+            if observing:
+                record_point_gauges(point)
+            results.append(point)
     else:
         eng = engine if engine is not None else SweepEngine(kernel=kernel)
         cached0, live0 = eng.trials_cached, eng.trials_live
@@ -218,13 +250,18 @@ def _run_fig3_batched(
         for t in range(n_trials)
     ]
     chunks = _chunked(tasks, workers, batch_size)
-    payloads = [(i, chunk, kernel) for i, chunk in enumerate(chunks)]
+    observe, stride, profile = _worker_switches()
+    payloads = [
+        (i, chunk, kernel, observe, stride, profile)
+        for i, chunk in enumerate(chunks)
+    ]
     done: Dict[int, Tuple[List[SimulationResult], Dict[str, Any], float, int, int]] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_fig3_chunk, payload) for payload in payloads]
-        for future in as_completed(futures):
-            index, results, snap, elapsed, cached, live = future.result()
-            done[index] = (results, snap, elapsed, cached, live)
+    with telemetry.profile_stage("engine.dispatch"):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_fig3_chunk, payload) for payload in payloads]
+            for future in as_completed(futures):
+                index, results, snap, elapsed, cached, live = future.result()
+                done[index] = (results, snap, elapsed, cached, live)
     flat: List[SimulationResult] = []
     latency = telemetry.histogram("engine.batch.seconds")
     for index in range(len(chunks)):
@@ -243,8 +280,10 @@ def _faults_chunk(args):
     """Worker entry: one batch of fault trials, each with its own
     counter-delta/recovery capture so the parent can rebuild exact
     per-point captures regardless of how batches split the points."""
-    chunk_index, items, seed, policy_tuple, locality, kernel, csd_rate = args
+    (chunk_index, items, seed, policy_tuple, locality, kernel, csd_rate,
+     observe, stride, profile) = args
     telemetry.reset()
+    _apply_worker_switches(observe, stride, profile)
     engine = _worker_engine(kernel)
     cached0, live0 = engine.trials_cached, engine.trials_live
     policy = RetryPolicy(*policy_tuple)
@@ -283,8 +322,9 @@ def run_faults(
 ) -> Dict[str, Any]:
     """Engine-path :func:`~repro.faults.campaign.run_campaign`: same
     report schema, byte-identical content, trial batching instead of
-    per-point fan-out.  With tracing or observation enabled it delegates
-    to the legacy instrumented path.
+    per-point fan-out.  Observation rides along (the fault phases sample
+    live in the workers; cached CSD phases replay their samples); tracing
+    alone still delegates to the legacy traced path.
 
     ``kernel`` picks the engines' cold-path backend (as in
     :func:`run_fig3`); ``csd_rate`` pins the CSD-segment fault rate
@@ -293,11 +333,11 @@ def run_faults(
     what lets the vector kernel serve the datapath phase of a faulty
     reconfiguration campaign.
     """
-    if _instrumented():
+    if _traced():
         if kernel != "route":
             raise ValueError(
-                "the vector kernel cannot replay tracing/observation; "
-                "run without --trace/--observe or with kernel='route'"
+                "the vector kernel cannot replay tracing; "
+                "run without --trace or with kernel='route'"
             )
         return run_campaign(
             rates, n_objects_list=n_objects_list, n_trials=n_trials,
@@ -369,18 +409,21 @@ def _run_faults_batched(
     )
     tasks = [(n, r, t) for n, r in grid for t in range(n_trials)]
     chunks = _chunked(tasks, workers, batch_size)
+    observe, stride, profile = _worker_switches()
     done: Dict[int, Tuple[list, Dict[str, Any], float, int, int]] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                _faults_chunk,
-                (i, chunk, seed, policy_tuple, locality, kernel, csd_rate),
-            )
-            for i, chunk in enumerate(chunks)
-        ]
-        for future in as_completed(futures):
-            index, out, snap, elapsed, cached, live = future.result()
-            done[index] = (out, snap, elapsed, cached, live)
+    with telemetry.profile_stage("engine.dispatch"):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _faults_chunk,
+                    (i, chunk, seed, policy_tuple, locality, kernel,
+                     csd_rate, observe, stride, profile),
+                )
+                for i, chunk in enumerate(chunks)
+            ]
+            for future in as_completed(futures):
+                index, out, snap, elapsed, cached, live = future.result()
+                done[index] = (out, snap, elapsed, cached, live)
     flat: List[Tuple[Dict[str, Any], Dict[str, float], List[float]]] = []
     latency = telemetry.histogram("engine.batch.seconds")
     for index in range(len(chunks)):
@@ -390,6 +433,7 @@ def _run_faults_batched(
         _record_engine_telemetry(cached, live)
         flat.extend(out)
     points: List[Dict[str, Any]] = []
+    observing = telemetry.observer().enabled
     for index, (n_objects, rate) in enumerate(grid):
         window = flat[index * n_trials : (index + 1) * n_trials]
         trials = [w[0] for w in window]
@@ -406,6 +450,8 @@ def _run_faults_batched(
             rate=rate, trials=n_trials, seed=seed,
         ):
             pass  # trials already ran in the pool; keep the timer's call count
+        if observing:
+            record_campaign_gauges(n_objects, rate, trials, recovery)
         points.append(
             _aggregate_campaign_point(
                 n_objects, rate, n_trials, locality, trials, deltas, recovery

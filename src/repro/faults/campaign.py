@@ -413,6 +413,27 @@ def _aggregate_campaign_point(
     }
 
 
+def record_campaign_gauges(
+    n_objects: int,
+    rate: float,
+    trials: List[Dict[str, Any]],
+    recovery: Sequence[float],
+) -> None:
+    """Set one campaign point's observation gauges.
+
+    Shared by :func:`campaign_point` and the engine sweep
+    (:mod:`repro.engine.sweep`), so every path leaves the same
+    ``faults.survival`` / ``faults.recovery_p95`` gauge state (one
+    update per point) behind."""
+    label = point_label(n=n_objects, rate=rate)
+    telemetry.gauge(f"faults.survival{label}").set(
+        float(np.mean([1.0 if t["survived"] else 0.0 for t in trials]))
+    )
+    telemetry.gauge(f"faults.recovery_p95{label}").set(
+        _percentiles(recovery)["p95"]
+    )
+
+
 def campaign_point(
     n_objects: int,
     rate: float,
@@ -447,13 +468,7 @@ def campaign_point(
         ]
     deltas, recovery = _capture_delta(before)
     if telemetry.observer().enabled:
-        label = point_label(n=n_objects, rate=rate)
-        telemetry.gauge(f"faults.survival{label}").set(
-            float(np.mean([1.0 if t["survived"] else 0.0 for t in trials]))
-        )
-        telemetry.gauge(f"faults.recovery_p95{label}").set(
-            _percentiles(recovery)["p95"]
-        )
+        record_campaign_gauges(n_objects, rate, trials, recovery)
     return _aggregate_campaign_point(
         n_objects, rate, n_trials, locality, trials, deltas, recovery
     )

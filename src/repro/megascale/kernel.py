@@ -44,7 +44,7 @@ from repro.errors import ChannelAllocationError
 from repro.csd.channels import Span
 from repro.csd.dynamic_csd import Connection
 
-__all__ = ["VectorCSDKernel", "VectorCSDNetwork"]
+__all__ = ["VectorCSDKernel", "VectorCSDNetwork", "VectorSampler"]
 
 #: Initial span-table capacity (rows); the table doubles as needed.
 _INITIAL_CAPACITY = 64
@@ -328,6 +328,99 @@ class VectorCSDKernel:
         if n:
             np.add.at(counts, self._ch[:n], self._hi[:n] - self._lo[:n])
         return [int(v) for v in counts]
+
+
+class VectorSampler:
+    """Derives the live :class:`~repro.telemetry.observe.Sampler`'s CSD
+    fabric probes from a trial's flat grant log instead of a live network.
+
+    The live Figure-3 trial ticks a sampler once per chaining request and,
+    at every ``stride``-aligned cycle, snapshots ``segment_demand()`` /
+    ``channel_occupancy()`` (one heatmap column each) plus the
+    used-channel count (a time-series sample).  Both probes are pure
+    functions of *which spans have been granted so far* — blocked
+    requests never touch occupancy — so a grant log of
+    ``(cycle, lo, hi, channel)`` rows in grant order reconstructs every
+    probe reading exactly:
+
+    * segment demand is the difference array of the applied spans
+      (``np.add.at`` on ``lo``/``hi`` + prefix sum), the same formula
+      ``ChannelPool.segment_demand`` and :meth:`VectorCSDKernel.segment_demand`
+      share;
+    * channel occupancy is ``hi - lo`` scattered per granted channel;
+    * the used-channel count is the number of channels with at least one
+      applied span.
+
+    :meth:`replay` walks the sample cycles in ascending order, applies the
+    grants that landed since the previous sample (``np.searchsorted`` on
+    the log's cycle column), and emits the identical ``record()``/``add()``
+    calls in the identical order (series first, then segment rows
+    ``s0..s{S-1}``, then channel rows ``ch0..ch{C-1}``) — so ring-buffer
+    eviction and heatmap cell-cap ``dropped`` tallies also match the live
+    path byte for byte.  The lockstep property in
+    ``tests/megascale/test_vector_observation.py`` drives this identity.
+    """
+
+    __slots__ = ("n_segments", "n_channels", "stride", "samples_taken")
+
+    def __init__(self, n_segments: int, n_channels: int, stride: int) -> None:
+        if n_segments < 1:
+            raise ValueError("need at least one segment")
+        if n_channels < 1:
+            raise ValueError("need at least one channel")
+        if stride < 1:
+            raise ValueError("stride must be at least one cycle")
+        self.n_segments = n_segments
+        self.n_channels = n_channels
+        self.stride = stride
+        self.samples_taken = 0
+
+    def replay(
+        self,
+        cycles: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        ch: np.ndarray,
+        n_cycles: int,
+        segment_heatmap,
+        channel_heatmap,
+        series=None,
+    ) -> None:
+        """Emit every stride-aligned sample in ``[stride, n_cycles]``.
+
+        ``cycles`` must be non-decreasing (grant order); ``segment_heatmap``
+        / ``channel_heatmap`` take ``add(row, cycle, value)`` and ``series``
+        (optional) takes ``record(cycle, value)`` — the
+        :class:`~repro.telemetry.observe.Heatmap` / ``TimeSeries`` surface.
+        """
+        seg_rows = [f"s{i}" for i in range(self.n_segments)]
+        ch_rows = [f"ch{i}" for i in range(self.n_channels)]
+        diff = np.zeros(self.n_segments + 1, dtype=np.int64)
+        occ = np.zeros(self.n_channels, dtype=np.int64)
+        spans_per_ch = np.zeros(self.n_channels, dtype=np.int64)
+        used = 0
+        applied = 0
+        for cycle in range(self.stride, n_cycles + 1, self.stride):
+            upto = int(np.searchsorted(cycles, cycle, side="right"))
+            if upto > applied:
+                sl = slice(applied, upto)
+                np.add.at(diff, lo[sl], 1)
+                np.add.at(diff, hi[sl], -1)
+                np.add.at(occ, ch[sl], hi[sl] - lo[sl])
+                for granted in ch[sl]:
+                    g = int(granted)
+                    if spans_per_ch[g] == 0:
+                        used += 1
+                    spans_per_ch[g] += 1
+                applied = upto
+            if series is not None:
+                series.record(cycle, float(used))
+            demand = np.cumsum(diff[:-1])
+            for i, row in enumerate(seg_rows):
+                segment_heatmap.add(row, cycle, int(demand[i]))
+            for i, row in enumerate(ch_rows):
+                channel_heatmap.add(row, cycle, int(occ[i]))
+            self.samples_taken += 1
 
 
 class VectorCSDNetwork:

@@ -17,7 +17,7 @@ from repro import telemetry
 from repro.errors import RoutingError, SimulationError
 from repro.noc.flit import Flit, Packet
 from repro.noc.router import Router
-from repro.noc.routing_algos import OPPOSITE, Port, neighbor_via
+from repro.noc.routing_algos import OPPOSITE, Port, neighbor_via, xy_path
 from repro.topology.metrics import manhattan
 
 __all__ = ["DeliveryRecord", "RouterNetwork"]
@@ -84,6 +84,10 @@ class RouterNetwork:
         #: per-router queue heatmap; ``None`` (the default) costs one
         #: attribute check per cycle.
         self.sampler = None
+        #: While express delivery replays a worm's schedule, this holds the
+        #: synthetic per-router queue depths :meth:`buffer_depths` should
+        #: report to the sampler's probes; ``None`` means live queues.
+        self._express_depths: Optional[Dict[str, int]] = None
         self.delivered: List[DeliveryRecord] = []
         self._inject_backlog: Dict[Coord, Deque[Flit]] = {
             coord: deque() for coord in self.routers
@@ -212,11 +216,14 @@ class RouterNetwork:
         cycle stepping.
 
         The closed-form schedule (:mod:`repro.megascale.noc_kernel`) is
-        exact only when nothing can perturb or observe the cycle-by-cycle
-        transport: the network must be fully drained (no contention), no
-        tracer span per hop, no sampler tick per cycle, and no fault
-        injector that could stall a link (a pristine injector — rate-0
-        plan, nothing quarantined — is fine: its hooks are no-ops).
+        exact only when nothing can perturb the cycle-by-cycle transport:
+        the network must be fully drained (no contention), no tracer span
+        per hop, and no fault injector that could stall a link (a
+        pristine injector — rate-0 plan, nothing quarantined — is fine:
+        its hooks are no-ops).  An attached sampler does *not* disqualify
+        the fast path: :meth:`deliver_express` ticks it once per
+        scheduled step against the schedule's closed-form queue depths,
+        byte-identical to stepping.
 
         When ``packet`` is given, additionally checks that *its* schedule
         is exact — single-slot queues make multi-flit, multi-hop timing
@@ -226,7 +233,6 @@ class RouterNetwork:
         if (
             not self.is_drained()
             or telemetry.tracer().enabled
-            or self.sampler is not None
             or (self.faults is not None and not self.faults.pristine())
         ):
             return False
@@ -288,17 +294,55 @@ class RouterNetwork:
             raise SimulationError(f"exceeded cycle budget {max_cycles}")
         self._inject_time[packet.packet_id] = start
         self._packet_meta[packet.packet_id] = packet
-        for flit, offset in zip(packet.flits, schedule.eject_offsets()):
-            # _deliver stamps the record from cycle_count, and hooks may
-            # read it: hold the clock at each flit's ejection cycle
-            self.cycle_count = start + offset
-            self._deliver(flit)
+        if self.sampler is None:
+            for flit, offset in zip(packet.flits, schedule.eject_offsets()):
+                # _deliver stamps the record from cycle_count, and hooks
+                # may read it: hold the clock at each flit's ejection cycle
+                self.cycle_count = start + offset
+                self._deliver(flit)
+        else:
+            self._deliver_express_sampled(packet, schedule, start)
         self.cycle_count = start + schedule.drain_at
         telemetry.counter("noc.cycles").inc(schedule.drain_at)
         telemetry.counter("noc.flit_moves").inc(schedule.flit_moves)
         if schedule.stalls:
             telemetry.counter("noc.stalls").inc(schedule.stalls)
         return self.delivered[-1]
+
+    def _deliver_express_sampled(self, packet: Packet, schedule, start: int) -> None:
+        """Walk the closed-form schedule step by step, ticking the
+        attached sampler exactly as :meth:`run_until_drained` would.
+
+        Each scheduled local step ``t`` first delivers the flits whose
+        eject offset falls in it (``offset == t - 1`` — the stepped run
+        stamps deliveries from the pre-increment clock), then advances
+        the clock and ticks the sampler once while :meth:`buffer_depths`
+        reports the schedule's closed-form queue depths mapped onto the
+        worm's XY route — so the buffer-depth heatmap matches the
+        stepped run's sample for sample.
+        """
+        route = xy_path(packet.src, packet.dst)
+        zeros = {
+            f"r{r}c{c}": 0 for (r, c) in sorted(self.routers)
+        }
+        ejects = list(zip(packet.flits, schedule.eject_offsets()))
+        next_eject = 0
+        try:
+            for t in range(1, schedule.drain_at + 1):
+                while next_eject < len(ejects) and ejects[next_eject][1] == t - 1:
+                    flit, offset = ejects[next_eject]
+                    self.cycle_count = start + offset
+                    self._deliver(flit)
+                    next_eject += 1
+                self.cycle_count = start + t
+                depths = dict(zeros)
+                for pos, depth in schedule.queue_depths(t).items():
+                    r, c = route[pos]
+                    depths[f"r{r}c{c}"] = depth
+                self._express_depths = depths
+                self.sampler.tick()
+        finally:
+            self._express_depths = None
 
     # -- delivery bookkeeping ----------------------------------------------
 
@@ -377,7 +421,13 @@ class RouterNetwork:
     def buffer_depths(self) -> Dict[str, int]:
         """Queued-flit count per router, keyed ``"r<row>c<col>"`` in
         row-major order — the Figure 7(e) input queues as one samplable
-        observation (where a worm's backpressure piles up)."""
+        observation (where a worm's backpressure piles up).
+
+        During express delivery the live queues never hold the worm's
+        flits; the synthetic depths derived from the closed-form schedule
+        are reported instead (same keys, same row-major order)."""
+        if self._express_depths is not None:
+            return self._express_depths
         return {
             f"r{r}c{c}": router.queued_flits()
             for (r, c), router in sorted(self.routers.items())

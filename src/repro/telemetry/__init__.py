@@ -39,6 +39,7 @@ from repro.telemetry.observe import (
     Sampler,
     TimeSeries,
 )
+from repro.telemetry.profile import NULL_STAGE, Profiler, ProfileStage
 from repro.telemetry.registry import Registry
 from repro.telemetry.sinks import JSONSink, Sink, TextSink
 from repro.telemetry.tracing import Span, SpanEvent, Tracer
@@ -77,6 +78,11 @@ __all__ = [
     "enable_tracing",
     "observer",
     "enable_observation",
+    "Profiler",
+    "ProfileStage",
+    "profiler",
+    "enable_profiling",
+    "profile_stage",
     "snapshot",
     "merge",
     "reset",
@@ -165,6 +171,31 @@ def enable_observation(on: bool = True, stride: int = 0) -> Observer:
     _default.observer.enabled = on
     _default.observer.stride = stride
     return _default.observer
+
+
+def profiler() -> Profiler:
+    """The default registry's self-profiling switch (disabled until
+    :func:`enable_profiling`)."""
+    return _default.profiler
+
+
+def enable_profiling(on: bool = True) -> Profiler:
+    """Switch fast-path self-profiling on (or back off); returns the
+    profiler."""
+    _default.profiler.enabled = on
+    return _default.profiler
+
+
+def profile_stage(name: str):
+    """``with telemetry.profile_stage("engine.replay"):`` — time a fast-path
+    stage into the ``profile.<name>.seconds`` histogram.
+
+    Returns a shared no-op context manager while profiling is disabled, so
+    guarded sites cost one attribute read plus one call.
+    """
+    if not _default.profiler.enabled:
+        return NULL_STAGE
+    return ProfileStage(_default.histogram(f"profile.{name}.seconds"))
 
 
 def snapshot() -> Dict[str, Any]:

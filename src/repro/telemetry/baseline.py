@@ -27,9 +27,11 @@ skipped.
 
 The ``megascale`` bench guards the vector CSD kernel the same way:
 identity bits (vector == legacy at small N, identical grant streams in
-the speedup harness), a deterministic mega-N (1024-4096) channel-demand
-series, and a wall-clock ``kernel_speedup`` that must stay above
-``50x`` unless wall-clock checks are skipped.
+the speedup harness, and a sampled-run bit asserting the vector engine
+emits the byte-identical observation document the live sweep emits), a
+deterministic mega-N (1024-4096) channel-demand series, and a
+wall-clock ``kernel_speedup`` that must stay above ``50x`` unless
+wall-clock checks are skipped.
 
 The recorded ``BENCH_fig3.json`` / ``BENCH_faults.json`` /
 ``BENCH_engine.json`` / ``BENCH_megascale.json`` files live at the
@@ -214,6 +216,33 @@ def measure_bench(bench: str, config: Dict[str, Any]) -> Dict[str, Any]:
         deterministic = {
             "megascale.identical_legacy": float(vector_small == legacy_small)
         }
+        # sampled-run determinism bit: under observation the vector
+        # engine must emit the byte-identical observation document the
+        # live sweep emits (same stride, same probes, same document)
+        from repro import telemetry
+        from repro.telemetry.exposition import observation_document, observe_json
+
+        obs_kwargs = dict(
+            localities=localities,
+            n_trials=int(config["n_trials"]),
+            seed=seed,
+            n_objects_list=[int(config["identity_n_objects"][0])],
+        )
+        try:
+            telemetry.reset()
+            telemetry.enable_observation()
+            figure3_series(**obs_kwargs)
+            live_doc = observe_json(observation_document(telemetry.snapshot()))
+            telemetry.reset()
+            telemetry.enable_observation()
+            run_fig3(kernel="vector", **obs_kwargs)
+            vector_doc = observe_json(observation_document(telemetry.snapshot()))
+        finally:
+            telemetry.enable_observation(False)
+            telemetry.reset()
+        deterministic["megascale.identical_observed"] = float(
+            vector_doc == live_doc
+        )
         # mega leg: sizes only the vector kernel reaches; the series is
         # seed-deterministic, so any drift is a behaviour change
         start = time.perf_counter()

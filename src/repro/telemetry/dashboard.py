@@ -18,6 +18,7 @@ table view per chart for non-visual access.
 from __future__ import annotations
 
 import html
+import math
 from typing import Any, Dict, List, Tuple
 
 from repro.telemetry.observe import natural_key
@@ -38,8 +39,14 @@ SEQUENTIAL_RAMP: Tuple[str, ...] = tuple(
 )
 
 _LINE_COLOR = "#2a78d6"
+_GRID_COLOR = "#eceae6"
 _SURFACE = "#fcfcfb"
 _TABLE_CAP = 2000
+
+#: Heatmaps taller than this band adjacent rows together before
+#: rendering (a mega-scale sweep emits one row per CSD segment — 4095
+#: ``<rect>`` rows would dwarf the rest of the page combined).
+_MAX_HEATMAP_ROWS = 160
 
 _CSS = """
 :root { color-scheme: light; }
@@ -55,6 +62,8 @@ h3 { font-size: 13px; margin: 16px 0 4px; font-weight: 600; }
         background: #ffffff; min-width: 140px; }
 .tile .v { font-size: 20px; font-weight: 600; }
 .tile .n { color: #6b7280; font-size: 11px; word-break: break-all; }
+.warn { background: #fdf3d7; border: 1px solid #e5c56a; border-radius: 6px;
+        padding: 8px 12px; margin: 0 0 16px; font-size: 13px; }
 svg { display: block; background: #ffffff; border: 1px solid #e3e3df;
       border-radius: 6px; }
 .axis { fill: #6b7280; font-size: 10px; }
@@ -77,6 +86,35 @@ def _num(value: float) -> str:
 
 def _esc(text: Any) -> str:
     return html.escape(str(text), quote=True)
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 4) -> List[float]:
+    """Deterministic intermediate axis ticks: multiples of a
+    {1, 2, 5} x 10^k step chosen to cut ``hi - lo`` into about
+    ``target`` intervals, strictly inside the open interval — the
+    endpoint labels are drawn separately.  Pure float arithmetic on the
+    document's values, so two renders of the same document agree
+    byte-for-byte on every tick."""
+    span = hi - lo
+    if span <= 0 or target < 1:
+        return []
+    raw = span / target
+    mag = 10.0 ** math.floor(math.log10(raw))
+    step = mag
+    for mult in (5.0, 2.0):
+        if mag * mult <= raw:
+            step = mag * mult
+            break
+    ticks: List[float] = []
+    index = math.floor(lo / step) + 1
+    while True:
+        value = round(index * step, 12)
+        if value >= hi:
+            break
+        if value > lo:
+            ticks.append(value)
+        index += 1
+    return ticks
 
 
 def _ramp_color(value: float, lo: float, hi: float) -> str:
@@ -135,6 +173,17 @@ def _series_panel(name: str, state: Dict[str, Any]) -> List[str]:
         f'<text class=axis x="{pad_l - 4}" y="{sy(y_lo):.1f}" '
         f'text-anchor="end" dominant-baseline="middle">{_num(y_lo)}</text>'
     )
+    for tick in _nice_ticks(y_lo, y_hi):
+        y = sy(tick)
+        out.append(
+            f'<line stroke="{_GRID_COLOR}" stroke-width="1" '
+            f'x1="{pad_l}" y1="{y:.1f}" '
+            f'x2="{width - pad_r}" y2="{y:.1f}"/>'
+        )
+        out.append(
+            f'<text class=axis x="{pad_l - 4}" y="{y:.1f}" '
+            f'text-anchor="end" dominant-baseline="middle">{_num(tick)}</text>'
+        )
     out.append(
         f'<text class=axis x="{pad_l}" y="{height - 6}">cycle {x_lo}</text>'
     )
@@ -163,9 +212,37 @@ def _series_panel(name: str, state: Dict[str, Any]) -> List[str]:
     return out
 
 
+def _band_rows(
+    cells: List[Tuple[str, int, float]], rows: List[str]
+) -> Tuple[List[str], List[Tuple[str, int, float]]]:
+    """Merge adjacent rows (natural order) into at most
+    ``_MAX_HEATMAP_ROWS`` bands, summing cell values within a band.
+    Purely positional, so the banding — labels included — is a
+    deterministic function of the document."""
+    size = -(-len(rows) // _MAX_HEATMAP_ROWS)
+    band_of: Dict[str, str] = {}
+    banded_rows: List[str] = []
+    for i in range(0, len(rows), size):
+        chunk = rows[i : i + size]
+        label = chunk[0] if len(chunk) == 1 else f"{chunk[0]}..{chunk[-1]}"
+        for row in chunk:
+            band_of[row] = label
+        banded_rows.append(label)
+    agg: Dict[Tuple[str, int], float] = {}
+    for row, cycle, value in cells:
+        key = (band_of[row], cycle)
+        agg[key] = agg.get(key, 0.0) + value
+    return banded_rows, [(r, c, v) for (r, c), v in agg.items()]
+
+
 def _heatmap_panel(name: str, state: Dict[str, Any]) -> List[str]:
     cells = [(str(r), int(c), float(v)) for r, c, v in state["cells"]]
     rows = sorted({r for r, _, _ in cells}, key=natural_key)
+    band_note = ""
+    if len(rows) > _MAX_HEATMAP_ROWS:
+        n_raw = len(rows)
+        rows, cells = _band_rows(cells, rows)
+        band_note = f" ({n_raw} rows banded into {len(rows)})"
     cycles = sorted({c for _, c, _ in cells})
     values = [v for _, _, v in cells]
     v_lo, v_hi = min(values), max(values)
@@ -175,7 +252,7 @@ def _heatmap_panel(name: str, state: Dict[str, Any]) -> List[str]:
     pad_l, pad_t, pad_b = 74, 6, 20
     width = pad_l + cell_w * len(cycles) + 10
     height = pad_t + cell_h * len(rows) + pad_b
-    out = [f"<h3>{_esc(name)}</h3>"]
+    out = [f"<h3>{_esc(name)}{_esc(band_note)}</h3>"]
     out.append(
         f'<svg width="{width}" height="{height}" role="img" '
         f'aria-label="{_esc(name)} heatmap">'
@@ -216,6 +293,50 @@ def _heatmap_panel(name: str, state: Dict[str, Any]) -> List[str]:
     return out
 
 
+def _profile_panel(doc: Dict[str, Any]) -> List[str]:
+    """The self-profiling layer: ``profile.*`` stage timers as a table,
+    ``profile.*`` counters as stat tiles.  Stage wall times are
+    host-dependent — this panel only appears when profiling was enabled,
+    so default bundles stay byte-comparable."""
+    stages = {
+        name: stats
+        for name, stats in doc.get("histograms", {}).items()
+        if name.startswith("profile.")
+    }
+    counters = {
+        name: value
+        for name, value in doc.get("counters", {}).items()
+        if name.startswith("profile.")
+    }
+    out: List[str] = []
+    if stages:
+        out.append(
+            "<table><tr><th>stage</th><th>calls</th><th>total s</th>"
+            "<th>mean s</th><th>p95 s</th></tr>"
+        )
+        for name, stats in sorted(stages.items()):
+            row = [
+                _esc(name),
+                _num(stats["count"]),
+                f"{stats['sum']:.6f}",
+                f"{stats['mean']:.6f}",
+                f"{stats['p95']:.6f}",
+            ]
+            out.append(
+                "<tr>" + "".join(f"<td>{v}</td>" for v in row) + "</tr>"
+            )
+        out.append("</table>")
+    if counters:
+        out.append("<div class=tiles>")
+        for name, value in sorted(counters.items()):
+            out.append(
+                f"<div class=tile><div class=v>{_num(value)}</div>"
+                f"<div class=n>{_esc(name)}</div></div>"
+            )
+        out.append("</div>")
+    return out
+
+
 def _table(
     headers: List[str], rows: List[List[str]], summary: str
 ) -> List[str]:
@@ -242,7 +363,7 @@ def _table(
 
 def render_dashboard(doc: Dict[str, Any], title: str = None) -> str:
     """Render one observation document as a standalone HTML page."""
-    from repro.telemetry.exposition import OBSERVE_SCHEMA
+    from repro.telemetry.exposition import OBSERVE_SCHEMA, observation_drops
 
     if not isinstance(doc, dict) or doc.get("schema") != OBSERVE_SCHEMA:
         raise ValueError("render_dashboard needs an observation document")
@@ -257,6 +378,15 @@ def render_dashboard(doc: Dict[str, Any], title: str = None) -> str:
         f"<div class=sub>{_esc(doc['schema'])} &middot; "
         f"registry {_esc(doc.get('registry', 'repro'))}</div>",
     ]
+    drops = observation_drops(doc)
+    if drops:
+        total = sum(count for _, count in drops)
+        detail = ", ".join(f"{_esc(n)} ({count})" for n, count in drops)
+        parts.append(
+            f"<div class=warn>&#9888; {total} observation(s) dropped "
+            f"across {len(drops)} instrument(s) — capacity caps hit; "
+            f"raise the sampling stride: {detail}</div>"
+        )
     gauges = doc.get("gauges", {})
     if gauges:
         parts.append("<h2>Gauges</h2>")
@@ -271,6 +401,10 @@ def render_dashboard(doc: Dict[str, Any], title: str = None) -> str:
         parts.append("<h2>Heatmaps</h2>")
         for name, state in sorted(heatmaps.items()):
             parts.extend(_heatmap_panel(name, state))
+    profile = _profile_panel(doc)
+    if profile:
+        parts.append("<h2>Self-profile</h2>")
+        parts.extend(profile)
     if not (gauges or series or heatmaps):
         parts.append("<p>No observation data recorded.</p>")
     parts.append("</body></html>")

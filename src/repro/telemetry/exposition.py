@@ -9,23 +9,37 @@ rendering) is canonical:
   keys, and forked pool workers inherit the parent's names — without
   elision a parallel run would expose ghost families a fresh serial
   process lacks);
+* engine bookkeeping (``engine.*``) is elided: it describes *how* a run
+  executed (cache hits, batch latencies), not what the fabric did, and
+  it would break the byte-identity of ``--engine`` bundles against live
+  ones.  The self-profiling families (``profile.*``) stay — they are a
+  deliberate observability product with their own report;
 * wall-clock timer seconds are excluded (only call counts travel), so
   two runs of the same seed compare byte-for-byte no matter the host;
 * families, samples and cells are sorted on stable keys.
 
-These two rules are what make ``--observe`` output byte-identical
-between a serial sweep and a ``--workers N`` one.
+These rules are what make ``--observe`` output byte-identical between
+a serial sweep, a ``--workers N`` one, and an ``--engine`` one.
+
+The renderings are also *lossless*: :func:`reconstruct_observation`
+rebuilds the exact document from the OpenMetrics text plus the two
+long-form CSVs (the scalar families carry every digest the document
+holds; the CSVs carry the series samples and heatmap cells), which the
+round-trip property test in ``tests/telemetry/test_roundtrip.py``
+exercises against adversarial instrument names and label values.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 import re
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.telemetry.metrics import Histogram
-from repro.telemetry.observe import natural_key
+from repro.telemetry.observe import escape_label_value, natural_key
 
 __all__ = [
     "OBSERVE_SCHEMA",
@@ -38,6 +52,12 @@ __all__ = [
     "load_observation",
     "write_observation",
     "format_observe_report",
+    "format_profile_report",
+    "observation_drops",
+    "parse_openmetrics",
+    "parse_series_csv",
+    "parse_heatmap_csv",
+    "reconstruct_observation",
 ]
 
 #: Version tag of the observation document format (bump on breaking change).
@@ -146,11 +166,35 @@ def _metric_name(base: str, suffix: str = "") -> str:
     return "repro_" + _UNSAFE.sub("_", base.strip()) + suffix
 
 
+def _escape_exposition(text: str) -> str:
+    """OpenMetrics escaping for label values and HELP text: backslash,
+    double quote, and newline (the three characters the line-oriented
+    format cannot carry verbatim)."""
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_exposition(text: str) -> str:
+    out: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n:
+            nxt = text[i + 1]
+            out.append("\n" if nxt == "n" else nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def _label_str(labels: List[Tuple[str, str]]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{_UNSAFE.sub("_", k)}="{v}"' for k, v in labels
+        f'{_UNSAFE.sub("_", k)}="{_escape_exposition(v)}"' for k, v in labels
     )
     return "{" + inner + "}"
 
@@ -170,6 +214,12 @@ def _hist_stats(values: List[float]) -> Dict[str, float]:
     }
 
 
+def _visible(name: str) -> bool:
+    """Engine bookkeeping never reaches an observation document (see the
+    module docstring); everything else — including ``profile.*`` — does."""
+    return not name.startswith("engine.")
+
+
 def observation_document(
     snapshot: Dict[str, Any], title: str = "observation"
 ) -> Dict[str, Any]:
@@ -178,17 +228,17 @@ def observation_document(
     counters = {
         name: value
         for name, value in sorted(snapshot.get("counters", {}).items())
-        if value
+        if value and _visible(name)
     }
     timers = {
         name: {"calls": stats["calls"]}
         for name, stats in sorted(snapshot.get("timers", {}).items())
-        if stats.get("calls")
+        if stats.get("calls") and _visible(name)
     }
     histograms = {
         name: _hist_stats(values)
         for name, values in sorted(snapshot.get("histograms", {}).items())
-        if values
+        if values and _visible(name)
     }
     gauges = {
         name: {
@@ -196,7 +246,7 @@ def observation_document(
             "updates": int(state.get("updates", 0)),
         }
         for name, state in sorted(snapshot.get("gauges", {}).items())
-        if state.get("updates")
+        if state.get("updates") and _visible(name)
     }
     series = {
         name: {
@@ -204,7 +254,7 @@ def observation_document(
             "dropped": int(state.get("dropped", 0)),
         }
         for name, state in sorted(snapshot.get("series", {}).items())
-        if state.get("samples")
+        if state.get("samples") and _visible(name)
     }
     heatmaps = {
         name: {
@@ -214,7 +264,7 @@ def observation_document(
             "dropped": int(state.get("dropped", 0)),
         }
         for name, state in sorted(snapshot.get("heatmaps", {}).items())
-        if state.get("cells")
+        if state.get("cells") and _visible(name)
     }
     return {
         "schema": OBSERVE_SCHEMA,
@@ -245,9 +295,16 @@ def to_openmetrics(doc: Dict[str, Any]) -> str:
 
     Families are sorted by metric name; point labels parsed from the
     ``[k=v,...]`` instrument-name suffix become Prometheus labels.
-    Series and heatmaps export scalar digests (their full data lives in
-    the CSV/JSON artifacts); timers export call counts only — never
-    wall seconds — to keep the text byte-comparable across runs.
+    Timers export call counts only — never wall seconds — to keep the
+    text byte-comparable across runs.
+
+    The rendering is *lossless* modulo the long-form data: every scalar
+    the document holds (gauge update counts, full histogram digests,
+    series/heatmap ``dropped`` tallies, the document title) gets its own
+    family, so :func:`parse_openmetrics` plus the two CSVs reconstruct
+    the document exactly.  The HELP line carries the original dotted
+    instrument base name (family names mangle dots irreversibly), which
+    is what the parser keys on.
     """
     _require_document(doc)
     # family name -> (type, help, [(label_str, suffix, value), ...])
@@ -261,6 +318,19 @@ def to_openmetrics(doc: Dict[str, Any]) -> str:
             }
         return entry
 
+    info = fam("repro_observation_info", "gauge", "observation metadata")
+    info["samples"].append(
+        (
+            _label_str(
+                [
+                    ("title", str(doc.get("title", ""))),
+                    ("registry", str(doc.get("registry", ""))),
+                ]
+            ),
+            "",
+            1,
+        )
+    )
     for name, value in doc.get("counters", {}).items():
         base, labels = split_labels(name)
         entry = fam(_metric_name(base), "counter", f"counter {base}")
@@ -275,6 +345,10 @@ def to_openmetrics(doc: Dict[str, Any]) -> str:
         base, labels = split_labels(name)
         entry = fam(_metric_name(base), "gauge", f"gauge {base}")
         entry["samples"].append((_label_str(labels), "", state["value"]))
+        updates = fam(
+            _metric_name(base, "_updates"), "gauge", f"gauge updates {base}"
+        )
+        updates["samples"].append((_label_str(labels), "", state["updates"]))
     for name, state in doc.get("histograms", {}).items():
         base, labels = split_labels(name)
         entry = fam(_metric_name(base), "summary", f"histogram {base}")
@@ -283,6 +357,13 @@ def to_openmetrics(doc: Dict[str, Any]) -> str:
         for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
             qlabels = labels + [("quantile", q)]
             entry["samples"].append((_label_str(qlabels), "", state[key]))
+        for stat in ("min", "max", "mean", "stddev"):
+            extra = fam(
+                _metric_name(base, f"_{stat}"),
+                "gauge",
+                f"histogram {stat} {base}",
+            )
+            extra["samples"].append((_label_str(labels), "", state[stat]))
     for name, state in doc.get("series", {}).items():
         base, labels = split_labels(name)
         samples = state["samples"]
@@ -295,6 +376,10 @@ def to_openmetrics(doc: Dict[str, Any]) -> str:
         count["samples"].append((_label_str(labels), "", len(samples)))
         peak = fam(_metric_name(base, "_max"), "gauge", f"series max {base}")
         peak["samples"].append((_label_str(labels), "", max(values)))
+        dropped = fam(
+            _metric_name(base, "_dropped"), "gauge", f"series dropped {base}"
+        )
+        dropped["samples"].append((_label_str(labels), "", state["dropped"]))
     for name, state in doc.get("heatmaps", {}).items():
         base, labels = split_labels(name)
         cells = state["cells"]
@@ -308,11 +393,15 @@ def to_openmetrics(doc: Dict[str, Any]) -> str:
         total["samples"].append(
             (_label_str(labels), "", sum(v for _, _, v in cells))
         )
+        dropped = fam(
+            _metric_name(base, "_dropped"), "gauge", f"heatmap dropped {base}"
+        )
+        dropped["samples"].append((_label_str(labels), "", state["dropped"]))
 
     lines: List[str] = []
     for name in sorted(families):
         entry = families[name]
-        lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# HELP {name} {_escape_exposition(entry['help'])}")
         lines.append(f"# TYPE {name} {entry['type']}")
         for label_str, suffix, value in sorted(
             entry["samples"], key=lambda s: (s[1], s[0])
@@ -325,27 +414,38 @@ def to_openmetrics(doc: Dict[str, Any]) -> str:
 # -- CSV ---------------------------------------------------------------------
 
 
+def _csv_writer(buf: io.StringIO) -> Any:
+    """One CSV dialect for writers and parsers: minimal quoting (point
+    labels put commas and brackets inside instrument names, so naive
+    ``",".join`` rows would be ambiguous), ``\\n`` line ends."""
+    return csv.writer(buf, quoting=csv.QUOTE_MINIMAL, lineterminator="\n")
+
+
 def series_csv(doc: Dict[str, Any]) -> str:
     """Long-form CSV of every time-series sample."""
     _require_document(doc)
-    lines = ["series,cycle,value"]
+    buf = io.StringIO()
+    writer = _csv_writer(buf)
+    writer.writerow(["series", "cycle", "value"])
     for name, state in sorted(doc.get("series", {}).items()):
         for cycle, value in state["samples"]:
-            lines.append(f"{name},{cycle},{_num(value)}")
-    return "\n".join(lines) + "\n"
+            writer.writerow([name, cycle, _num(value)])
+    return buf.getvalue()
 
 
 def heatmap_csv(doc: Dict[str, Any]) -> str:
     """Long-form CSV of every heatmap cell (natural row order)."""
     _require_document(doc)
-    lines = ["heatmap,row,cycle,value"]
+    buf = io.StringIO()
+    writer = _csv_writer(buf)
+    writer.writerow(["heatmap", "row", "cycle", "value"])
     for name, state in sorted(doc.get("heatmaps", {}).items()):
         cells = sorted(
             state["cells"], key=lambda c: (natural_key(c[0]), c[1])
         )
         for row, cycle, value in cells:
-            lines.append(f"{name},{row},{cycle},{_num(value)}")
-    return "\n".join(lines) + "\n"
+            writer.writerow([name, row, cycle, _num(value)])
+    return buf.getvalue()
 
 
 # -- JSON --------------------------------------------------------------------
@@ -380,6 +480,264 @@ def load_observation(path: Union[str, Path]) -> Dict[str, Any]:
                 split_labels(name, strict=True)
     except ValueError as exc:
         raise ValueError(f"{path}: {exc}") from exc
+    return doc
+
+
+# -- round-trip parsers ------------------------------------------------------
+
+#: HELP-text phrases mapping a family back to its document section and
+#: field.  Matched longest-first so ``histogram min foo`` never parses
+#: as a histogram named ``min foo``; instrument base names are dotted
+#: identifiers (no spaces), which keeps the prefixes unambiguous.
+_HELP_PHRASES: List[Tuple[str, str, str]] = sorted(
+    [
+        ("counter ", "counters", "value"),
+        ("timer calls ", "timers", "calls"),
+        ("gauge ", "gauges", "value"),
+        ("gauge updates ", "gauges", "updates"),
+        ("histogram ", "histograms", "summary"),
+        ("histogram min ", "histograms", "min"),
+        ("histogram max ", "histograms", "max"),
+        ("histogram mean ", "histograms", "mean"),
+        ("histogram stddev ", "histograms", "stddev"),
+        ("series digest ", "series", "digest"),
+        ("series samples ", "series", "samples"),
+        ("series max ", "series", "max"),
+        ("series dropped ", "series", "dropped"),
+        ("heatmap cells ", "heatmaps", "cells"),
+        ("heatmap sum ", "heatmaps", "sum"),
+        ("heatmap dropped ", "heatmaps", "dropped"),
+    ],
+    key=lambda p: -len(p[0]),
+)
+
+
+def _parse_om_labels(text: str) -> List[Tuple[str, str]]:
+    """Parse the inside of an OpenMetrics label block back into ordered
+    ``(key, value)`` pairs, undoing :func:`_escape_exposition`."""
+    labels: List[Tuple[str, str]] = []
+    i, n = 0, len(text)
+    while i < n:
+        eq = text.index("=", i)
+        key = text[i:eq]
+        if text[eq + 1] != '"':
+            raise ValueError(f"label {key!r} is not quoted")
+        j = eq + 2
+        buf: List[str] = []
+        while j < n:
+            ch = text[j]
+            if ch == "\\" and j + 1 < n:
+                nxt = text[j + 1]
+                buf.append("\n" if nxt == "n" else nxt)
+                j += 2
+                continue
+            if ch == '"':
+                break
+            buf.append(ch)
+            j += 1
+        if j >= n:
+            raise ValueError("unterminated label value")
+        labels.append((key, "".join(buf)))
+        i = j + 1
+        if i < n and text[i] == ",":
+            i += 1
+    return labels
+
+
+def _parse_om_sample(line: str) -> Tuple[str, List[Tuple[str, str]], str]:
+    """Split one sample line into (metric name, labels, value text)."""
+    brace = None
+    in_quotes = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if in_quotes:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == '"':
+                in_quotes = False
+        elif ch == '"':
+            in_quotes = True
+        elif ch == "{" and brace is None:
+            brace = i
+        elif ch == "}" and brace is not None:
+            name = line[:brace]
+            labels = _parse_om_labels(line[brace + 1 : i])
+            return name, labels, line[i + 1 :].strip()
+        i += 1
+    name, _, value = line.rpartition(" ")
+    return name, [], value.strip()
+
+
+def _rebuild_name(base: str, labels: List[Tuple[str, str]]) -> str:
+    """Reattach a ``point_label`` suffix: the exact inverse of
+    :func:`split_labels` for labels produced by
+    :func:`repro.telemetry.observe.point_label`."""
+    if not labels:
+        return base
+    inner = ",".join(
+        f"{k}={escape_label_value(v)}" for k, v in labels
+    )
+    return f"{base}[{inner}]"
+
+
+def _parse_number(text: str) -> Union[int, float]:
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def parse_openmetrics(text: str) -> Dict[str, Any]:
+    """Parse :func:`to_openmetrics` output back into the scalar portion
+    of its observation document.
+
+    Series ``samples`` lists and heatmap ``cells`` lists come back empty
+    (the text only carries their digests); merge the long-form CSVs via
+    :func:`reconstruct_observation` to complete them.
+    """
+    doc: Dict[str, Any] = {
+        "schema": OBSERVE_SCHEMA,
+        "title": "observation",
+        "registry": "repro",
+        "counters": {},
+        "timers": {},
+        "histograms": {},
+        "gauges": {},
+        "series": {},
+        "heatmaps": {},
+    }
+    section: Optional[str] = None
+    field: Optional[str] = None
+    family = ""
+    for line in text.splitlines():
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            continue
+        if line.startswith("# HELP "):
+            family, _, help_ = line[len("# HELP ") :].partition(" ")
+            help_ = _unescape_exposition(help_)
+            section = field = None
+            for phrase, sec, fld in _HELP_PHRASES:
+                if help_.startswith(phrase):
+                    section, field = sec, fld
+                    base = help_[len(phrase) :]
+                    break
+            continue
+        name, labels, value_text = _parse_om_sample(line)
+        if name.split("{")[0] == "repro_observation_info" or (
+            family == "repro_observation_info" and name == family
+        ):
+            attrs = dict(labels)
+            doc["title"] = attrs.get("title", doc["title"])
+            doc["registry"] = attrs.get("registry", doc["registry"])
+            continue
+        if section is None:
+            continue
+        if section == "histograms" and field == "summary":
+            if labels and labels[-1][0] == "quantile":
+                q = labels[-1][1]
+                key = {"0.5": "p50", "0.95": "p95", "0.99": "p99"}[q]
+                labels = labels[:-1]
+            elif name.endswith("_count"):
+                key = "count"
+            elif name.endswith("_sum"):
+                key = "sum"
+            else:
+                continue
+            inst = _rebuild_name(base, labels)
+            state = doc["histograms"].setdefault(inst, {})
+            state[key] = (
+                int(value_text) if key == "count" else float(value_text)
+            )
+            continue
+        inst = _rebuild_name(base, labels)
+        if section == "counters":
+            doc["counters"][inst] = _parse_number(value_text)
+        elif section == "timers":
+            doc["timers"][inst] = {"calls": int(value_text)}
+        elif section == "gauges":
+            state = doc["gauges"].setdefault(inst, {})
+            state[field] = (
+                int(value_text) if field == "updates" else float(value_text)
+            )
+        elif section == "histograms":
+            doc["histograms"].setdefault(inst, {})[field] = float(value_text)
+        elif section == "series":
+            state = doc["series"].setdefault(
+                inst, {"samples": [], "dropped": 0}
+            )
+            if field == "dropped":
+                state["dropped"] = int(value_text)
+        elif section == "heatmaps":
+            state = doc["heatmaps"].setdefault(
+                inst, {"cells": [], "dropped": 0}
+            )
+            if field == "dropped":
+                state["dropped"] = int(value_text)
+    return doc
+
+
+def _parse_long_csv(
+    text: str, header: List[str], parse_row
+) -> Dict[str, List[Any]]:
+    reader = csv.reader(io.StringIO(text))
+    got = next(reader, None)
+    if got != header:
+        raise ValueError(f"bad CSV header: want {header}, got {got}")
+    out: Dict[str, List[Any]] = {}
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise ValueError(f"bad CSV row: {row!r}")
+        out.setdefault(row[0], []).append(parse_row(row))
+    return out
+
+
+def parse_series_csv(text: str) -> Dict[str, List[List[Any]]]:
+    """Parse :func:`series_csv` output: name -> sample rows."""
+    return _parse_long_csv(
+        text,
+        ["series", "cycle", "value"],
+        lambda row: [int(row[1]), float(row[2])],
+    )
+
+
+def parse_heatmap_csv(text: str) -> Dict[str, List[List[Any]]]:
+    """Parse :func:`heatmap_csv` output: name -> cell rows."""
+    return _parse_long_csv(
+        text,
+        ["heatmap", "row", "cycle", "value"],
+        lambda row: [row[1], int(row[2]), float(row[3])],
+    )
+
+
+def reconstruct_observation(
+    metrics_text: str,
+    series_text: Optional[str] = None,
+    heatmaps_text: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Rebuild the canonical observation document from its rendered
+    artifacts: the OpenMetrics text plus the two long-form CSVs.  The
+    result compares equal (``==`` and canonical-JSON byte-equal) to the
+    document the artifacts were rendered from."""
+    doc = parse_openmetrics(metrics_text)
+    if series_text is not None:
+        for name, samples in parse_series_csv(series_text).items():
+            state = doc["series"].setdefault(
+                name, {"samples": [], "dropped": 0}
+            )
+            state["samples"] = samples
+    if heatmaps_text is not None:
+        for name, cells in parse_heatmap_csv(heatmaps_text).items():
+            state = doc["heatmaps"].setdefault(
+                name, {"cells": [], "dropped": 0}
+            )
+            state["cells"] = cells
+    _require_document(doc)
     return doc
 
 
@@ -466,4 +824,72 @@ def format_observe_report(doc: Dict[str, Any]) -> str:
     if counters:
         lines.append("")
         lines.append(f"counters: {len(counters)} non-zero")
+    dropped = observation_drops(doc)
+    if dropped:
+        total = sum(n for _, n in dropped)
+        lines.append("")
+        lines.append(
+            f"WARNING: {total} observation(s) dropped across "
+            f"{len(dropped)} instrument(s) — capacity caps hit; "
+            "raise the sampling stride:"
+        )
+        for name, count in dropped:
+            lines.append(f"  {name}: {count} dropped")
+    return "\n".join(lines) + "\n"
+
+
+def observation_drops(doc: Dict[str, Any]) -> List[Tuple[str, int]]:
+    """Every instrument that shed data to a capacity cap, with its tally
+    (sorted by name).  Feeds the ``observe-report`` warning block and
+    the dashboard warning strip."""
+    _require_document(doc)
+    drops: List[Tuple[str, int]] = []
+    for section in ("series", "heatmaps"):
+        for name, state in doc.get(section, {}).items():
+            if state.get("dropped"):
+                drops.append((name, int(state["dropped"])))
+    return sorted(drops)
+
+
+def format_profile_report(doc: Dict[str, Any]) -> str:
+    """Terminal summary of the self-profiling layer (``repro profile``):
+    the ``profile.*`` stage timers and route-memo counters an enabled
+    :class:`~repro.telemetry.profile.Profiler` left in the document.
+
+    Stage wall times are inherently host-dependent, so this report —
+    unlike the observation artifacts — is *not* byte-comparable across
+    runs; it is a diagnosis surface, not a determinism one."""
+    _require_document(doc)
+    stages = {
+        name: stats
+        for name, stats in doc.get("histograms", {}).items()
+        if name.startswith("profile.")
+    }
+    counters = {
+        name: value
+        for name, value in doc.get("counters", {}).items()
+        if name.startswith("profile.")
+    }
+    lines = [f"self-profile: {doc.get('title', '?')} [{doc['schema']}]"]
+    if not stages and not counters:
+        lines.append("")
+        lines.append("no profile data (re-run with profiling enabled)")
+        return "\n".join(lines) + "\n"
+    if stages:
+        lines.append("")
+        lines.append(f"stages ({len(stages)}):")
+        width = max(len(n) for n in stages)
+        for name, stats in sorted(stages.items()):
+            lines.append(
+                f"  {name:<{width}}  calls={stats['count']:>7}"
+                f"  total={stats['sum']:.6f}s"
+                f"  mean={stats['mean']:.6f}s"
+                f"  p95={stats['p95']:.6f}s"
+            )
+    if counters:
+        lines.append("")
+        lines.append(f"counters ({len(counters)}):")
+        width = max(len(n) for n in counters)
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<{width}}  {_num(value):>12}")
     return "\n".join(lines) + "\n"

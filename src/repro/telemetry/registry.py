@@ -16,6 +16,7 @@ from typing import Any, Dict
 from repro.telemetry.events import EventTrace
 from repro.telemetry.metrics import Counter, Histogram, Timer
 from repro.telemetry.observe import Gauge, Heatmap, Observer, TimeSeries
+from repro.telemetry.profile import Profiler
 from repro.telemetry.tracing import Tracer
 
 __all__ = ["Registry"]
@@ -36,6 +37,7 @@ class Registry:
         self.trace = EventTrace(trace_capacity)
         self.tracer = Tracer()
         self.observer = Observer()
+        self.profiler = Profiler()
 
     # -- instrument access (get-or-create) --------------------------------
 
@@ -149,6 +151,7 @@ class Registry:
         # process", so callers re-enable what they want afterwards
         self.tracer.enabled = False
         self.observer.reset()
+        self.profiler.reset()
 
     # -- reporting ---------------------------------------------------------
 

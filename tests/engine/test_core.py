@@ -83,14 +83,27 @@ class TestFastPathGates:
         assert engine.trials_live == 1
         assert result == CSDSimulator(16).run_trial(0.5, trial_seed=7)
 
-    def test_observation_runs_live(self):
+    def test_observation_replays_from_cache(self):
+        """Observation no longer forces the live path: the grant log
+        replays the sampled heatmaps/series byte-for-byte (see
+        tests/megascale/test_vector_observation.py for the lockstep
+        property), so an observed warm trial stays cached."""
         engine = SweepEngine()
         telemetry.enable_observation()
         try:
-            engine.run_csd_trial(16, 0.5, 7)
+            telemetry.reset()
+            telemetry.enable_observation()
+            engine.run_csd_trial(16, 0.5, 7, sample_series=True)
+            cold = telemetry.snapshot()
+            telemetry.reset()
+            telemetry.enable_observation()
+            engine.run_csd_trial(16, 0.5, 7, sample_series=True)
+            warm = telemetry.snapshot()
         finally:
             telemetry.enable_observation(False)
-        assert engine.trials_live == 1
+        assert engine.trials_cached == 2 and engine.trials_live == 0
+        for section in ("heatmaps", "series", "gauges", "counters"):
+            assert warm[section] == cold[section]
 
     def test_active_fault_plan_runs_live(self):
         engine = SweepEngine()

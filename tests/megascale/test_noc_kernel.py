@@ -17,6 +17,7 @@ from repro.errors import SimulationError
 from repro.megascale.noc_kernel import WormSchedule, worm_schedule
 from repro.noc.flit import make_packet
 from repro.noc.network import RouterNetwork
+from repro.telemetry.observe import Heatmap, Sampler
 
 
 def _stepped(src, dst, n_flits, qcap):
@@ -114,3 +115,46 @@ class TestExpressIdentity:
         finally:
             telemetry.enable_tracing(False)
         assert net.express_eligible()
+
+
+class TestSampledExpressIdentity:
+    """With a sampler attached, express delivery must reproduce the
+    stepped run's buffer-depth heatmap *sample for sample* — the
+    cross-validation :meth:`WormSchedule.queue_depths` promises.  The
+    express path reports the schedule's synthetic depths through
+    ``buffer_depths()``, so the whole observation surface (heatmap
+    cells, samples taken, registry) is compared, not just deliveries.
+    """
+
+    @staticmethod
+    def _run(deliver, src, dst, n_flits, qcap, stride):
+        telemetry.reset()
+        net = RouterNetwork(4, 4, queue_capacity=qcap)
+        heatmap = Heatmap("noc.buffer_depth")
+        sampler = Sampler(stride)
+        sampler.attach_heatmap(heatmap, net.buffer_depths)
+        net.sampler = sampler
+        packet = make_packet(src, dst, n_flits=n_flits, packet_id=0)
+        deliver(net, packet)
+        return (
+            net.record_for(0),
+            net.cycle_count,
+            heatmap.state(),
+            sampler.samples_taken,
+            telemetry.snapshot(),
+        )
+
+    @pytest.mark.parametrize("stride", [1, 2, 3])
+    @pytest.mark.parametrize("src,dst,n_flits,qcap", TestExpressIdentity.CASES)
+    def test_bit_identical_to_stepping(self, src, dst, n_flits, qcap, stride):
+        def stepped(net, packet):
+            net.inject(packet)
+            net.run_until_drained()
+
+        def express(net, packet):
+            net.deliver_express(packet)
+
+        expected = self._run(stepped, src, dst, n_flits, qcap, stride)
+        got = self._run(express, src, dst, n_flits, qcap, stride)
+        assert got == expected
+        telemetry.reset()

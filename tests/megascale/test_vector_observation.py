@@ -1,0 +1,160 @@
+"""Lockstep validation of :class:`VectorSampler` against the live
+:class:`~repro.telemetry.observe.Sampler` (the identity the engine's
+cached observation replay rests on).
+
+Two layers:
+
+* the unit property drives one random grant program through a
+  :class:`VectorCSDKernel` with a live sampler ticking per request,
+  then replays the grant log through a :class:`VectorSampler` into
+  fresh instruments — every heatmap cell, series sample, ``dropped``
+  tally, and ``samples_taken`` count must match byte for byte, even
+  with tiny instrument capacities forcing evictions;
+* the end-to-end property runs the same observed trial on the live
+  simulator and on the sweep engine's cached path and demands
+  byte-identical observation documents, for N up to 256.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.csd.simulator import CSDSimulator
+from repro.engine import SweepEngine
+from repro.megascale.kernel import VectorCSDKernel, VectorSampler
+from repro.telemetry.exposition import observation_document, observe_json
+from repro.telemetry.observe import Heatmap, Sampler, TimeSeries
+
+_geometries = st.tuples(st.integers(1, 6), st.integers(4, 10))
+
+#: One request: a span [lo, hi) with hi allowed one past the array so
+#: the off-the-array block path (granted=None, no log row) is exercised.
+def _requests(n_segments):
+    return st.lists(
+        st.tuples(
+            st.integers(0, n_segments - 1), st.integers(1, n_segments + 1)
+        ).filter(lambda t: t[0] < t[1]),
+        max_size=30,
+    )
+
+
+def _instruments(series_capacity, heatmap_cells):
+    return (
+        Heatmap("seg", max_cells=heatmap_cells),
+        Heatmap("ch", max_cells=heatmap_cells),
+        TimeSeries("used", capacity=series_capacity),
+    )
+
+
+def _state(seg, ch, series):
+    return (seg.state(), ch.state(), series.state())
+
+
+class TestSamplerLockstepProperty:
+    @settings(deadline=None, max_examples=80)
+    @given(
+        geometry=_geometries.flatmap(
+            lambda g: st.tuples(st.just(g), _requests(g[1]))
+        ),
+        stride=st.integers(1, 5),
+        series_capacity=st.integers(2, 8),
+        heatmap_cells=st.integers(4, 64),
+    )
+    def test_replay_matches_live_sampler(
+        self, geometry, stride, series_capacity, heatmap_cells
+    ):
+        (n_channels, n_segments), requests = geometry
+
+        # live side: a kernel sampled per request by the live Sampler
+        kern = VectorCSDKernel(n_channels, n_segments)
+        seg, ch, series = _instruments(series_capacity, heatmap_cells)
+        sampler = Sampler(stride)
+        sampler.attach_series(series, kern.used_channels)
+        sampler.attach_heatmap(
+            seg,
+            lambda: {f"s{i}": v for i, v in enumerate(kern.segment_demand())},
+        )
+        sampler.attach_heatmap(
+            ch,
+            lambda: {
+                f"ch{i}": v for i, v in enumerate(kern.channel_occupancy())
+            },
+        )
+        log = []
+        for idx, (lo, hi) in enumerate(requests):
+            granted = kern.grant(lo, hi)
+            if granted is not None:
+                log.append((idx + 1, lo, hi, granted))
+            sampler.tick()
+
+        # vector side: the grant log replayed into fresh instruments
+        cycles = np.asarray([r[0] for r in log], dtype=np.int64)
+        lo_col = np.asarray([r[1] for r in log], dtype=np.int64)
+        hi_col = np.asarray([r[2] for r in log], dtype=np.int64)
+        ch_col = np.asarray([r[3] for r in log], dtype=np.int64)
+        seg2, ch2, series2 = _instruments(series_capacity, heatmap_cells)
+        vec = VectorSampler(n_segments, n_channels, stride)
+        vec.replay(
+            cycles, lo_col, hi_col, ch_col, len(requests),
+            seg2, ch2, series=series2,
+        )
+
+        assert _state(seg2, ch2, series2) == _state(seg, ch, series)
+        assert vec.samples_taken == sampler.samples_taken
+
+
+def _observed_document(stride, run):
+    telemetry.reset()
+    telemetry.enable_observation(True, stride)
+    try:
+        run()
+        return observe_json(observation_document(telemetry.snapshot()))
+    finally:
+        telemetry.reset()
+
+
+class TestEndToEndObservation:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        n_objects=st.sampled_from([8, 16, 32, 64]),
+        locality=st.sampled_from([0.0, 0.3, 0.5, 1.0]),
+        seed=st.integers(0, 2**16),
+        stride=st.integers(0, 5),  # 0 = the site's auto stride
+        sample_series=st.booleans(),
+    )
+    def test_cached_trial_document_matches_live(
+        self, n_objects, locality, seed, stride, sample_series
+    ):
+        live = _observed_document(
+            stride,
+            lambda: CSDSimulator(n_objects).run_trial(
+                locality, trial_seed=seed, sample_series=sample_series
+            ),
+        )
+        engine = SweepEngine()
+        cached = _observed_document(
+            stride,
+            lambda: engine.run_csd_trial(
+                n_objects, locality, seed, sample_series=sample_series
+            ),
+        )
+        assert engine.trials_cached == 1 and engine.trials_live == 0
+        assert cached == live
+
+    def test_matches_live_at_acceptance_size(self):
+        """The ISSUE's acceptance bound: byte-identical documents at
+        N = 256 (auto stride = 4)."""
+        live = _observed_document(
+            0,
+            lambda: CSDSimulator(256).run_trial(
+                0.5, trial_seed=42, sample_series=True
+            ),
+        )
+        cached = _observed_document(
+            0,
+            lambda: SweepEngine().run_csd_trial(
+                256, 0.5, 42, sample_series=True
+            ),
+        )
+        assert cached == live

@@ -1,0 +1,169 @@
+"""Round-trip property: parsing the rendered OpenMetrics text plus the
+two long-form CSVs reproduces the canonical observation document
+*exactly* — dict-equal and canonical-JSON byte-equal — including
+label-escaping edge cases (quotes, backslashes, commas, brackets, and
+newlines inside label values, row labels, and the document title).
+
+This is the contract :func:`repro.telemetry.exposition.reconstruct_observation`
+promises; it is what lets an ``--observe`` bundle be audited from its
+text artifacts alone.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.csd.simulator import CSDSimulator
+from repro.telemetry.exposition import (
+    heatmap_csv,
+    observation_document,
+    observe_json,
+    reconstruct_observation,
+    series_csv,
+    to_openmetrics,
+)
+from repro.telemetry.observe import natural_key, point_label
+
+#: Adversarial text for label values, heatmap rows, titles: every
+#: character that is structural somewhere in the pipeline (point-label
+#: syntax, OpenMetrics quoting, CSV quoting) plus ordinary filler.
+_hostile = st.text(
+    alphabet='abz09 _.-,=[]"\\\n', min_size=0, max_size=8
+)
+
+#: Finite floats, with negative zero folded away: ``_num`` renders it
+#: as ``0`` (losing the sign bit byte-wise) by design.
+_floats = st.floats(allow_nan=False, allow_infinity=False).map(
+    lambda v: 0.0 if v == 0 else v
+)
+
+#: Magnitude-bounded floats for values the exporters do arithmetic on
+#: (histogram digests square deviations, heatmaps sum cells) — keeps
+#: the derived stats finite, which is all the bound is for.
+def _bounded(magnitude):
+    return st.floats(
+        -magnitude, magnitude, allow_nan=False, allow_infinity=False
+    ).map(lambda v: 0.0 if v == 0 else v)
+
+_label_keys = st.text(alphabet="abcxyz", min_size=1, max_size=3)
+#: The ``[k=v,...]`` grammar is whitespace-tolerant around values
+#: (``split_labels`` strips them), so canonical instrument names carry
+#: strip-invariant label values.
+_labels = st.dictionaries(_label_keys, _hostile.map(str.strip), max_size=2)
+
+_cycles = st.integers(0, 2**31)
+
+
+def _named(tag, draw, count, labels_strategy):
+    """Distinct instrument names ``<tag><i>.m[k=v,...]`` — the index
+    keeps bases unique so OpenMetrics family names cannot collide."""
+    names = []
+    for i in range(count):
+        labels = draw(labels_strategy)
+        suffix = point_label(**labels) if labels else ""
+        names.append(f"{tag}{i}.m{suffix}")
+    return names
+
+
+@st.composite
+def _snapshots(draw):
+    snap = {"name": draw(_hostile)}
+    snap["counters"] = {
+        name: draw(st.integers(1, 2**31))
+        for name in _named("c", draw, draw(st.integers(0, 2)), _labels)
+    }
+    snap["timers"] = {
+        name: {"calls": draw(st.integers(1, 10**6))}
+        for name in _named("t", draw, draw(st.integers(0, 2)), _labels)
+    }
+    snap["histograms"] = {
+        name: draw(st.lists(_bounded(1e100), min_size=1, max_size=5))
+        for name in _named("h", draw, draw(st.integers(0, 2)), _labels)
+    }
+    snap["gauges"] = {
+        name: {"value": draw(_floats), "updates": draw(st.integers(1, 1000))}
+        for name in _named("g", draw, draw(st.integers(0, 2)), _labels)
+    }
+    snap["series"] = {
+        name: {
+            "samples": sorted(
+                [c, v]
+                for c, v in draw(
+                    st.dictionaries(_cycles, _floats, min_size=1, max_size=5)
+                ).items()
+            ),
+            "dropped": draw(st.integers(0, 5)),
+        }
+        for name in _named("s", draw, draw(st.integers(0, 2)), _labels)
+    }
+    heatmaps = {}
+    for name in _named("m", draw, draw(st.integers(0, 2)), _labels):
+        cells = draw(
+            st.dictionaries(
+                st.tuples(_hostile, _cycles), _bounded(1e300),
+                min_size=1, max_size=5
+            )
+        )
+        heatmaps[name] = {
+            "cells": sorted(
+                ([r, c, v] for (r, c), v in cells.items()),
+                key=lambda cell: (natural_key(cell[0]), cell[1]),
+            ),
+            "dropped": draw(st.integers(0, 5)),
+        }
+    snap["heatmaps"] = heatmaps
+    return snap
+
+
+class TestRoundTripProperty:
+    @settings(deadline=None, max_examples=150)
+    @given(snapshot=_snapshots(), title=_hostile)
+    def test_rendered_artifacts_reconstruct_the_document(
+        self, snapshot, title
+    ):
+        doc = observation_document(snapshot, title=title)
+        rebuilt = reconstruct_observation(
+            to_openmetrics(doc), series_csv(doc), heatmap_csv(doc)
+        )
+        assert rebuilt == doc
+        assert observe_json(rebuilt) == observe_json(doc)
+
+
+class TestRoundTripAnchors:
+    def test_real_observed_trial_round_trips(self):
+        telemetry.reset()
+        telemetry.enable_observation()
+        try:
+            CSDSimulator(32).run_trial(0.5, trial_seed=7, sample_series=True)
+            doc = observation_document(telemetry.snapshot(), title="fig3")
+        finally:
+            telemetry.reset()
+        rebuilt = reconstruct_observation(
+            to_openmetrics(doc), series_csv(doc), heatmap_csv(doc)
+        )
+        assert observe_json(rebuilt) == observe_json(doc)
+
+    def test_escaping_edge_cases(self):
+        label = point_label(loc='a"b\\c,d=[e]')
+        doc = observation_document(
+            {
+                "counters": {f"edge.case{label}": 3},
+                "series": {
+                    f"edge.series{label}": {
+                        "samples": [[1, 0.5]],
+                        "dropped": 2,
+                    }
+                },
+                "heatmaps": {
+                    "edge.map": {
+                        "cells": [['r,"1"\n\\', 4, -1.5]],
+                        "dropped": 1,
+                    }
+                },
+            },
+            title='quo"te\\new\nline',
+        )
+        rebuilt = reconstruct_observation(
+            to_openmetrics(doc), series_csv(doc), heatmap_csv(doc)
+        )
+        assert observe_json(rebuilt) == observe_json(doc)

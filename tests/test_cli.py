@@ -85,10 +85,22 @@ class TestReproducibilityBanner:
         assert "seed=" not in capsys.readouterr().out
 
     def test_version_flag(self, capsys):
+        import numpy
+
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
-        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+        assert capsys.readouterr().out.strip() == (
+            f"repro {__version__} (numpy {numpy.__version__})"
+        )
+
+    def test_banner_reports_numpy_version(self, capsys):
+        import numpy
+
+        assert main(
+            ["fig3", "--n-objects", "16", "--trials", "2", "--stats"]
+        ) == 0
+        assert f"numpy={numpy.__version__}" in capsys.readouterr().out
 
 
 class TestTraceCommands:
@@ -282,11 +294,26 @@ class TestEngineFlag:
         assert plain.read_bytes() == eng.read_bytes()
         assert "engine trials" in err
 
-    def test_engine_with_observe_falls_back(self, capsys, tmp_path):
-        out = tmp_path / "obs"
-        res = self._fig3(capsys, ["--engine", "--observe", str(out)])
-        assert "--engine cannot replay" in res.err
-        assert (out / "observe.json").exists()
+    def test_engine_with_observe_stays_on_engine(self, capsys, tmp_path):
+        """Observation replays from the cache now — an --engine --observe
+        run must stay on the engine and write the exact bundle the live
+        path writes."""
+        live, eng = tmp_path / "live", tmp_path / "eng"
+        self._fig3(capsys, ["--quiet", "--observe", str(live)])
+        res = self._fig3(
+            capsys, ["--quiet", "--engine", "--observe", str(eng)]
+        )
+        assert "cannot replay" not in res.err
+        assert "engine trials" in res.err
+        for name in ("observe.json", "metrics.prom", "series.csv",
+                     "heatmaps.csv", "dashboard.html"):
+            assert (eng / name).read_bytes() == (live / name).read_bytes()
+
+    def test_engine_with_trace_falls_back(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        res = self._fig3(capsys, ["--engine", "--trace", str(trace)])
+        assert "--engine cannot replay traces" in res.err
+        assert trace.exists()
 
 
 class TestVectorKernelFlag:
@@ -325,6 +352,21 @@ class TestVectorKernelFlag:
              "--trace", str(tmp_path / "t.json")]
         ) == 2
         assert "--kernel vector" in capsys.readouterr().err
+
+    def test_vector_observe_bundle_matches_live(self, capsys, tmp_path):
+        """The tentpole contract: a vector-kernel engine run emits the
+        byte-exact observation bundle the live path emits."""
+        live, vec = tmp_path / "live", tmp_path / "vec"
+        base = ["fig3", "--n-objects", "16", "64", "--trials", "2",
+                "--quiet"]
+        assert main([*base, "--observe", str(live)]) == 0
+        assert main(
+            [*base, "--engine", "--kernel", "vector", "--observe", str(vec)]
+        ) == 0
+        capsys.readouterr()
+        for name in ("observe.json", "metrics.prom", "series.csv",
+                     "heatmaps.csv", "dashboard.html"):
+            assert (vec / name).read_bytes() == (live / name).read_bytes()
 
     def test_faults_vector_csd_rate_report_matches_plain(
         self, capsys, tmp_path

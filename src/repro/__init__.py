@@ -28,6 +28,10 @@ from repro.errors import (
     DefectError,
     StreamFormatError,
     SimulationError,
+    ServiceError,
+    AdmissionError,
+    QuotaError,
+    ProtocolError,
 )
 
 __all__ = [
@@ -44,4 +48,8 @@ __all__ = [
     "DefectError",
     "StreamFormatError",
     "SimulationError",
+    "ServiceError",
+    "AdmissionError",
+    "QuotaError",
+    "ProtocolError",
 ]

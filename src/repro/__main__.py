@@ -18,6 +18,9 @@ Usage::
     python -m repro baseline record --bench fig3 --out BENCH_fig3.json
     python -m repro baseline check BENCH_fig3.json --skip-wallclock
     python -m repro chip --rows 8 --cols 8   # fabric summary
+    python -m repro serve --port 7013            # resident fabric server
+    python -m repro service-load --tenants 4 --rps 500 --seed 42 \
+        --report service.json                    # seeded service load
 
 The heavier experiments (Figures 1-7 with cycle-level simulation, the
 ablations) live in the benchmark harness: ``pytest benchmarks/
@@ -463,6 +466,99 @@ def _cmd_baseline(args) -> int:
     return 0
 
 
+def _cmd_serve(
+    host: str, port: int, rows: int, cols: int,
+    max_tenants: Optional[int] = None,
+) -> int:
+    import asyncio
+
+    from repro.service import FabricServer, FabricService, ResidentFabric
+
+    async def _serve() -> None:
+        fabric = ResidentFabric(rows, cols, max_tenants=max_tenants)
+        async with FabricServer(
+            FabricService(fabric), host=host, port=port
+        ) as server:
+            print(
+                f"repro {__version__} serve: resident {rows}x{cols} fabric "
+                f"on {server.host}:{server.port} "
+                f"(max_tenants={max_tenants if max_tenants else 'unbounded'})",
+                flush=True,
+            )
+            await asyncio.Event().wait()  # until interrupted
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("serve: interrupted, fabric released", file=sys.stderr)
+    return 0
+
+
+def _cmd_service_load(
+    tenants: int,
+    requests: int,
+    rps: float,
+    seed: int = 42,
+    rows: int = 8,
+    cols: int = 8,
+    transport: str = "inproc",
+    report_path: Optional[str] = None,
+    observe: Optional[str] = None,
+    profile: bool = False,
+    quiet: bool = False,
+) -> int:
+    from repro.service import LoadConfig, report_json, run_load
+
+    try:
+        config = LoadConfig(
+            tenants=tenants, requests=requests, rps=rps,
+            seed=seed, rows=rows, cols=cols,
+        )
+    except ValueError as exc:
+        print(f"service-load: {exc}", file=sys.stderr)
+        return 2
+    if not quiet:
+        # reproducibility banner: the report is a pure function of these
+        print(
+            f"repro {__version__} service-load: seed={seed} "
+            f"tenants={tenants} requests={requests} rps={rps:g} "
+            f"die={rows}x{cols} transport={transport}"
+        )
+    telemetry.reset()  # report only this load's counters/series
+    if observe:
+        telemetry.enable_observation()
+    if profile:
+        telemetry.enable_profiling()
+    try:
+        report = run_load(config, transport=transport)
+    finally:
+        if observe:
+            telemetry.enable_observation(False)
+        if profile:
+            telemetry.enable_profiling(False)
+    rendered = report_json(report)
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        print(f"wrote service report to {report_path}")
+    else:
+        print(rendered, end="")
+    lat = report["latency_cycles"]
+    req = report["requests"]
+    print(
+        f"service-load: {req['total']} requests "
+        f"({req['ok']} ok, {req['rejected']} rejected)  "
+        f"latency cycles p50={lat['p50']} p95={lat['p95']} "
+        f"p99={lat['p99']}  "
+        f"utilization={report['fabric']['utilization']:.3f}"
+    )
+    if observe:
+        _write_observe_bundle(observe, title="service-load observation")
+    if profile:
+        _print_profile_summary("service-load profile")
+    return 0
+
+
 def _cmd_chip(rows: int, cols: int) -> int:
     from repro.core.vlsi_processor import VLSIProcessor
     from repro.costmodel.areas import ap_area
@@ -660,7 +756,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "record", help="run a bench and write its baseline file"
     )
     p_record.add_argument(
-        "--bench", required=True, help="fig3, faults, engine, or megascale"
+        "--bench", required=True,
+        help="fig3, faults, engine, megascale, or service",
     )
     p_record.add_argument(
         "--out", default=None,
@@ -688,6 +785,72 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chip = sub.add_parser("chip", help="summarise a fabric")
     p_chip.add_argument("--rows", type=int, default=8)
     p_chip.add_argument("--cols", type=int, default=8)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident fabric as a TCP service (length-prefixed "
+        "JSON frames; see repro.service.protocol)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0: pick an ephemeral port)",
+    )
+    p_serve.add_argument("--rows", type=int, default=8)
+    p_serve.add_argument("--cols", type=int, default=8)
+    p_serve.add_argument(
+        "--max-tenants", type=int, default=None,
+        help="admission cap on resident tenants (default unbounded)",
+    )
+
+    p_sload = sub.add_parser(
+        "service-load",
+        help="drive a seeded multi-tenant load at a resident fabric and "
+        "emit the canonical latency/utilization report (simulated "
+        "cycles; byte-identical for the same seed)",
+    )
+    p_sload.add_argument(
+        "--tenants", type=int, default=4,
+        help="concurrent tenants, each with its own die shard (default 4)",
+    )
+    p_sload.add_argument(
+        "--requests", type=int, default=32,
+        help="operations per tenant between hello and bye (default 32)",
+    )
+    p_sload.add_argument(
+        "--rps", type=float, default=500.0,
+        help="nominal per-tenant request rate, converted to simulated "
+        "inter-arrival cycles (default 500)",
+    )
+    p_sload.add_argument(
+        "--seed", type=int, default=42,
+        help="seed every tenant's script derives from (default 42)",
+    )
+    p_sload.add_argument("--rows", type=int, default=8)
+    p_sload.add_argument("--cols", type=int, default=8)
+    p_sload.add_argument(
+        "--transport", choices=("inproc", "tcp"), default="inproc",
+        help="drive the service in-process or over a real localhost TCP "
+        "server (identical report either way)",
+    )
+    p_sload.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the canonical JSON report here instead of stdout",
+    )
+    p_sload.add_argument(
+        "--observe", metavar="DIR", default=None,
+        help="record service gauges/series (per-tenant clocks, latency "
+        "histogram) and write the observation bundle into DIR",
+    )
+    p_sload.add_argument(
+        "--profile", action="store_true",
+        help="time the service's request handling (profile.* stages) "
+        "and print a self-profile summary",
+    )
+    p_sload.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the reproducibility banner",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "table":
@@ -723,6 +886,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_baseline(args)
     if args.command == "chip":
         return _cmd_chip(args.rows, args.cols)
+    if args.command == "serve":
+        return _cmd_serve(
+            args.host, args.port, args.rows, args.cols,
+            max_tenants=args.max_tenants,
+        )
+    if args.command == "service-load":
+        return _cmd_service_load(
+            args.tenants, args.requests, args.rps, seed=args.seed,
+            rows=args.rows, cols=args.cols, transport=args.transport,
+            report_path=args.report, observe=args.observe,
+            profile=args.profile, quiet=args.quiet,
+        )
     return 2  # pragma: no cover
 
 

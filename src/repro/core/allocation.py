@@ -13,11 +13,17 @@ Two strategies are provided:
 * **rectangle** — the smallest free rectangle holding the requested
   cluster count, threaded serpentine internally.  Compact shapes keep
   the region's Manhattan diameter (and hence chaining delay) low.
+
+Every query takes an optional ``within`` — a set of coordinates the
+search is confined to.  A resident fabric (:mod:`repro.service`) shards
+the die into per-tenant slices and passes each tenant's shard here, so
+one tenant's placement can never depend on (or collide with) another
+tenant's occupancy.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Collection, List, Optional, Set, Tuple
 
 from repro.errors import RegionError
 from repro.topology.regions import Region, path_region, rectangle_region
@@ -36,14 +42,21 @@ class ClusterAllocator:
 
     # -- queries -----------------------------------------------------------
 
-    def free_count(self) -> int:
-        return len(self.fabric.free_clusters())
+    def free_count(self, within: Optional[Collection[Coord]] = None) -> int:
+        free = self.fabric.free_clusters()
+        if within is None:
+            return len(free)
+        scope = set(within)
+        return sum(1 for cluster in free if cluster.coord in scope)
 
-    def largest_free_run(self) -> int:
+    def largest_free_run(
+        self, within: Optional[Collection[Coord]] = None
+    ) -> int:
         """Longest contiguous run of free clusters in fold order."""
+        scope = self._scope(within)
         best = run = 0
         for coord in self.fabric.linear_order():
-            if self.fabric.cluster(coord).is_free:
+            if self._eligible(coord, scope):
                 run += 1
                 best = max(best, run)
             else:
@@ -52,14 +65,16 @@ class ClusterAllocator:
 
     # -- strategies -------------------------------------------------------
 
-    def find_serpentine(self, n_clusters: int) -> Optional[Region]:
+    def find_serpentine(
+        self, n_clusters: int, within: Optional[Collection[Coord]] = None
+    ) -> Optional[Region]:
         """First contiguous free run of ``n_clusters`` along the fold."""
         if n_clusters < 1:
             raise RegionError("need at least one cluster")
-        order = self.fabric.linear_order()
+        scope = self._scope(within)
         run: List[Coord] = []
-        for coord in order:
-            if self.fabric.cluster(coord).is_free:
+        for coord in self.fabric.linear_order():
+            if self._eligible(coord, scope):
                 run.append(coord)
                 if len(run) == n_clusters:
                     return path_region(run)
@@ -67,7 +82,9 @@ class ClusterAllocator:
                 run = []
         return None
 
-    def find_rectangle(self, n_clusters: int) -> Optional[Region]:
+    def find_rectangle(
+        self, n_clusters: int, within: Optional[Collection[Coord]] = None
+    ) -> Optional[Region]:
         """Smallest-area free rectangle holding ``n_clusters``.
 
         Scans candidate shapes in increasing area, then increasing
@@ -75,15 +92,21 @@ class ClusterAllocator:
         """
         if n_clusters < 1:
             raise RegionError("need at least one cluster")
+        scope = self._scope(within)
         shapes = self._candidate_shapes(n_clusters)
         for h, w in shapes:
             for r0 in range(self.fabric.rows - h + 1):
                 for c0 in range(self.fabric.cols - w + 1):
-                    if self._rect_free(r0, c0, h, w):
+                    if self._rect_free(r0, c0, h, w, scope):
                         return rectangle_region((r0, c0), h, w)
         return None
 
-    def allocate(self, n_clusters: int, strategy: str = "serpentine") -> Region:
+    def allocate(
+        self,
+        n_clusters: int,
+        strategy: str = "serpentine",
+        within: Optional[Collection[Coord]] = None,
+    ) -> Region:
         """Find a region or raise.
 
         Raises
@@ -93,19 +116,30 @@ class ClusterAllocator:
             retry after releasing processors, or report back pressure).
         """
         if strategy == "serpentine":
-            region = self.find_serpentine(n_clusters)
+            region = self.find_serpentine(n_clusters, within=within)
         elif strategy == "rectangle":
-            region = self.find_rectangle(n_clusters)
+            region = self.find_rectangle(n_clusters, within=within)
         else:
             raise ValueError(f"unknown strategy {strategy!r}")
         if region is None:
             raise RegionError(
                 f"no free {strategy} region of {n_clusters} clusters "
-                f"({self.free_count()} free in total)"
+                f"({self.free_count(within)} free in "
+                + ("the scope" if within is not None else "total")
+                + ")"
             )
         return region
 
     # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _scope(within: Optional[Collection[Coord]]) -> Optional[Set[Coord]]:
+        return None if within is None else set(within)
+
+    def _eligible(self, coord: Coord, scope: Optional[Set[Coord]]) -> bool:
+        if scope is not None and coord not in scope:
+            return False
+        return self.fabric.cluster(coord).is_free
 
     def _candidate_shapes(self, n: int) -> List[Tuple[int, int]]:
         """(h, w) shapes with h*w >= n, sorted by area then skew."""
@@ -117,9 +151,11 @@ class ClusterAllocator:
         shapes.sort(key=lambda s: (s[0] * s[1], abs(s[0] - s[1])))
         return shapes
 
-    def _rect_free(self, r0: int, c0: int, h: int, w: int) -> bool:
+    def _rect_free(
+        self, r0: int, c0: int, h: int, w: int, scope: Optional[Set[Coord]]
+    ) -> bool:
         return all(
-            self.fabric.cluster((r, c)).is_free
+            self._eligible((r, c), scope)
             for r in range(r0, r0 + h)
             for c in range(c0, c0 + w)
         )

@@ -16,7 +16,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional
 
-from repro.errors import StateTransitionError
+from repro.errors import QuotaError, StateTransitionError
 from repro.core.states import ProcessorStateMachine
 
 __all__ = ["MessageRecord", "Mailbox"]
@@ -39,10 +39,23 @@ class MessageRecord:
 
 
 class Mailbox:
-    """Externally-writable slots in a processor's memory blocks."""
+    """Externally-writable slots in a processor's memory blocks.
 
-    def __init__(self, owner_state: ProcessorStateMachine) -> None:
+    ``capacity`` bounds the number of *distinct* occupied slots — the
+    memory blocks a processor opens for external stores are finite, and
+    a resident fabric uses this as the per-tenant mailbox quota.  ``None``
+    (the default) keeps the historical unbounded behaviour.
+    """
+
+    def __init__(
+        self,
+        owner_state: ProcessorStateMachine,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("mailbox capacity must be positive (or None)")
         self._state = owner_state
+        self.capacity = capacity
         self._slots: Dict[Any, Any] = {}
         self.log: List[MessageRecord] = []
         # per-mailbox, not module-global: message ids must not depend on
@@ -58,11 +71,23 @@ class Mailbox:
         StateTransitionError
             If the owner is not INACTIVE — its memory is protected
             (ACTIVE/SLEEP) or deallocated (RELEASE).
+        QuotaError
+            If the mailbox is bounded, full, and ``key`` does not
+            overwrite an already-occupied slot.
         """
         if not self._state.accepts_external_writes:
             raise StateTransitionError(
                 f"memory blocks are {self._state.state.value}: "
                 "external writes only land in the inactive state"
+            )
+        if (
+            self.capacity is not None
+            and key not in self._slots
+            and len(self._slots) >= self.capacity
+        ):
+            raise QuotaError(
+                f"mailbox full: {len(self._slots)} of {self.capacity} "
+                "slots occupied"
             )
         self._slots[key] = value
         record = MessageRecord(next(self._msg_ids), sender, key, value)

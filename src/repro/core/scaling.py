@@ -13,7 +13,7 @@ processor's region is always one grid-adjacent path.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Collection, List, Optional, Set, Tuple
 
 from repro import telemetry
 from repro.errors import (
@@ -38,12 +38,21 @@ class ScalingController:
 
     # -- up-scaling ---------------------------------------------------------
 
-    def up_scale(self, name: str, extra_clusters: int) -> ProcessorInstance:
+    def up_scale(
+        self,
+        name: str,
+        extra_clusters: int,
+        within: Optional[Collection[Coord]] = None,
+    ) -> ProcessorInstance:
         """Grow a processor by chaining free clusters onto its tail.
 
         The extension is found by walking free clusters adjacent to the
         current tail (depth-first, preferring the fabric's fold
-        direction), then wormhole-configured and chained on.
+        direction), then wormhole-configured and chained on.  When
+        ``within`` is given, the extension may only use those
+        coordinates (a resident fabric confines each tenant to its
+        shard this way).  The configuration worm's delivery latency is
+        recorded on ``instance.config_cycles``.
 
         Raises
         ------
@@ -60,14 +69,17 @@ class ScalingController:
             "scaling.up_scale", kind="scaling",
             processor=name, extra_clusters=extra_clusters,
         ):
-            extension = self._find_extension(instance.region, extra_clusters)
+            extension = self._find_extension(
+                instance.region, extra_clusters, within=within
+            )
             if extension is None:
                 raise RegionError(
                     f"no free {extra_clusters}-cluster extension adjacent to "
                     f"{name!r}'s tail {instance.region.path[-1]}"
                 )
             ext_region = path_region(extension)
-            self.vlsi.configurator.configure(ext_region, owner=name)
+            op = self.vlsi.configurator.configure(ext_region, owner=name)
+            instance.config_cycles = op.config_cycles
             # chain the junction: old tail -> new head
             tail, head = instance.region.path[-1], extension[0]
             self.vlsi.fabric.chain_switch(tail, head).chain()
@@ -84,12 +96,17 @@ class ScalingController:
         return instance
 
     def _find_extension(
-        self, region: Region, n: int
+        self,
+        region: Region,
+        n: int,
+        within: Optional[Collection[Coord]] = None,
     ) -> Optional[List[Coord]]:
         """DFS for a free path of ``n`` clusters starting adjacent to the
-        region's tail and avoiding the region itself."""
+        region's tail, avoiding the region itself and (when ``within``
+        is given) anything outside that scope."""
         fabric = self.vlsi.fabric
         blocked: Set[Coord] = set(region.path)
+        scope: Optional[Set[Coord]] = None if within is None else set(within)
 
         def dfs(path: List[Coord]) -> Optional[List[Coord]]:
             if len(path) == n:
@@ -97,6 +114,8 @@ class ScalingController:
             cur = path[-1] if path else region.path[-1]
             for nbr in fabric.neighbors(cur):
                 if nbr in blocked or nbr in path:
+                    continue
+                if scope is not None and nbr not in scope:
                     continue
                 if not fabric.cluster(nbr).is_free:
                     continue

@@ -98,8 +98,12 @@ class VLSIProcessor:
         n_clusters: int = 1,
         strategy: str = "serpentine",
         region: Optional[Region] = None,
+        within: Optional[Any] = None,
     ) -> ProcessorInstance:
         """Gather clusters, wormhole-configure them, enter INACTIVE.
+
+        ``within`` confines the allocator's search to a coordinate set
+        (a resident fabric passes the owning tenant's shard).
 
         Raises
         ------
@@ -111,7 +115,9 @@ class VLSIProcessor:
         if name in self.processors:
             raise ConfigurationError(f"processor {name!r} already exists")
         if region is None:
-            region = self.allocator.allocate(n_clusters, strategy=strategy)
+            region = self.allocator.allocate(
+                n_clusters, strategy=strategy, within=within
+            )
         op = self.configurator.configure(region, owner=name)
         instance = ProcessorInstance(name=name, region=region)
         instance.config_cycles = op.config_cycles

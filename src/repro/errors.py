@@ -22,6 +22,10 @@ __all__ = [
     "RetryExhaustedError",
     "StreamFormatError",
     "SimulationError",
+    "ServiceError",
+    "AdmissionError",
+    "QuotaError",
+    "ProtocolError",
 ]
 
 
@@ -103,3 +107,23 @@ class StreamFormatError(ReproError):
 class SimulationError(ReproError):
     """A simulator reached an inconsistent state (deadlock, livelock,
     exhausted cycle budget)."""
+
+
+class ServiceError(ReproError):
+    """Base class for the fabric-as-a-service layer (repro.service)."""
+
+
+class AdmissionError(ServiceError):
+    """Admission control refused a tenant: the die has no free shard of
+    the requested scale, the requested shard slot overlaps a resident
+    tenant, or the tenant cap is reached."""
+
+
+class QuotaError(ServiceError):
+    """A tenant's request would exceed its admitted quota (clusters,
+    processors, or mailbox slots)."""
+
+
+class ProtocolError(ServiceError):
+    """A service request frame is malformed: bad length prefix, invalid
+    JSON, or a message missing the required envelope fields."""

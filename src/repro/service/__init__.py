@@ -1,0 +1,77 @@
+"""repro.service — the fabric as a long-lived multi-tenant service.
+
+Every workload before this package was a batch ``run_trial`` that owned
+the whole die.  Here the fabric becomes *resident*: one
+:class:`~repro.core.vlsi_processor.VLSIProcessor` lives across requests,
+the die is sharded into per-tenant slices, and an asyncio server admits
+many concurrent tenants that stream scale-up / scale-down / IPC
+requests at it over a length-prefixed JSON protocol (§3.3's reservation
+flags guard every mutating worm, so concurrent scaling operations never
+conflict).
+
+Layers:
+
+* :mod:`repro.service.protocol` — framing (4-byte length prefix +
+  canonical JSON) and the request envelope;
+* :mod:`repro.service.fabric` — :class:`ResidentFabric`: admission
+  control, per-tenant shards and quotas, namespaced processors, and the
+  deterministic simulated-cycle cost of every operation;
+* :mod:`repro.service.server` — :class:`FabricService` (transport-free
+  request handler with the per-tenant virtual clock) and
+  :class:`FabricServer` (the asyncio TCP front end), plus in-process
+  and TCP clients;
+* :mod:`repro.service.loadgen` — the seeded async load generator behind
+  ``repro service-load`` and its canonical p50/p95/p99 report.
+
+Latency is reported in **simulated cycles**, not wall-clock seconds:
+each tenant carries a virtual clock advanced by the deterministic cost
+of its own operations, so the same seed produces a byte-identical
+report regardless of event-loop interleaving or transport (in-process
+vs. TCP) — the same determinism discipline the sweep engine holds.
+"""
+
+from repro.service.fabric import ResidentFabric, Tenant, TenantQuota
+from repro.service.loadgen import (
+    LoadConfig,
+    build_script,
+    report_json,
+    run_load,
+)
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_SCHEMA,
+    REQUEST_OPS,
+    encode_frame,
+    decode_payload,
+    read_frame,
+    validate_request,
+    write_frame,
+)
+from repro.service.server import (
+    FabricServer,
+    FabricService,
+    InProcessClient,
+    TCPClient,
+)
+
+__all__ = [
+    "ResidentFabric",
+    "Tenant",
+    "TenantQuota",
+    "FabricService",
+    "FabricServer",
+    "InProcessClient",
+    "TCPClient",
+    "LoadConfig",
+    "build_script",
+    "run_load",
+    "report_json",
+    "PROTOCOL_SCHEMA",
+    "MAX_FRAME_BYTES",
+    "REQUEST_OPS",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "validate_request",
+]

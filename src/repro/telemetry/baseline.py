@@ -33,9 +33,15 @@ deterministic mega-N (1024-4096) channel-demand series, and a
 wall-clock ``kernel_speedup`` that must stay above ``50x`` unless
 wall-clock checks are skipped.
 
+The ``service`` bench drives the seeded multi-tenant load of
+``repro service-load`` twice in-process and records an identity bit
+(byte-identical reports) plus the report's latency percentiles — in
+simulated cycles, so they are deterministic metrics, not wall-clock
+ones — rejection counts, and fabric utilization.
+
 The recorded ``BENCH_fig3.json`` / ``BENCH_faults.json`` /
-``BENCH_engine.json`` / ``BENCH_megascale.json`` files live at the
-repo root; ``check_baseline``
+``BENCH_engine.json`` / ``BENCH_megascale.json`` /
+``BENCH_service.json`` files live at the repo root; ``check_baseline``
 re-runs the configuration they embed and returns a list of regression
 descriptions (empty = pass).
 """
@@ -83,6 +89,18 @@ BENCHES: Dict[str, Dict[str, Any]] = {
         "localities": [1.0, 0.5, 0.0],
         "n_trials": 5,
         "seed": 42,
+    },
+    # the fabric service's acceptance configuration: the seeded load's
+    # canonical report must be byte-identical across back-to-back runs
+    # (identity bit), with deterministic latency percentiles in
+    # simulated cycles and deterministic rejection counts
+    "service": {
+        "tenants": 4,
+        "requests": 12,
+        "rps": 500,
+        "seed": 42,
+        "rows": 8,
+        "cols": 8,
     },
     # the vector kernel's acceptance configuration: bit-identity to the
     # legacy sweep at small N, deterministic mega-N series, and a >=50x
@@ -196,6 +214,41 @@ def measure_bench(bench: str, config: Dict[str, Any]) -> Dict[str, Any]:
             "warm_s": warm_s,
             "speedup": cold_s / warm_s,
         }
+    elif bench == "service":
+        from repro.service import LoadConfig, report_json, run_load
+
+        load_config = LoadConfig(
+            tenants=int(config["tenants"]),
+            requests=int(config["requests"]),
+            rps=float(config["rps"]),
+            seed=int(config["seed"]),
+            rows=int(config["rows"]),
+            cols=int(config["cols"]),
+        )
+        start = time.perf_counter()
+        report = run_load(load_config, transport="inproc")
+        elapsed = time.perf_counter() - start
+        rerun = run_load(load_config, transport="inproc")
+        deterministic = {
+            # identity bit: a determinism break (interleaving leaking
+            # into the report) trips the guard even under
+            # --skip-wallclock
+            "service.identical_rerun": float(
+                report_json(report) == report_json(rerun)
+            ),
+            "service.requests_ok": float(report["requests"]["ok"]),
+            "service.requests_rejected": float(
+                report["requests"]["rejected"]
+            ),
+            "service.latency_p50": float(report["latency_cycles"]["p50"]),
+            "service.latency_p95": float(report["latency_cycles"]["p95"]),
+            "service.latency_p99": float(report["latency_cycles"]["p99"]),
+            "service.makespan_cycles": float(
+                report["fabric"]["makespan_cycles"]
+            ),
+            "service.utilization": float(report["fabric"]["utilization"]),
+        }
+        n_points = int(report["requests"]["total"])
     elif bench == "megascale":
         from repro.csd.simulator import figure3_series
         from repro.engine import run_fig3

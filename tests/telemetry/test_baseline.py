@@ -50,7 +50,9 @@ class TestRecord:
             measure_bench("fig9", {})
 
     def test_canonical_benches_registered(self):
-        assert sorted(BENCHES) == ["engine", "faults", "fig3", "megascale"]
+        assert sorted(BENCHES) == [
+            "engine", "faults", "fig3", "megascale", "service",
+        ]
 
 
 class TestCheck:

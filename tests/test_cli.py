@@ -484,6 +484,68 @@ class TestChipCommand:
         assert "minimum AP" in out
 
 
+class TestServiceLoadCommand:
+    ARGS = [
+        "service-load", "--tenants", "2", "--requests", "5",
+        "--rps", "200", "--seed", "7",
+    ]
+
+    def test_prints_summary_and_banner(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert f"repro {__version__} service-load: seed=7" in out
+        assert "latency cycles p50=" in out
+        assert "utilization=" in out
+
+    def test_report_file_is_canonical_and_seed_stable(self, capsys, tmp_path):
+        first = tmp_path / "a.json"
+        again = tmp_path / "b.json"
+        assert main(self.ARGS + ["--report", str(first)]) == 0
+        assert main(self.ARGS + ["--report", str(again), "--quiet"]) == 0
+        assert first.read_text() == again.read_text()
+        doc = json.loads(first.read_text())
+        assert doc["schema"] == "repro.service.load/1"
+        assert doc["requests"]["total"] == 2 * (5 + 2)
+
+    def test_tcp_transport_matches_inproc(self, capsys, tmp_path):
+        inproc = tmp_path / "inproc.json"
+        tcp = tmp_path / "tcp.json"
+        assert main(self.ARGS + ["--report", str(inproc), "--quiet"]) == 0
+        assert main(
+            self.ARGS
+            + ["--transport", "tcp", "--report", str(tcp), "--quiet"]
+        ) == 0
+        assert inproc.read_text() == tcp.read_text()
+
+    def test_quiet_suppresses_banner(self, capsys, tmp_path):
+        report = tmp_path / "r.json"
+        assert main(self.ARGS + ["--quiet", "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "service-load: seed" not in out.splitlines()[0]
+
+    def test_impossible_shard_is_exit_2(self, capsys):
+        assert main(
+            ["service-load", "--tenants", "20", "--rows", "4", "--cols", "4"]
+        ) == 2
+        assert "cannot shard" in capsys.readouterr().err
+
+    def test_observe_writes_bundle(self, capsys, tmp_path):
+        obs = tmp_path / "obs"
+        report = tmp_path / "r.json"
+        assert main(
+            self.ARGS
+            + ["--quiet", "--observe", str(obs), "--report", str(report)]
+        ) == 0
+        assert (obs / "observe.json").exists()
+        assert (obs / "metrics.prom").exists()
+        assert telemetry.observer().enabled is False
+
+    def test_profile_prints_handle_stage(self, capsys):
+        assert main(self.ARGS + ["--quiet", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile.service.handle.seconds" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.telemetry",
     "repro.engine",
     "repro.megascale",
+    "repro.service",
 ]
 
 

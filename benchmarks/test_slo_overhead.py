@@ -1,0 +1,151 @@
+"""Benchmark: the service observability plane must be free when off.
+
+Same contract (and same harness shape) as the tracing / observation /
+profiling overhead guards: drives the seeded multi-tenant service load
+with the whole plane disabled (the default) and with it fully enabled
+(observation + tracing + SLO evaluation over the records), several
+interleaved repetitions each, and records both medians in
+``benchmarks/results/slo_overhead.txt``.
+
+With the plane disabled every per-request hook in
+:class:`repro.service.server.FabricService` reduces to one attribute
+read (``tracer.enabled`` / ``observer().enabled``) — no span
+allocation, no sampler ticks, no heatmap cells — so the disabled load
+must stay within noise of the enabled one.  We assert (a) a disabled
+load records no spans and no service instruments at all and (b) its
+median wall time does not exceed the enabled load by more than the
+noise margin.
+"""
+
+import json
+import statistics
+import time
+
+from repro import telemetry
+from repro.service import LoadConfig, execute_load
+from repro.telemetry.slo import evaluate_slos, parse_spec
+
+TENANTS = 4
+REQUESTS = 48
+REPS = 5
+
+_SLO_SPEC = {
+    "objective": [
+        {
+            "name": "latency-p99",
+            "kind": "latency_p99",
+            "threshold": 400000,
+            "window_cycles": 65536,
+            "budget": 0.25,
+        },
+        {
+            "name": "rejection-rate",
+            "kind": "rejection_rate",
+            "threshold": 0.5,
+            "window_cycles": 65536,
+            "budget": 0.25,
+        },
+        {
+            "name": "utilization-floor",
+            "kind": "utilization_floor",
+            "threshold": 0.001,
+            "window_cycles": 65536,
+            "budget": 0.5,
+        },
+    ]
+}
+
+_CONFIG = LoadConfig(tenants=TENANTS, requests=REQUESTS, seed=42)
+
+
+def _service_observation_size() -> int:
+    snap = telemetry.snapshot()
+    return (
+        sum(
+            len(state.get("samples", ()))
+            for name, state in snap.get("series", {}).items()
+            if name.startswith("service.")
+        )
+        + sum(
+            len(state.get("cells", ()))
+            for name, state in snap.get("heatmaps", {}).items()
+            if name.startswith("service.")
+        )
+        + sum(
+            # updates, not presence: reset() zeroes instruments but
+            # keeps them registered across the interleaved arms
+            int(state.get("updates", 0))
+            for name, state in snap.get("gauges", {}).items()
+            if name.startswith("service.")
+        )
+    )
+
+
+def _run_load_once(enabled: bool) -> float:
+    telemetry.reset()
+    telemetry.enable_observation(enabled)
+    telemetry.enable_tracing(enabled)
+    objectives = parse_spec(_SLO_SPEC)
+    t0 = time.perf_counter()
+    records = execute_load(_CONFIG, transport="inproc")
+    if enabled:
+        evaluate_slos(
+            objectives, records, _CONFIG.rows * _CONFIG.cols
+        )
+    elapsed = time.perf_counter() - t0
+    if enabled:
+        assert len(telemetry.tracer()) > 0
+        assert _service_observation_size() > 0
+    else:
+        assert len(telemetry.tracer()) == 0, (
+            "disabled tracer recorded service spans — the "
+            "zero-overhead guard is broken"
+        )
+        assert _service_observation_size() == 0, (
+            "disabled observer recorded service instruments — the "
+            "zero-overhead guard is broken"
+        )
+    return elapsed
+
+
+def test_disabled_observability_adds_no_measurable_overhead(emit):
+    disabled, enabled = [], []
+    _run_load_once(False)  # warm-up: imports, allocator, event loop
+    for _ in range(REPS):  # interleave so drift hits both arms equally
+        disabled.append(_run_load_once(False))
+        enabled.append(_run_load_once(True))
+    telemetry.enable_observation(False)
+    telemetry.enable_tracing(False)
+    telemetry.reset()
+
+    med_off = statistics.median(disabled)
+    med_on = statistics.median(enabled)
+    overhead = (med_on - med_off) / med_off if med_off else 0.0
+
+    payload = {
+        "tenants": TENANTS,
+        "requests": REQUESTS,
+        "reps": REPS,
+        "disabled_median_s": round(med_off, 4),
+        "enabled_median_s": round(med_on, 4),
+        "enabled_overhead_pct": round(100 * overhead, 1),
+    }
+    lines = [
+        "Service load: observability plane disabled vs enabled",
+        f"  disabled (default)          : {med_off:.4f} s median of {REPS}",
+        f"  enabled (observe+trace+slo) : {med_on:.4f} s median of {REPS}",
+        f"  enabled overhead            : {100 * overhead:+.1f}%",
+        "",
+        "json: " + json.dumps(payload, sort_keys=True),
+    ]
+    emit("slo_overhead", "\n".join(lines))
+
+    # The disabled path must not cost more than the enabled one plus
+    # noise: if disabled were secretly sampling or emitting spans, it
+    # would pace the enabled arm instead of undercutting it.  10 ms
+    # absolute slack absorbs scheduler jitter on short loads.
+    assert med_off <= med_on * 1.25 + 0.010, (
+        f"disabled load ({med_off:.4f}s) is not measurably cheaper than "
+        f"the enabled one ({med_on:.4f}s) — the enabled-guard on a "
+        "service observability hook may have been dropped"
+    )

@@ -469,23 +469,46 @@ def _cmd_baseline(args) -> int:
 def _cmd_serve(
     host: str, port: int, rows: int, cols: int,
     max_tenants: Optional[int] = None,
+    metrics_port: Optional[int] = None,
 ) -> int:
     import asyncio
 
     from repro.service import FabricServer, FabricService, ResidentFabric
 
+    if metrics_port is not None:
+        # the scrape endpoint is only useful with live instruments
+        telemetry.reset()
+        telemetry.enable_observation()
+
     async def _serve() -> None:
         fabric = ResidentFabric(rows, cols, max_tenants=max_tenants)
-        async with FabricServer(
-            FabricService(fabric), host=host, port=port
-        ) as server:
-            print(
-                f"repro {__version__} serve: resident {rows}x{cols} fabric "
-                f"on {server.host}:{server.port} "
-                f"(max_tenants={max_tenants if max_tenants else 'unbounded'})",
-                flush=True,
-            )
-            await asyncio.Event().wait()  # until interrupted
+        endpoint = None
+        if metrics_port is not None:
+            from repro.service import MetricsEndpoint
+
+            endpoint = MetricsEndpoint(host=host, port=metrics_port)
+            await endpoint.start()
+        try:
+            async with FabricServer(
+                FabricService(fabric), host=host, port=port
+            ) as server:
+                print(
+                    f"repro {__version__} serve: resident {rows}x{cols} "
+                    f"fabric on {server.host}:{server.port} "
+                    f"(max_tenants="
+                    f"{max_tenants if max_tenants else 'unbounded'})"
+                    + (
+                        f"  metrics on http://{endpoint.host}:"
+                        f"{endpoint.port}/metrics"
+                        if endpoint
+                        else ""
+                    ),
+                    flush=True,
+                )
+                await asyncio.Event().wait()  # until interrupted
+        finally:
+            if endpoint is not None:
+                await endpoint.close()
 
     try:
         asyncio.run(_serve())
@@ -506,8 +529,18 @@ def _cmd_service_load(
     observe: Optional[str] = None,
     profile: bool = False,
     quiet: bool = False,
+    slo: Optional[str] = None,
+    trace: Optional[str] = None,
+    records_path: Optional[str] = None,
+    connect: Optional[str] = None,
 ) -> int:
-    from repro.service import LoadConfig, report_json, run_load
+    from repro.service import (
+        LoadConfig,
+        build_report,
+        execute_load,
+        records_document,
+        report_json,
+    )
 
     try:
         config = LoadConfig(
@@ -517,25 +550,81 @@ def _cmd_service_load(
     except ValueError as exc:
         print(f"service-load: {exc}", file=sys.stderr)
         return 2
+    connect_to: Optional[tuple] = None
+    if connect is not None:
+        if trace or observe or profile:
+            # those planes live in the server process, not this driver
+            print(
+                "service-load: --trace/--observe/--profile record in the "
+                "serving process; they cannot be combined with --connect",
+                file=sys.stderr,
+            )
+            return 2
+        host, sep, port_text = connect.rpartition(":")
+        if not sep or not host or not port_text.isdigit():
+            print(
+                f"service-load: --connect wants HOST:PORT, got {connect!r}",
+                file=sys.stderr,
+            )
+            return 2
+        connect_to = (host, int(port_text))
+    objectives = None
+    if slo:
+        from repro.telemetry.slo import load_spec
+
+        try:
+            objectives = load_spec(slo)
+        except (OSError, ValueError) as exc:
+            print(f"service-load: bad SLO spec: {exc}", file=sys.stderr)
+            return 2
     if not quiet:
         # reproducibility banner: the report is a pure function of these
         print(
             f"repro {__version__} service-load: seed={seed} "
             f"tenants={tenants} requests={requests} rps={rps:g} "
-            f"die={rows}x{cols} transport={transport}"
+            f"die={rows}x{cols} "
+            + (
+                f"connect={connect}"
+                if connect
+                else f"transport={transport}"
+            )
         )
     telemetry.reset()  # report only this load's counters/series
     if observe:
         telemetry.enable_observation()
     if profile:
         telemetry.enable_profiling()
+    if trace:
+        telemetry.enable_tracing()
     try:
-        report = run_load(config, transport=transport)
+        records = execute_load(
+            config, transport=transport, connect=connect_to
+        )
     finally:
         if observe:
             telemetry.enable_observation(False)
         if profile:
             telemetry.enable_profiling(False)
+        if trace:
+            telemetry.enable_tracing(False)
+    report = build_report(config, records)
+    slo_report = None
+    if objectives is not None:
+        from repro.telemetry.slo import evaluate_slos, record_slo_observation
+
+        slo_report = evaluate_slos(objectives, records, rows * cols)
+        report["slo"] = slo_report
+        if observe:
+            record_slo_observation(slo_report)
+    if trace:
+        from repro.telemetry.export import select_trees, write_chrome_trace
+
+        tracer = telemetry.tracer()
+        # only service-rooted trees: spans from the layers below carry
+        # interleaving-dependent op ids that would break byte-identity
+        n_spans = write_chrome_trace(select_trees(tracer, "service."), trace)
+        # surface truncation: a capped tracer silently drops spans
+        report["trace"] = {"spans": n_spans, "dropped": tracer.dropped}
     rendered = report_json(report)
     if report_path:
         with open(report_path, "w", encoding="utf-8") as fh:
@@ -543,6 +632,10 @@ def _cmd_service_load(
         print(f"wrote service report to {report_path}")
     else:
         print(rendered, end="")
+    if records_path:
+        with open(records_path, "w", encoding="utf-8") as fh:
+            fh.write(report_json(records_document(config, records)))
+        print(f"wrote completion records to {records_path}")
     lat = report["latency_cycles"]
     req = report["requests"]
     print(
@@ -552,11 +645,76 @@ def _cmd_service_load(
         f"p99={lat['p99']}  "
         f"utilization={report['fabric']['utilization']:.3f}"
     )
+    if trace:
+        print(
+            f"wrote {report['trace']['spans']} spans to {trace} "
+            f"({report['trace']['dropped']} dropped)"
+        )
+    if slo_report is not None:
+        from repro.telemetry.slo import format_slo_report
+
+        print(format_slo_report(slo_report), end="")
     if observe:
         _write_observe_bundle(observe, title="service-load observation")
     if profile:
         _print_profile_summary("service-load profile")
-    return 0
+    return 1 if slo_report is not None and slo_report["breached"] else 0
+
+
+def _cmd_slo_report(
+    spec_path: str,
+    records_file: str,
+    report_path: Optional[str] = None,
+) -> int:
+    """Re-evaluate SLO objectives over a saved records dump; exit 1 when
+    any error budget is exhausted (2 on malformed inputs)."""
+    import json as _json
+
+    from repro.service.loadgen import RECORDS_SCHEMA
+    from repro.telemetry.slo import (
+        evaluate_slos,
+        format_slo_report,
+        load_spec,
+        slo_report_json,
+    )
+
+    try:
+        objectives = load_spec(spec_path)
+    except (OSError, ValueError) as exc:
+        print(f"slo-report: bad SLO spec: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(records_file, "r", encoding="utf-8") as fh:
+            document = _json.load(fh)
+    except (OSError, _json.JSONDecodeError) as exc:
+        print(f"slo-report: cannot read records: {exc}", file=sys.stderr)
+        return 2
+    if (
+        not isinstance(document, dict)
+        or document.get("schema") != RECORDS_SCHEMA
+        or not isinstance(document.get("records"), list)
+    ):
+        print(
+            f"slo-report: {records_file} is not a {RECORDS_SCHEMA} "
+            "records document (write one with service-load --records)",
+            file=sys.stderr,
+        )
+        return 2
+    config = document.get("config", {})
+    clusters = config.get("rows", 8) * config.get("cols", 8)
+    try:
+        slo_report = evaluate_slos(
+            objectives, document["records"], clusters
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"slo-report: cannot evaluate: {exc}", file=sys.stderr)
+        return 2
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write(slo_report_json(slo_report))
+        print(f"wrote SLO report to {report_path}")
+    print(format_slo_report(slo_report), end="")
+    return 1 if slo_report["breached"] else 0
 
 
 def _cmd_chip(rows: int, cols: int) -> int:
@@ -802,6 +960,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-tenants", type=int, default=None,
         help="admission cap on resident tenants (default unbounded)",
     )
+    p_serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve the live OpenMetrics snapshot over HTTP at "
+        "/metrics on this port (enables observation; 0 picks an "
+        "ephemeral port)",
+    )
 
     p_sload = sub.add_parser(
         "service-load",
@@ -851,6 +1015,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quiet", action="store_true",
         help="suppress the reproducibility banner",
     )
+    p_sload.add_argument(
+        "--slo", metavar="SPEC", default=None,
+        help="evaluate SLO objectives from a TOML/JSON spec over the "
+        "run's records, embed the report, and exit 1 if any error "
+        "budget is exhausted",
+    )
+    p_sload.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record one causal span tree per request and write a "
+        "Chrome trace (virtual-cycle timestamps; byte-identical "
+        "across reruns and transports)",
+    )
+    p_sload.add_argument(
+        "--records", metavar="FILE", default=None,
+        help="dump the raw completion records (the input 'repro "
+        "slo-report' re-evaluates offline)",
+    )
+    p_sload.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="drive an external, already-running 'repro serve' instead "
+        "of an in-process fabric (incompatible with --trace/--observe/"
+        "--profile, which record in the serving process)",
+    )
+
+    p_slo = sub.add_parser(
+        "slo-report",
+        help="re-evaluate SLO objectives over a saved service-load "
+        "records dump; exits 1 when an error budget is exhausted",
+    )
+    p_slo.add_argument(
+        "spec", metavar="SPEC",
+        help="SLO spec file ([[objective]] tables; TOML subset or JSON)",
+    )
+    p_slo.add_argument(
+        "--records", metavar="FILE", required=True,
+        help="records document written by service-load --records",
+    )
+    p_slo.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="also write the canonical JSON SLO report here",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "table":
@@ -889,14 +1094,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "serve":
         return _cmd_serve(
             args.host, args.port, args.rows, args.cols,
-            max_tenants=args.max_tenants,
+            max_tenants=args.max_tenants, metrics_port=args.metrics_port,
         )
     if args.command == "service-load":
         return _cmd_service_load(
             args.tenants, args.requests, args.rps, seed=args.seed,
             rows=args.rows, cols=args.cols, transport=args.transport,
             report_path=args.report, observe=args.observe,
-            profile=args.profile, quiet=args.quiet,
+            profile=args.profile, quiet=args.quiet, slo=args.slo,
+            trace=args.trace, records_path=args.records,
+            connect=args.connect,
+        )
+    if args.command == "slo-report":
+        return _cmd_slo_report(
+            args.spec, args.records, report_path=args.report
         )
     return 2  # pragma: no cover
 

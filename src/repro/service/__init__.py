@@ -21,7 +21,10 @@ Layers:
   :class:`FabricServer` (the asyncio TCP front end), plus in-process
   and TCP clients;
 * :mod:`repro.service.loadgen` — the seeded async load generator behind
-  ``repro service-load`` and its canonical p50/p95/p99 report.
+  ``repro service-load`` and its canonical p50/p95/p99 report;
+* :mod:`repro.service.metrics` — the optional asyncio HTTP ``/metrics``
+  endpoint ``repro serve --metrics-port`` exposes, serving the
+  canonical OpenMetrics snapshot of the live telemetry registry.
 
 Latency is reported in **simulated cycles**, not wall-clock seconds:
 each tenant carries a virtual clock advanced by the deterministic cost
@@ -33,10 +36,14 @@ vs. TCP) — the same determinism discipline the sweep engine holds.
 from repro.service.fabric import ResidentFabric, Tenant, TenantQuota
 from repro.service.loadgen import (
     LoadConfig,
+    build_report,
     build_script,
+    execute_load,
+    records_document,
     report_json,
     run_load,
 )
+from repro.service.metrics import MetricsEndpoint
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_SCHEMA,
@@ -64,8 +71,12 @@ __all__ = [
     "TCPClient",
     "LoadConfig",
     "build_script",
+    "execute_load",
     "run_load",
+    "build_report",
+    "records_document",
     "report_json",
+    "MetricsEndpoint",
     "PROTOCOL_SCHEMA",
     "MAX_FRAME_BYTES",
     "REQUEST_OPS",

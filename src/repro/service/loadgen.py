@@ -25,7 +25,7 @@ import hashlib
 import json
 import random
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.service.fabric import ResidentFabric
 from repro.service.protocol import PROTOCOL_SCHEMA, make_request
@@ -39,10 +39,13 @@ from repro.service.server import (
 __all__ = [
     "CYCLES_PER_SECOND",
     "REPORT_SCHEMA",
+    "RECORDS_SCHEMA",
     "LoadConfig",
     "build_script",
+    "execute_load",
     "run_load",
     "build_report",
+    "records_document",
     "report_json",
 ]
 
@@ -50,8 +53,13 @@ __all__ = [
 #: simulated issue-cycle gaps the scripts are built from.
 CYCLES_PER_SECOND = 1_000_000
 
-#: Version tag of the canonical load report.
-REPORT_SCHEMA = "repro.service.load/1"
+#: Version tag of the canonical load report.  /2 added per-tenant
+#: latency percentiles and the per-op-kind latency breakdown.
+REPORT_SCHEMA = "repro.service.load/2"
+
+#: Version tag of the raw completion-record dump (``--records``), the
+#: input ``repro slo-report`` evaluates objectives over.
+RECORDS_SCHEMA = "repro.service.records/1"
 
 
 @dataclass(frozen=True)
@@ -215,21 +223,50 @@ async def _execute_tcp(config: LoadConfig) -> List[Dict[str, Any]]:
     return [response for batch in batches for response in batch]
 
 
-def run_load(config: LoadConfig, transport: str = "inproc") -> Dict[str, Any]:
-    """Run the whole seeded load and return its canonical report.
+async def _execute_connect(
+    config: LoadConfig, host: str, port: int
+) -> List[Dict[str, Any]]:
+    """Drive the scripts against an already-running external server."""
+    clients = [
+        await TCPClient.connect(host, port) for _ in range(config.tenants)
+    ]
+    tasks = [
+        _run_tenant(clients[i], build_script(config, i))
+        for i in range(config.tenants)
+    ]
+    batches = await asyncio.gather(*tasks)
+    return [response for batch in batches for response in batch]
+
+
+def execute_load(
+    config: LoadConfig,
+    transport: str = "inproc",
+    connect: Optional[Tuple[str, int]] = None,
+) -> List[Dict[str, Any]]:
+    """Run the seeded load and return the raw completion records.
 
     ``transport`` is ``"inproc"`` (frame round-trip against the service
     object) or ``"tcp"`` (a real :class:`FabricServer` on an ephemeral
-    localhost port).  The returned report is transport-free: CI compares
-    the two byte-for-byte.
+    localhost port).  ``connect=(host, port)`` instead drives an
+    external, already-running ``repro serve`` — which is how CI scrapes
+    a live ``/metrics`` endpoint mid-load.
     """
+    if connect is not None:
+        return asyncio.run(_execute_connect(config, *connect))
     if transport == "inproc":
-        records = asyncio.run(_execute_inproc(config))
-    elif transport == "tcp":
-        records = asyncio.run(_execute_tcp(config))
-    else:
-        raise ValueError(f"unknown transport {transport!r}")
-    return build_report(config, records)
+        return asyncio.run(_execute_inproc(config))
+    if transport == "tcp":
+        return asyncio.run(_execute_tcp(config))
+    raise ValueError(f"unknown transport {transport!r}")
+
+
+def run_load(config: LoadConfig, transport: str = "inproc") -> Dict[str, Any]:
+    """Run the whole seeded load and return its canonical report.
+
+    The returned report is transport-free: CI compares the ``inproc``
+    and ``tcp`` renderings byte-for-byte.
+    """
+    return build_report(config, execute_load(config, transport))
 
 
 # -- reporting ---------------------------------------------------------------
@@ -241,6 +278,51 @@ def _percentile(ordered: List[int], p: int) -> int:
         return 0
     rank = max(1, -(-len(ordered) * p // 100))
     return ordered[rank - 1]
+
+
+def _latency_stats(latencies: List[int]) -> Dict[str, int]:
+    """The canonical percentile block over an ascending latency list."""
+    return {
+        "p50": _percentile(latencies, 50),
+        "p95": _percentile(latencies, 95),
+        "p99": _percentile(latencies, 99),
+        "max": latencies[-1] if latencies else 0,
+    }
+
+
+def _per_op_breakdown(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Latency percentiles per op kind, sorted by op name.
+
+    Accepted requests are grouped under their op; every rejection lands
+    under the ``"reject"`` pseudo-kind regardless of the op that was
+    refused — the admission path has one latency profile, not one per
+    refused verb.
+    """
+    groups: Dict[str, List[int]] = {}
+    counts: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        op = record["op"]
+        stats = counts.setdefault(op, {"requests": 0, "ok": 0, "rejected": 0})
+        stats["requests"] += 1
+        if record["ok"]:
+            stats["ok"] += 1
+            groups.setdefault(op, []).append(record["latency_cycles"])
+        else:
+            stats["rejected"] += 1
+            groups.setdefault("reject", []).append(record["latency_cycles"])
+    breakdown = []
+    for op in sorted(set(groups) | set(counts)):
+        stats = counts.get(op, {"requests": 0, "ok": 0, "rejected": 0})
+        entry: Dict[str, Any] = {"op": op}
+        if op == "reject":
+            entry["requests"] = len(groups.get("reject", []))
+        else:
+            entry.update(stats)
+        entry["latency_cycles"] = _latency_stats(
+            sorted(groups.get(op, []))
+        )
+        breakdown.append(entry)
+    return breakdown
 
 
 def build_report(
@@ -274,6 +356,9 @@ def build_report(
                 "rejected": sum(1 for r in mine if not r["ok"]),
                 "final_cycle": max(r["completion_cycle"] for r in mine),
                 "cluster_cycles": cluster_cycles,
+                "latency_cycles": _latency_stats(
+                    sorted(r["latency_cycles"] for r in mine if r["ok"])
+                ),
             }
         )
 
@@ -289,12 +374,8 @@ def build_report(
             "ok": len(ok),
             "rejected": len(records) - len(ok),
         },
-        "latency_cycles": {
-            "p50": _percentile(latencies, 50),
-            "p95": _percentile(latencies, 95),
-            "p99": _percentile(latencies, 99),
-            "max": latencies[-1] if latencies else 0,
-        },
+        "latency_cycles": _latency_stats(latencies),
+        "per_op": _per_op_breakdown(records),
         "fabric": {
             "clusters": n_clusters,
             "makespan_cycles": makespan,
@@ -307,6 +388,22 @@ def build_report(
         },
         "per_tenant": per_tenant,
         "records_sha256": hashlib.sha256(canonical_records).hexdigest(),
+    }
+
+
+def records_document(
+    config: LoadConfig, records: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """The raw completion-record dump ``repro slo-report`` re-reads.
+
+    Records are sorted by ``(tenant, seq)`` so the document, like every
+    report here, is a function of the completion *set* only.
+    """
+    return {
+        "schema": RECORDS_SCHEMA,
+        "protocol": PROTOCOL_SCHEMA,
+        "config": asdict(config),
+        "records": sorted(records, key=lambda r: (r["tenant"], r["seq"])),
     }
 
 

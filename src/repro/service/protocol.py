@@ -38,8 +38,10 @@ __all__ = [
     "validate_request",
 ]
 
-#: Version tag of the request/response protocol (bump on breaking change).
-PROTOCOL_SCHEMA = "repro.service/1"
+#: Version tag of the request/response protocol (bump on breaking
+#: change).  /2 added the ``metrics`` op and the ``owned_clusters``
+#: field on tenant-scoped response envelopes.
+PROTOCOL_SCHEMA = "repro.service/2"
 
 #: Upper bound on one frame's payload; a bigger prefix is treated as a
 #: corrupt stream, not an allocation request.
@@ -55,6 +57,7 @@ REQUEST_OPS = frozenset(
         "destroy",
         "send",
         "stats",
+        "metrics",
         "bye",
     }
 )

@@ -28,7 +28,7 @@ from typing import Any, Dict, Optional
 
 from repro import telemetry
 from repro.errors import ProtocolError, ReproError
-from repro.telemetry.observe import point_label
+from repro.telemetry.observe import Sampler, point_label
 from repro.service.fabric import ResidentFabric, Tenant
 from repro.service.protocol import (
     PROTOCOL_SCHEMA,
@@ -44,6 +44,10 @@ __all__ = ["FabricService", "FabricServer", "InProcessClient", "TCPClient"]
 #: Simulated cost of a rejected request: one cycle of admission logic.
 REJECT_COST = 1
 
+#: Virtual-cycle bucket width of the ``service.rejections`` heatmap —
+#: the admission-rejection panel's time resolution.
+SERVICE_WINDOW_CYCLES = 8192
+
 
 class FabricService:
     """Stateless-per-request handler over a :class:`ResidentFabric`."""
@@ -51,6 +55,9 @@ class FabricService:
     def __init__(self, fabric: Optional[ResidentFabric] = None) -> None:
         self.fabric = fabric if fabric is not None else ResidentFabric()
         self.handled = 0
+        #: Per-tenant occupancy samplers, built lazily while observation
+        #: is enabled and ticked along each tenant's own virtual clock.
+        self._samplers: Dict[str, Sampler] = {}
 
     # -- request handling --------------------------------------------------
 
@@ -74,7 +81,71 @@ class FabricService:
             )
         else:
             telemetry.counter("service.rejections").inc()
+            if telemetry.observer().enabled:
+                # admission-rejection heatmap: tenant row, windowed cycle
+                window = SERVICE_WINDOW_CYCLES
+                telemetry.heatmap("service.rejections").add(
+                    response["tenant"],
+                    (response["completion_cycle"] // window) * window,
+                    1.0,
+                )
+        tracer = telemetry.tracer()
+        if tracer.enabled:
+            self._trace_request(tracer, response)
         return response
+
+    @staticmethod
+    def _trace_request(tracer: Any, response: Dict[str, Any]) -> None:
+        """Emit the causal span tree of one handled request.
+
+        Timestamps are the envelope's **virtual-clock** cycles (issue,
+        start, completion), never wall time, so the exported Chrome
+        trace is byte-identical across transports and reruns.  The root
+        ``service.request`` span carries tenant/seq/op; its children
+        decompose the cost model: admission (queueing behind the
+        tenant's own clock), the quota check, the allocation/scaling
+        apply, and the response encode cycle.
+        """
+        issue = response["issue_cycle"]
+        start = response["start_cycle"]
+        completion = response["completion_cycle"]
+        root = tracer.start(
+            "service.request",
+            kind="service",
+            cycle=issue,
+            tenant=response["tenant"],
+            seq=response["seq"],
+            op=response["op"],
+        )
+        tracer.complete(
+            "service.admission", cycle_start=issue, cycle_end=start,
+            kind="service",
+        )
+        if response["ok"]:
+            encode_at = max(start, completion - 1)
+            tracer.complete(
+                "service.quota", cycle_start=start, cycle_end=start,
+                kind="service",
+            )
+            tracer.complete(
+                "service.apply", cycle_start=start, cycle_end=encode_at,
+                kind="service", op=response["op"],
+            )
+            tracer.complete(
+                "service.encode", cycle_start=encode_at,
+                cycle_end=completion, kind="service",
+            )
+            root.end(cycle=completion)
+        else:
+            tracer.instant(
+                "service.reject", cycle=start,
+                error=response["error"]["kind"],
+            )
+            tracer.complete(
+                "service.encode", cycle_start=start, cycle_end=completion,
+                kind="service",
+            )
+            root.end(cycle=completion, status="rejected")
 
     def _handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
         try:
@@ -98,6 +169,8 @@ class FabricService:
 
         if op == "hello":
             return self._handle_hello(request, name, seq, issue)
+        if op == "metrics":
+            return self._handle_metrics(name, seq, issue)
 
         tenant = self.fabric.tenants.get(name)
         if tenant is None:
@@ -117,20 +190,46 @@ class FabricService:
             result, cost = self._dispatch(op, name, request)
         except ReproError as exc:
             tenant.rejections += 1
-            self._advance(tenant, owned_before, start, REJECT_COST)
+            self._advance(tenant, owned_before, issue, start, REJECT_COST)
             return self._envelope(
                 op=op, tenant=name, seq=seq, issue=issue,
                 start=start, cost=REJECT_COST, error=exc,
+                owned=owned_before,
             )
-        completion = self._advance(tenant, owned_before, start, cost)
+        completion = self._advance(tenant, owned_before, issue, start, cost)
+        owned_after = self.fabric.owned_clusters(name)
         if op == "bye":
             # the eviction summary predates this request's own interval;
             # patch in the final integrated occupancy
             result["cluster_cycles"] = tenant.cluster_cycles
             result["completion_cycle"] = completion
+            self._samplers.pop(name, None)
         return self._envelope(
             op=op, tenant=name, seq=seq, issue=issue,
-            start=start, cost=cost, result=result,
+            start=start, cost=cost, result=result, owned=owned_after,
+        )
+
+    def _handle_metrics(self, name: str, seq: int, issue: int) -> Dict[str, Any]:
+        """The ``metrics`` frame: the canonical OpenMetrics snapshot of
+        the live registry, as one response envelope.
+
+        Operator-scoped — it touches no tenant clock and costs one
+        admission cycle, so interleaving scrapes with tenant traffic
+        never perturbs any latency.  The text is the same
+        :func:`~repro.telemetry.exposition.to_openmetrics` rendering the
+        ``/metrics`` HTTP endpoint and an ``--observe`` bundle serve.
+        """
+        from repro.telemetry.exposition import (
+            observation_document,
+            to_openmetrics,
+        )
+
+        doc = observation_document(telemetry.snapshot(), title="service metrics")
+        return self._envelope(
+            op="metrics", tenant=name, seq=seq, issue=issue,
+            start=issue, cost=1,
+            result={"openmetrics": to_openmetrics(doc),
+                    "schema": PROTOCOL_SCHEMA},
         )
 
     def _handle_hello(
@@ -153,6 +252,9 @@ class FabricService:
         completion = issue + cost
         tenant.clock = completion
         tenant.mark = completion
+        if telemetry.observer().enabled:
+            self._observe_completion(tenant, issue, completion, cost,
+                                     prev_mark=issue)
         order = self.fabric.vlsi.fabric.linear_order()
         result = {
             "clusters": len(tenant.shard),
@@ -161,7 +263,7 @@ class FabricService:
         }
         return self._envelope(
             op="hello", tenant=name, seq=seq, issue=issue,
-            start=issue, cost=cost, result=result,
+            start=issue, cost=cost, result=result, owned=0,
         )
 
     def _dispatch(self, op, name, request):
@@ -209,27 +311,64 @@ class FabricService:
         """
         if name in self.fabric.tenants:
             self.fabric.evict(name)
+            self._samplers.pop(name, None)
             telemetry.counter("service.disconnects").inc()
 
     # -- clock plumbing ----------------------------------------------------
 
-    @staticmethod
     def _advance(
-        tenant: Tenant, owned_before: int, start: int, cost: int
+        self, tenant: Tenant, owned_before: int, issue: int, start: int,
+        cost: int,
     ) -> int:
+        prev_mark = tenant.mark
         completion = start + cost
         tenant.cluster_cycles += owned_before * (completion - tenant.mark)
         tenant.mark = completion
         tenant.clock = completion
         if telemetry.observer().enabled:
-            label = point_label(tenant=tenant.name)
-            telemetry.time_series(f"service.tenant.cost{label}").record(
-                completion, float(cost)
-            )
-            telemetry.gauge(f"service.tenant.clock{label}").set(
-                float(tenant.clock)
-            )
+            self._observe_completion(tenant, issue, completion, cost,
+                                     prev_mark=prev_mark)
         return completion
+
+    def _observe_completion(
+        self, tenant: Tenant, issue: int, completion: int, cost: int,
+        prev_mark: int,
+    ) -> None:
+        """Record one completed op into the per-tenant instruments.
+
+        Series names carry the tenant through :func:`point_label`, which
+        escapes hostile characters — a tenant named ``a=b,[c]`` cannot
+        corrupt the label grammar, the OpenMetrics exposition, or the
+        dashboard HTML.  Occupancy samples flow through a per-tenant
+        :class:`~repro.telemetry.observe.Sampler` ticked along the
+        tenant's *own* virtual clock, so the sample multiset is a pure
+        function of that tenant's deterministic request sequence — never
+        of event-loop interleaving.
+        """
+        label = point_label(tenant=tenant.name)
+        telemetry.time_series(f"service.tenant.cost{label}").record(
+            completion, float(cost)
+        )
+        telemetry.time_series(f"service.tenant.latency{label}").record(
+            completion, float(completion - issue)
+        )
+        telemetry.gauge(f"service.tenant.clock{label}").set(
+            float(tenant.clock)
+        )
+        sampler = self._samplers.get(tenant.name)
+        if sampler is None:
+            sampler = Sampler(
+                stride=telemetry.observer().effective_stride(auto=1)
+            )
+            sampler.cycle = prev_mark
+            fabric = self.fabric
+            tenant_name = tenant.name
+            sampler.attach_series(
+                telemetry.time_series(f"service.tenant.occupancy{label}"),
+                lambda: float(fabric.owned_clusters(tenant_name)),
+            )
+            self._samplers[tenant.name] = sampler
+        sampler.tick_to(completion)
 
     @staticmethod
     def _envelope(
@@ -241,6 +380,7 @@ class FabricService:
         cost: int,
         result: Optional[Dict[str, Any]] = None,
         error: Optional[BaseException] = None,
+        owned: Optional[int] = None,
     ) -> Dict[str, Any]:
         completion = start + cost
         envelope: Dict[str, Any] = {
@@ -253,6 +393,10 @@ class FabricService:
             "completion_cycle": completion,
             "latency_cycles": completion - issue,
         }
+        if owned is not None:
+            # clusters owned after this op completed — the step function
+            # SLO utilization windows integrate (repro.telemetry.slo)
+            envelope["owned_clusters"] = owned
         if error is None:
             envelope["result"] = result if result is not None else {}
         else:

@@ -34,10 +34,11 @@ wall-clock ``kernel_speedup`` that must stay above ``50x`` unless
 wall-clock checks are skipped.
 
 The ``service`` bench drives the seeded multi-tenant load of
-``repro service-load`` twice in-process and records an identity bit
-(byte-identical reports) plus the report's latency percentiles — in
-simulated cycles, so they are deterministic metrics, not wall-clock
-ones — rejection counts, and fabric utilization.
+``repro service-load`` twice in-process and records two identity bits
+(byte-identical reports, byte-identical SLO reports) plus the report's
+latency percentiles — in simulated cycles, so they are deterministic
+metrics, not wall-clock ones — per-tenant p99s, rejection counts,
+fabric utilization, and the exact per-objective SLO burn rates.
 
 The recorded ``BENCH_fig3.json`` / ``BENCH_faults.json`` /
 ``BENCH_engine.json`` / ``BENCH_megascale.json`` /
@@ -101,6 +102,33 @@ BENCHES: Dict[str, Dict[str, Any]] = {
         "seed": 42,
         "rows": 8,
         "cols": 8,
+        # evaluated over the run's records; the burn rates and the
+        # report-identity bit are deterministic metrics
+        "slo": {
+            "objective": [
+                {
+                    "name": "latency-p99",
+                    "kind": "latency_p99",
+                    "threshold": 400000,
+                    "window_cycles": 65536,
+                    "budget": 0.25,
+                },
+                {
+                    "name": "rejection-rate",
+                    "kind": "rejection_rate",
+                    "threshold": 0.5,
+                    "window_cycles": 65536,
+                    "budget": 0.25,
+                },
+                {
+                    "name": "utilization-floor",
+                    "kind": "utilization_floor",
+                    "threshold": 0.001,
+                    "window_cycles": 65536,
+                    "budget": 0.5,
+                },
+            ]
+        },
     },
     # the vector kernel's acceptance configuration: bit-identity to the
     # legacy sweep at small N, deterministic mega-N series, and a >=50x
@@ -215,7 +243,12 @@ def measure_bench(bench: str, config: Dict[str, Any]) -> Dict[str, Any]:
             "speedup": cold_s / warm_s,
         }
     elif bench == "service":
-        from repro.service import LoadConfig, report_json, run_load
+        from repro.service import (
+            LoadConfig,
+            build_report,
+            execute_load,
+            report_json,
+        )
 
         load_config = LoadConfig(
             tenants=int(config["tenants"]),
@@ -226,9 +259,11 @@ def measure_bench(bench: str, config: Dict[str, Any]) -> Dict[str, Any]:
             cols=int(config["cols"]),
         )
         start = time.perf_counter()
-        report = run_load(load_config, transport="inproc")
+        records = execute_load(load_config, transport="inproc")
         elapsed = time.perf_counter() - start
-        rerun = run_load(load_config, transport="inproc")
+        report = build_report(load_config, records)
+        rerun_records = execute_load(load_config, transport="inproc")
+        rerun = build_report(load_config, rerun_records)
         deterministic = {
             # identity bit: a determinism break (interleaving leaking
             # into the report) trips the guard even under
@@ -248,6 +283,32 @@ def measure_bench(bench: str, config: Dict[str, Any]) -> Dict[str, Any]:
             ),
             "service.utilization": float(report["fabric"]["utilization"]),
         }
+        for entry in report["per_tenant"]:
+            label = point_label(tenant=entry["tenant"])
+            deterministic[f"service.tenant_p99{label}"] = float(
+                entry["latency_cycles"]["p99"]
+            )
+        if config.get("slo"):
+            from repro.telemetry.slo import (
+                evaluate_slos,
+                parse_spec,
+                slo_report_json,
+            )
+
+            objectives = parse_spec(config["slo"])
+            clusters = int(config["rows"]) * int(config["cols"])
+            slo = evaluate_slos(objectives, records, clusters)
+            slo_rerun = evaluate_slos(objectives, rerun_records, clusters)
+            # a second identity bit: the budget-burn math must also be a
+            # pure function of the seed, not just the latency rollup
+            deterministic["service.slo_identical"] = float(
+                slo_report_json(slo) == slo_report_json(slo_rerun)
+            )
+            for entry in slo["objectives"]:
+                label = point_label(objective=entry["name"])
+                deterministic[f"service.slo_burn{label}"] = float(
+                    entry["burn_rate"]
+                )
         n_points = int(report["requests"]["total"])
     elif bench == "megascale":
         from repro.csd.simulator import figure3_series

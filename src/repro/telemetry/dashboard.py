@@ -293,6 +293,93 @@ def _heatmap_panel(name: str, state: Dict[str, Any]) -> List[str]:
     return out
 
 
+_STRIP_OK = "#2f9e44"
+_STRIP_BAD = "#d64545"
+
+
+def _slo_panel(doc: Dict[str, Any]) -> List[str]:
+    """Error-budget burn strips for the SLO objectives mirrored into the
+    registry by :func:`repro.telemetry.slo.record_slo_observation`: one
+    green/red rect per evaluation window (red = the window violated its
+    objective), with the burn-rate / budget-remaining / breached gauges
+    as tiles underneath.  Absent unless an SLO report was recorded."""
+    strips = {
+        name: state
+        for name, state in doc.get("series", {}).items()
+        if name.startswith("slo.window_violations[")
+    }
+    gauges = {
+        name: state
+        for name, state in doc.get("gauges", {}).items()
+        if name.startswith("slo.")
+    }
+    if not strips and not gauges:
+        return []
+
+    def _objective(name: str) -> str:
+        label = name.split("[", 1)[1]
+        return label[:-1] if label.endswith("]") else label
+
+    objectives = sorted(
+        {_objective(name) for name in strips}
+        | {_objective(name) for name in gauges if "[" in name}
+    )
+    out: List[str] = []
+    for label in objectives:
+        display = label[len("objective="):] if label.startswith(
+            "objective="
+        ) else label
+        out.append(f"<h3>{_esc(display)}</h3>")
+        strip = strips.get(f"slo.window_violations[{label}]")
+        if strip:
+            samples = [
+                (int(c), float(v)) for c, v in strip["samples"]
+            ]
+            cell_w = max(4, min(28, 560 // max(1, len(samples))))
+            height, pad_b = 40, 18
+            width = cell_w * len(samples) + 12
+            out.append(
+                f'<svg width="{width}" height="{height}" role="img" '
+                f'aria-label="{_esc(display)} budget burn strip">'
+            )
+            for index, (start, violations) in enumerate(samples):
+                color = _STRIP_BAD if violations > 0 else _STRIP_OK
+                out.append(
+                    f'<rect x="{6 + index * cell_w}" y="4" '
+                    f'width="{cell_w - 1}" height="{height - pad_b - 4}" '
+                    f'fill="{color}"><title>window @cycle {start}: '
+                    f"{_num(violations)} violation(s)</title></rect>"
+                )
+            out.append(
+                f'<text class=axis x="6" y="{height - 4}">'
+                f"cycle {samples[0][0]}</text>"
+            )
+            out.append(
+                f'<text class=axis x="{width - 6}" y="{height - 4}" '
+                f'text-anchor="end">cycle {samples[-1][0]}</text>'
+            )
+            out.append("</svg>")
+            out.extend(
+                _table(
+                    ["window start", "violations"],
+                    [[str(c), _num(v)] for c, v in samples],
+                    f"{len(samples)} windows",
+                )
+            )
+        tiles = []
+        for metric in ("burn_rate", "budget_remaining", "breached"):
+            state = gauges.get(f"slo.{metric}[{label}]")
+            if state is not None:
+                tiles.append(
+                    f"<div class=tile><div class=v>"
+                    f"{_num(state['value'])}</div>"
+                    f"<div class=n>{_esc(metric)}</div></div>"
+                )
+        if tiles:
+            out.append("<div class=tiles>" + "".join(tiles) + "</div>")
+    return out
+
+
 def _profile_panel(doc: Dict[str, Any]) -> List[str]:
     """The self-profiling layer: ``profile.*`` stage timers as a table,
     ``profile.*`` counters as stat tiles.  Stage wall times are
@@ -388,14 +475,26 @@ def render_dashboard(doc: Dict[str, Any], title: str = None) -> str:
             f"raise the sampling stride: {detail}</div>"
         )
     gauges = doc.get("gauges", {})
-    if gauges:
+    # slo.* instruments render in their own panel, not the generic ones
+    plain_gauges = {
+        n: s for n, s in gauges.items() if not n.startswith("slo.")
+    }
+    if plain_gauges:
         parts.append("<h2>Gauges</h2>")
-        parts.extend(_stat_tiles(gauges))
+        parts.extend(_stat_tiles(plain_gauges))
+    slo = _slo_panel(doc)
+    if slo:
+        parts.append("<h2>SLO budget burn</h2>")
+        parts.extend(slo)
     series = doc.get("series", {})
     if series:
-        parts.append("<h2>Time series</h2>")
-        for name, state in sorted(series.items()):
-            parts.extend(_series_panel(name, state))
+        plain_series = {
+            n: s for n, s in series.items() if not n.startswith("slo.")
+        }
+        if plain_series:
+            parts.append("<h2>Time series</h2>")
+            for name, state in sorted(plain_series.items()):
+                parts.extend(_series_panel(name, state))
     heatmaps = doc.get("heatmaps", {})
     if heatmaps:
         parts.append("<h2>Heatmaps</h2>")

@@ -25,7 +25,7 @@ from typing import IO, Any, Dict, Iterable, List, Tuple, Union
 
 from repro.telemetry.tracing import Span, Tracer
 
-__all__ = ["to_chrome_trace", "write_chrome_trace"]
+__all__ = ["select_trees", "to_chrome_trace", "write_chrome_trace"]
 
 #: One simulation cycle maps to this many microseconds of trace time.
 CYCLE_US = 1.0
@@ -67,6 +67,39 @@ def _tree_spans(root: Span, children: Dict[int, List[Span]]) -> List[Span]:
         out.append(span)
         stack.extend(reversed(children.get(span.span_id, ())))
     return out
+
+
+def select_trees(
+    source: Union[Tracer, Iterable[Span]], prefix: str
+) -> List[Span]:
+    """Spans of the root trees whose root name starts with ``prefix``.
+
+    This is how a plane carves its own spans out of the shared tracer
+    before export: ``repro service-load --trace`` keeps only the
+    ``service.``-rooted trees, because spans recorded by the layers
+    below (e.g. ``wormhole.configure``) carry a global ``op_id`` whose
+    value depends on cross-tenant event-loop interleaving and would
+    break the trace's transport byte-identity.
+    """
+    spans = list(source.spans if isinstance(source, Tracer) else source)
+    by_id = {s.span_id: s for s in spans}
+    root_of: Dict[int, int] = {}
+
+    def root_id(span: Span) -> int:
+        chain = []
+        while span.parent_id is not None and span.parent_id in by_id:
+            if span.span_id in root_of:
+                break
+            chain.append(span.span_id)
+            span = by_id[span.parent_id]
+        top = root_of.get(span.span_id, span.span_id)
+        for span_id in chain:
+            root_of[span_id] = top
+        return top
+
+    return [
+        s for s in spans if by_id[root_id(s)].name.startswith(prefix)
+    ]
 
 
 def to_chrome_trace(

@@ -295,6 +295,21 @@ class Sampler:
         if self.cycle % self.stride == 0:
             self.sample()
 
+    def tick_to(self, cycle: int) -> None:
+        """Jump the local clock to ``cycle``; sample if a stride
+        boundary was crossed.
+
+        The service's virtual clocks advance in op-cost jumps that
+        rarely land on exact stride multiples, so boundary *crossing*
+        (not alignment) is the sampling condition — the reading is
+        taken once, at the new cycle.  Jumping backwards moves the
+        clock without sampling.
+        """
+        crossed = cycle // self.stride > self.cycle // self.stride
+        self.cycle = cycle
+        if crossed:
+            self.sample()
+
     def sample(self) -> None:
         """Read every probe at the current cycle, unconditionally."""
         for series, probe in self._series:

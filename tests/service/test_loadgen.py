@@ -63,7 +63,7 @@ class TestRunLoad:
     def test_report_shape_and_accounting(self):
         config = LoadConfig(tenants=2, requests=6, rps=200, seed=3)
         report = run_load(config, "inproc")
-        assert report["schema"] == "repro.service.load/1"
+        assert report["schema"] == "repro.service.load/2"
         assert report["config"]["seed"] == 3
         req = report["requests"]
         assert req["total"] == 2 * (6 + 2)

@@ -1,0 +1,344 @@
+"""The service observability plane: per-request span trees, the
+``metrics`` protocol frame, the HTTP scrape endpoint, and the
+hostile-tenant escaping round trip.
+
+Every assertion here is about *determinism* as much as *presence*: the
+trace a load run emits must be a pure function of (seed, config) —
+byte-identical across transports and reruns — and a hostile tenant name
+must survive the label grammar, the OpenMetrics exposition, and the
+dashboard HTML without corrupting any of them.
+"""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.service import LoadConfig, MetricsEndpoint, execute_load
+from repro.service.fabric import ResidentFabric
+from repro.service.protocol import PROTOCOL_SCHEMA, make_request
+from repro.service.server import FabricService, InProcessClient
+from repro.telemetry.export import select_trees, write_chrome_trace
+from repro.telemetry.exposition import (
+    heatmap_csv,
+    observation_document,
+    observe_json,
+    reconstruct_observation,
+    series_csv,
+    to_openmetrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+    telemetry.enable_observation(False)
+    telemetry.enable_tracing(False)
+
+
+def service(rows=4, cols=4):
+    return FabricService(ResidentFabric(rows, cols, with_network=False))
+
+
+def drive(svc, *requests):
+    client = InProcessClient(svc)
+
+    async def go():
+        return [await client.request(r) for r in requests]
+
+    return asyncio.run(go())
+
+
+def spans_by_name(tracer):
+    trees = {}
+    for span in tracer.spans:
+        trees.setdefault(span.name, []).append(span)
+    return trees
+
+
+class TestRequestSpans:
+    def test_ok_request_emits_one_causal_tree(self):
+        tracer = telemetry.enable_tracing()
+        _, create = drive(
+            service(),
+            make_request("hello", "t0", 0, 0, clusters=4, slot=0),
+            make_request("create", "t0", 1, 50, processor="p0", clusters=2),
+        )
+        assert create["ok"]
+        by_name = spans_by_name(tracer)
+        # one root per request, children for every pipeline stage
+        assert len(by_name["service.request"]) == 2
+        for stage in ("service.admission", "service.quota",
+                      "service.apply", "service.encode"):
+            assert stage in by_name, f"missing child span {stage}"
+        root = next(
+            s for s in by_name["service.request"] if s.attrs["op"] == "create"
+        )
+        assert root.attrs["tenant"] == "t0"
+        assert root.attrs["seq"] == 1
+        assert root.kind == "service"
+        # virtual-clock timestamps: the root covers issue -> completion
+        assert root.cycle_start == create["issue_cycle"]
+        assert root.cycle_end == create["completion_cycle"]
+        children = [
+            s for s in tracer.spans
+            if s.parent_id == root.span_id
+        ]
+        assert [c.name for c in children] == [
+            "service.admission", "service.quota",
+            "service.apply", "service.encode",
+        ]
+        admission = children[0]
+        assert admission.cycle_start == create["issue_cycle"]
+        assert admission.cycle_end == create["start_cycle"]
+        apply_span = children[2]
+        assert apply_span.attrs["op"] == "create"
+        encode = children[3]
+        assert encode.cycle_end == create["completion_cycle"]
+
+    def test_rejected_request_tree_carries_status_and_error(self):
+        tracer = telemetry.enable_tracing()
+        _, rejected = drive(
+            service(),
+            make_request("hello", "t0", 0, 0, clusters=2, slot=0),
+            make_request("create", "t0", 1, 10, processor="p0", clusters=99),
+        )
+        assert not rejected["ok"]
+        by_name = spans_by_name(tracer)
+        root = next(
+            s for s in by_name["service.request"] if s.attrs["op"] == "create"
+        )
+        assert root.status == "rejected"
+        assert root.cycle_end == rejected["completion_cycle"]
+        # the reject is an instant event on the open root span
+        (reject,) = [e for e in root.events if e.name == "service.reject"]
+        assert reject.attrs["error"] == rejected["error"]["kind"]
+        assert reject.cycle == rejected["start_cycle"]
+        # a rejection skips apply but still encodes a response
+        children = [s.name for s in tracer.spans
+                    if s.parent_id == root.span_id]
+        assert "service.apply" not in children
+        assert "service.encode" in children
+
+    def test_disabled_tracer_records_nothing(self):
+        drive(
+            service(),
+            make_request("hello", "t0", 0, 0, clusters=4, slot=0),
+            make_request("stats", "t0", 1, 10),
+        )
+        assert len(telemetry.tracer()) == 0
+
+
+class TestTraceDeterminism:
+    def _trace_bytes(self, transport):
+        telemetry.reset()
+        tracer = telemetry.enable_tracing()
+        try:
+            execute_load(
+                LoadConfig(tenants=3, requests=6, seed=11, rows=4, cols=4),
+                transport=transport,
+            )
+            buf = io.StringIO()
+            write_chrome_trace(select_trees(tracer, "service."), buf)
+        finally:
+            telemetry.enable_tracing(False)
+            telemetry.reset()
+        return buf.getvalue()
+
+    def test_trace_identical_across_reruns_and_transports(self):
+        first = self._trace_bytes("inproc")
+        assert first == self._trace_bytes("inproc")
+        assert first == self._trace_bytes("tcp")
+
+    def test_select_trees_keeps_only_prefixed_roots(self):
+        tracer = telemetry.enable_tracing()
+        try:
+            with tracer.span("core.configure", cycle=0):
+                tracer.instant("core.grant", cycle=1)
+            with tracer.span("service.request", cycle=0):
+                tracer.complete(
+                    "service.apply", cycle_start=0, cycle_end=1
+                )
+        finally:
+            telemetry.enable_tracing(False)
+        kept = select_trees(tracer, "service.")
+        assert {s.name for s in kept} == {
+            "service.request", "service.apply"
+        }
+        # the core child stayed with its (excluded) root
+        assert {s.name for s in tracer.spans} > {s.name for s in kept}
+
+
+class TestMetricsFrame:
+    def test_metrics_frame_returns_openmetrics_snapshot(self):
+        svc = service()
+        _, scrape = drive(
+            svc,
+            make_request("hello", "t0", 0, 0, clusters=4, slot=0),
+            make_request("metrics", "ops", 0, 100),
+        )
+        assert scrape["ok"]
+        assert scrape["result"]["schema"] == PROTOCOL_SCHEMA
+        text = scrape["result"]["openmetrics"]
+        assert "repro_service_requests" in text
+        assert text.rstrip().endswith("# EOF")
+        # operator-scoped: one admission cycle, no tenant state
+        assert scrape["latency_cycles"] == 1
+        assert "owned_clusters" not in scrape
+
+    def test_metrics_frame_does_not_touch_tenant_clocks(self):
+        svc = service()
+        hello, _, stats = drive(
+            svc,
+            make_request("hello", "t0", 0, 0, clusters=4, slot=0),
+            # scrape *as* the admitted tenant, long after its clock
+            make_request("metrics", "t0", 1, 50_000),
+            make_request("stats", "t0", 2, 10),
+        )
+        # had the scrape advanced t0's clock to ~50k, stats would have
+        # queued behind it; instead it starts at its own issue cycle
+        assert stats["issue_cycle"] >= hello["completion_cycle"]
+        assert stats["start_cycle"] == stats["issue_cycle"]
+
+
+class TestOwnedClustersField:
+    def test_envelopes_carry_the_occupancy_step(self):
+        svc = service()
+        hello, create, rejected, bye = drive(
+            svc,
+            make_request("hello", "t0", 0, 0, clusters=2, slot=0),
+            make_request("create", "t0", 1, 10, processor="p0", clusters=2),
+            make_request("create", "t0", 2, 20, processor="p1", clusters=1),
+            make_request("bye", "t0", 3, 30),
+        )
+        assert hello["owned_clusters"] == 0
+        assert create["owned_clusters"] == 2  # after the op applied
+        assert not rejected["ok"]
+        assert rejected["owned_clusters"] == 2  # unchanged by the reject
+        assert bye["owned_clusters"] == 0
+
+
+class TestMetricsEndpoint:
+    def _round_trips(self, *exchanges):
+        """Run each (request-bytes -> checker) against a live endpoint."""
+        telemetry.counter("service.requests").inc()
+
+        async def go():
+            async with MetricsEndpoint(port=0) as endpoint:
+                out = []
+                for raw in exchanges:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", endpoint.port
+                    )
+                    writer.write(raw)
+                    await writer.drain()
+                    out.append(await reader.read())
+                    writer.close()
+                    await writer.wait_closed()
+                return out
+
+        return asyncio.run(go())
+
+    def test_scrape_healthz_and_404(self):
+        metrics, healthz, missing, bad = self._round_trips(
+            b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+            b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n",
+            b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        head, _, body = metrics.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"application/openmetrics-text" in head
+        assert b"Connection: close" in head
+        assert b"Date:" not in head  # determinism: no wall-clock header
+        assert b"Server:" not in head
+        assert b"repro_service_requests" in body
+        assert body.rstrip().endswith(b"# EOF")
+        assert healthz.endswith(b"ok\n")
+        assert missing.startswith(b"HTTP/1.1 404")
+        assert bad.startswith(b"HTTP/1.1 400")
+
+    def test_scrape_is_repeatable_while_registry_is_quiet(self):
+        first, second = self._round_trips(
+            b"GET /metrics HTTP/1.1\r\n\r\n",
+            b"GET /metrics HTTP/1.1\r\n\r\n",
+        )
+        assert first == second
+
+    def test_port_property_requires_running_server(self):
+        endpoint = MetricsEndpoint(port=0)
+        with pytest.raises(RuntimeError):
+            endpoint.port
+
+
+class TestHostileTenantRoundTrip:
+    """A tenant may call itself anything but ``<name>/<proc>`` — the
+    observability plane must quote it everywhere, not trust it."""
+
+    # no '/' (the one char the protocol reserves); everything else goes
+    HOSTILE = 'evil"t,=[x]\\<script>alert(1)<\\script>'
+
+    def _observe_hostile(self):
+        telemetry.enable_observation()
+        try:
+            drive(
+                service(),
+                make_request(
+                    "hello", self.HOSTILE, 0, 0, clusters=4, slot=0
+                ),
+                make_request(
+                    "create", self.HOSTILE, 1, 10, processor="p0", clusters=1
+                ),
+                make_request("stats", self.HOSTILE, 2, 20),
+            )
+            return observation_document(
+                telemetry.snapshot(), title="hostile"
+            )
+        finally:
+            telemetry.enable_observation(False)
+
+    def test_openmetrics_round_trip_preserves_the_name(self):
+        doc = self._observe_hostile()
+        series_names = [
+            n for n in doc.get("series", {})
+            if n.startswith("service.tenant.latency")
+        ]
+        assert len(series_names) == 1  # labelled, not mangled into many
+        rebuilt = reconstruct_observation(
+            to_openmetrics(doc), series_csv(doc), heatmap_csv(doc)
+        )
+        assert observe_json(rebuilt) == observe_json(doc)
+        assert series_names[0] in rebuilt.get("series", {})
+
+    def test_dashboard_html_escapes_the_name(self):
+        from repro.telemetry.dashboard import render_dashboard
+
+        html = render_dashboard(self._observe_hostile())
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_trace_export_quotes_the_name(self):
+        tracer = telemetry.enable_tracing()
+        try:
+            drive(
+                service(),
+                make_request(
+                    "hello", self.HOSTILE, 0, 0, clusters=4, slot=0
+                ),
+            )
+            buf = io.StringIO()
+            write_chrome_trace(select_trees(tracer, "service."), buf)
+        finally:
+            telemetry.enable_tracing(False)
+        doc = json.loads(buf.getvalue())
+        roots = [
+            e for e in doc["traceEvents"]
+            if e.get("name") == "service.request"
+        ]
+        assert roots and all(
+            e["args"]["tenant"] == self.HOSTILE for e in roots
+        )

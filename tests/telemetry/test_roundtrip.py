@@ -129,6 +129,72 @@ class TestRoundTripProperty:
         assert observe_json(rebuilt) == observe_json(doc)
 
 
+#: Tenant names the service accepts: anything non-empty without ``/``
+#: (the protocol's one reserved character) — strip-invariant like every
+#: label value, since the ``[k=v]`` grammar tolerates whitespace.
+_tenant_names = (
+    _hostile.map(str.strip)
+    .filter(lambda s: s and "/" not in s)
+)
+
+
+class TestServiceTenantLabelProperty:
+    """The instruments the service plane emits per tenant — latency /
+    cost / occupancy series, clock gauges, the rejection heatmap — must
+    survive exposition and reconstruct with the tenant name intact, for
+    *any* tenant name the protocol admits."""
+
+    @settings(deadline=None, max_examples=100)
+    @given(
+        tenants=st.lists(_tenant_names, min_size=1, max_size=4,
+                         unique=True),
+        data=st.data(),
+    )
+    def test_tenant_instruments_round_trip(self, tenants, data):
+        from repro.telemetry.exposition import split_labels
+
+        snap = {"series": {}, "gauges": {}, "heatmaps": {}}
+        for tenant in tenants:
+            label = point_label(tenant=tenant)
+            samples = sorted(
+                (c, float(v)) for c, v in data.draw(
+                    st.dictionaries(
+                        _cycles, st.integers(1, 10**6),
+                        min_size=1, max_size=4,
+                    )
+                ).items()
+            )
+            snap["series"][f"service.tenant.latency{label}"] = {
+                "samples": [[c, v] for c, v in samples],
+                "dropped": 0,
+            }
+            snap["gauges"][f"service.tenant.clock{label}"] = {
+                "value": float(samples[-1][0]),
+                "updates": len(samples),
+            }
+        snap["heatmaps"]["service.rejections"] = {
+            "cells": sorted(
+                ([tenant, 0, 1.0] for tenant in tenants),
+                key=lambda cell: (natural_key(cell[0]), cell[1]),
+            ),
+            "dropped": 0,
+        }
+        doc = observation_document(snap, title="service metrics")
+        rebuilt = reconstruct_observation(
+            to_openmetrics(doc), series_csv(doc), heatmap_csv(doc)
+        )
+        assert rebuilt == doc
+        assert observe_json(rebuilt) == observe_json(doc)
+        # the tenant names come back out of the labels verbatim
+        recovered = {
+            labels[0][1]
+            for name in rebuilt["series"]
+            for base, labels in [split_labels(name, strict=True)]
+            if base == "service.tenant.latency"
+        }
+        assert recovered == set(tenants)
+
+
 class TestRoundTripAnchors:
     def test_real_observed_trial_round_trips(self):
         telemetry.reset()

@@ -504,7 +504,7 @@ class TestServiceLoadCommand:
         assert main(self.ARGS + ["--report", str(again), "--quiet"]) == 0
         assert first.read_text() == again.read_text()
         doc = json.loads(first.read_text())
-        assert doc["schema"] == "repro.service.load/1"
+        assert doc["schema"] == "repro.service.load/2"
         assert doc["requests"]["total"] == 2 * (5 + 2)
 
     def test_tcp_transport_matches_inproc(self, capsys, tmp_path):
@@ -544,6 +544,134 @@ class TestServiceLoadCommand:
         assert main(self.ARGS + ["--quiet", "--profile"]) == 0
         out = capsys.readouterr().out
         assert "profile.service.handle.seconds" in out
+
+
+HOLDING_SLO = """\
+[[objective]]
+name = "latency-p99"
+kind = "latency_p99"
+threshold = 400000
+window = 65536
+budget = 0.25
+"""
+
+BREACHED_SLO = """\
+[[objective]]
+name = "impossible-latency"
+kind = "latency_p99"
+threshold = 0
+window = 65536
+budget = 0.25
+"""
+
+
+class TestServiceObservabilityCLI:
+    ARGS = [
+        "service-load", "--tenants", "2", "--requests", "5",
+        "--rps", "200", "--seed", "7", "--quiet",
+    ]
+
+    def _spec(self, tmp_path, text):
+        path = tmp_path / "slo.toml"
+        path.write_text(text)
+        return str(path)
+
+    def test_slo_verdict_drives_the_exit_code(self, capsys, tmp_path):
+        holding = self._spec(tmp_path, HOLDING_SLO)
+        assert main(self.ARGS + ["--slo", holding]) == 0
+        assert "all error budgets hold" in capsys.readouterr().out
+        breached = tmp_path / "bad.toml"
+        breached.write_text(BREACHED_SLO)
+        assert main(self.ARGS + ["--slo", str(breached)]) == 1
+        assert "error budget exhausted" in capsys.readouterr().out
+
+    def test_malformed_slo_spec_is_exit_2(self, capsys, tmp_path):
+        spec = tmp_path / "nope.toml"
+        spec.write_text("[[objective]]\nname = \"x\"\n")  # missing keys
+        assert main(self.ARGS + ["--slo", str(spec)]) == 2
+        assert "bad SLO spec" in capsys.readouterr().err
+
+    def test_slo_lands_in_the_report_document(self, capsys, tmp_path):
+        report = tmp_path / "r.json"
+        assert main(
+            self.ARGS
+            + ["--slo", self._spec(tmp_path, HOLDING_SLO),
+               "--report", str(report)]
+        ) == 0
+        doc = json.loads(report.read_text())
+        assert doc["slo"]["breached"] is False
+        (entry,) = doc["slo"]["objectives"]
+        assert entry["name"] == "latency-p99"
+
+    def test_trace_is_byte_stable_and_tallied(self, capsys, tmp_path):
+        first = tmp_path / "a-trace.json"
+        again = tmp_path / "b-trace.json"
+        report = tmp_path / "r.json"
+        assert main(
+            self.ARGS + ["--trace", str(first), "--report", str(report)]
+        ) == 0
+        assert main(self.ARGS + ["--trace", str(again)]) == 0
+        assert first.read_text() == again.read_text()
+        doc = json.loads(report.read_text())
+        assert doc["trace"]["spans"] > 0
+        assert doc["trace"]["dropped"] == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_records_dump_round_trips_through_slo_report(
+        self, capsys, tmp_path
+    ):
+        records = tmp_path / "records.json"
+        assert main(self.ARGS + ["--records", str(records)]) == 0
+        doc = json.loads(records.read_text())
+        assert doc["schema"] == "repro.service.records/1"
+        assert all("owned_clusters" in r for r in doc["records"]
+                   if r["op"] != "metrics")
+        capsys.readouterr()
+        holding = self._spec(tmp_path, HOLDING_SLO)
+        out_report = tmp_path / "slo-report.json"
+        assert main(
+            ["slo-report", holding, "--records", str(records),
+             "--report", str(out_report)]
+        ) == 0
+        assert "all error budgets hold" in capsys.readouterr().out
+        assert json.loads(out_report.read_text())["breached"] is False
+
+    def test_slo_report_breach_is_exit_1(self, capsys, tmp_path):
+        records = tmp_path / "records.json"
+        assert main(self.ARGS + ["--records", str(records)]) == 0
+        breached = tmp_path / "bad.toml"
+        breached.write_text(BREACHED_SLO)
+        assert main(
+            ["slo-report", str(breached), "--records", str(records)]
+        ) == 1
+        assert "BREACHED" in capsys.readouterr().out
+
+    def test_slo_report_rejects_malformed_inputs(self, capsys, tmp_path):
+        holding = self._spec(tmp_path, HOLDING_SLO)
+        missing = tmp_path / "missing.json"
+        assert main(
+            ["slo-report", holding, "--records", str(missing)]
+        ) == 2
+        assert "cannot read records" in capsys.readouterr().err
+        not_records = tmp_path / "other.json"
+        not_records.write_text('{"schema": "something.else/1"}')
+        assert main(
+            ["slo-report", holding, "--records", str(not_records)]
+        ) == 2
+        assert "records document" in capsys.readouterr().err
+
+    def test_connect_excludes_in_process_planes(self, capsys, tmp_path):
+        assert main(
+            self.ARGS + ["--connect", "127.0.0.1:1", "--trace",
+                         str(tmp_path / "t.json")]
+        ) == 2
+        assert "cannot be combined with --connect" in (
+            capsys.readouterr().err
+        )
+
+    def test_connect_wants_host_port(self, capsys):
+        assert main(self.ARGS + ["--connect", "just-a-host"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
 
 
 class TestParser:

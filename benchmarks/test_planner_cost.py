@@ -1,0 +1,104 @@
+"""Benchmark: minimal-rewiring planner versus release-then-reconfigure.
+
+Prices the shared defrag scenario suite (the same layouts ``repro
+defrag`` and ``BENCH_planner.json`` consume) under all three strategies
+and asserts the PR's acceptance contract: the naive plan replays the
+legacy loop move-for-move, the minimal plan is strictly cheaper than
+naive on every scenario, exact is never worse than greedy, and the
+per-scenario savings never drop below the recorded baseline floor.
+"""
+
+import json
+import pathlib
+
+from repro.analysis.reporting import format_table
+from repro.core.defrag import Defragmenter
+from repro.planner import (
+    MinimalPlanner,
+    NaivePlanner,
+    build_scenario,
+    scenario_names,
+)
+from repro.telemetry.baseline import load_baseline
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def _price_suite():
+    naive_planner = NaivePlanner()
+    greedy_planner = MinimalPlanner(mode="greedy")
+    exact_planner = MinimalPlanner(mode="exact")
+    rows = []
+    for name in scenario_names():
+        chip = build_scenario(name)
+        naive = naive_planner.plan_compaction(chip)
+        greedy = greedy_planner.plan_compaction(chip)
+        exact = exact_planner.plan_compaction(chip)
+        legacy = Defragmenter(build_scenario(name)).compact_until_stable()
+        rows.append((name, naive, greedy, exact, legacy))
+    return rows
+
+
+def test_planner_cost_suite(emit):
+    rows = _price_suite()
+    table = []
+    payload = {}
+    for name, naive, greedy, exact, legacy in rows:
+        planned = [
+            (m.name, m.old.path[0], m.new.path[0], len(m.new))
+            for m in naive.moves
+        ]
+        executed = [
+            (m.name, m.old_start, m.new_start, m.clusters) for m in legacy
+        ]
+        assert planned == executed, (
+            f"{name}: naive plan diverges from the legacy loop"
+        )
+        assert greedy.cost.total < naive.cost.total, (
+            f"{name}: minimal plan not strictly cheaper "
+            f"({greedy.cost.total} vs naive {naive.cost.total})"
+        )
+        assert exact.cost.total <= greedy.cost.total, (
+            f"{name}: exact plan worse than greedy "
+            f"({exact.cost.total} vs {greedy.cost.total})"
+        )
+        table.append((
+            name,
+            len(greedy.moves),
+            naive.cost.total,
+            greedy.cost.total,
+            exact.cost.total,
+            greedy.rewires_saved,
+        ))
+        payload[name] = {
+            "naive": naive.cost.total,
+            "greedy": greedy.cost.total,
+            "exact": exact.cost.total,
+            "saved": greedy.rewires_saved,
+        }
+    report = format_table(
+        ["scenario", "moves", "naive", "greedy", "exact", "saved"],
+        table,
+        title="Planner cost (switch writes + config flits) per scenario",
+    )
+    emit(
+        "planner_cost",
+        report + "\njson: " + json.dumps(payload, sort_keys=True),
+    )
+
+
+def test_planner_baseline_floor():
+    """The recorded BENCH_planner.json pins every scenario's savings —
+    a greedy plan that saves fewer rewires than the baseline regresses
+    even before the full guard re-runs the bench."""
+    baseline = load_baseline(REPO_ROOT / "BENCH_planner.json")
+    greedy_planner = MinimalPlanner(mode="greedy")
+    for name in baseline["config"]["scenarios"]:
+        floor = baseline["deterministic"][
+            f"planner.rewires_saved[scenario={name}]"
+        ]
+        plan = greedy_planner.plan_compaction(build_scenario(name))
+        assert plan.rewires_saved >= floor, (
+            f"{name}: saved {plan.rewires_saved} rewires, "
+            f"baseline floor is {floor:g}"
+        )

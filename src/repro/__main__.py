@@ -18,6 +18,8 @@ Usage::
     python -m repro baseline record --bench fig3 --out BENCH_fig3.json
     python -m repro baseline check BENCH_fig3.json --skip-wallclock
     python -m repro chip --rows 8 --cols 8   # fabric summary
+    python -m repro defrag --plan minimal --report defrag.json
+                                             # planned compaction costs
     python -m repro serve --port 7013            # resident fabric server
     python -m repro service-load --tenants 4 --rps 500 --seed 42 \
         --report service.json                    # seeded service load
@@ -717,6 +719,59 @@ def _cmd_slo_report(
     return 1 if slo_report["breached"] else 0
 
 
+def _cmd_defrag(
+    scenario: str,
+    plan: str,
+    mode: str,
+    max_passes: int,
+    report_path: Optional[str] = None,
+    quiet: bool = False,
+) -> int:
+    from repro.planner import scenario_names
+    from repro.planner.report import defrag_report, report_json
+
+    if scenario == "all":
+        names = scenario_names()
+    elif scenario in scenario_names():
+        names = [scenario]
+    else:
+        print(
+            f"defrag: unknown scenario {scenario!r} "
+            f"(want 'all' or one of {', '.join(scenario_names())})",
+            file=sys.stderr,
+        )
+        return 2
+    if not quiet:
+        # reproducibility banner: the strategy lives here, NOT in the
+        # report — CI byte-compares naive's report against legacy's
+        print(
+            f"repro {__version__} defrag: plan={plan}"
+            + (f" mode={mode}" if plan == "minimal" else "")
+            + f" max_passes={max_passes} "
+            f"scenarios={','.join(names)}"
+        )
+    report = defrag_report(
+        names, plan=plan, mode=mode, max_passes=max_passes
+    )
+    rendered = report_json(report)
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        print(f"wrote defrag report to {report_path}")
+    else:
+        print(rendered, end="")
+    total = report["total"]
+    print(
+        f"defrag: {total['moves']} moves across {len(names)} scenario(s)  "
+        f"switch_writes={total['switch_writes']} "
+        f"config_flits={total['config_flits']} "
+        f"downtime={total['downtime_cycles']} cycles "
+        f"(naive {total['naive_downtime_cycles']}, "
+        f"saved {total['rewires_saved']})"
+    )
+    return 0
+
+
 def _cmd_chip(rows: int, cols: int) -> int:
     from repro.core.vlsi_processor import VLSIProcessor
     from repro.costmodel.areas import ap_area
@@ -915,7 +970,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_record.add_argument(
         "--bench", required=True,
-        help="fig3, faults, engine, megascale, or service",
+        help="fig3, faults, engine, megascale, service, or planner",
     )
     p_record.add_argument(
         "--out", default=None,
@@ -943,6 +998,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chip = sub.add_parser("chip", help="summarise a fabric")
     p_chip.add_argument("--rows", type=int, default=8)
     p_chip.add_argument("--cols", type=int, default=8)
+
+    p_defrag = sub.add_parser(
+        "defrag",
+        help="compact the deterministic defrag scenario suite under one "
+        "reconfiguration strategy and emit the canonical cost report",
+    )
+    p_defrag.add_argument(
+        "--scenario", default="all",
+        help="one scenario name, or 'all' for the whole suite (default)",
+    )
+    p_defrag.add_argument(
+        "--plan", choices=("legacy", "naive", "minimal"), default="minimal",
+        help="execution strategy: 'legacy' (the release-then-reconfigure "
+        "loop), 'naive' (same moves planned first; byte-identical report "
+        "to legacy), or 'minimal' (delta rewiring; default)",
+    )
+    p_defrag.add_argument(
+        "--mode", choices=("auto", "greedy", "exact"), default="auto",
+        help="minimal-planner mode: 'auto' (exact when <=16 regions are "
+        "movable, else greedy), 'greedy', or 'exact' (only with "
+        "--plan minimal)",
+    )
+    p_defrag.add_argument(
+        "--max-passes", type=int, default=8,
+        help="compaction pass budget (default 8, like compact_until_stable)",
+    )
+    p_defrag.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the canonical JSON report here instead of stdout "
+        "(sorted keys; byte-identical for the same strategy)",
+    )
+    p_defrag.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the reproducibility banner",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -1091,6 +1181,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_baseline(args)
     if args.command == "chip":
         return _cmd_chip(args.rows, args.cols)
+    if args.command == "defrag":
+        return _cmd_defrag(
+            args.scenario, args.plan, args.mode, args.max_passes,
+            report_path=args.report, quiet=args.quiet,
+        )
     if args.command == "serve":
         return _cmd_serve(
             args.host, args.port, args.rows, args.cols,

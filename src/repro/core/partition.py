@@ -135,15 +135,19 @@ class ProgramExecutor:
 
         Keys the successor expects that the current block produced are
         forwarded under the successor's input IDs; matching is by ID
-        (shared namespace), falling back to positional order for
-        single-input blocks fed by single-value senders.
+        (shared namespace), falling back to positional order when the
+        arities line up (single-input blocks keep their historical
+        first-value fallback).  A successor whose inputs can be matched
+        neither by ID nor positionally would silently read stale mailbox
+        values — that is a wiring bug in the program, so it raises
+        :class:`SimulationError` instead.
         """
         forwarded = dict(outputs)
         # drop pure condition outputs the successor does not consume
         payload = {
             k: v for k, v in forwarded.items() if k in succ_block.input_ids
         }
-        if not payload:
+        if not payload and succ_block.input_ids:
             # positional fallback: send the non-condition outputs in order
             values = [
                 v
@@ -152,6 +156,16 @@ class ProgramExecutor:
             ]
             if len(succ_block.input_ids) == 1 and len(values) >= 1:
                 payload = {succ_block.input_ids[0]: values[0]}
+            elif values and len(values) == len(succ_block.input_ids):
+                payload = dict(zip(succ_block.input_ids, values))
+            elif values:
+                raise SimulationError(
+                    f"block {block.name!r} forwards {len(values)} values "
+                    f"but successor {succ_block.name!r} expects "
+                    f"{len(succ_block.input_ids)} inputs "
+                    f"{list(succ_block.input_ids)!r} with no matching IDs; "
+                    "the successor would read stale mailbox state"
+                )
         for key, value in payload.items():
             self.vlsi.send(proc_name, succ_proc, key, value)
 

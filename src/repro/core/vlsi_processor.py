@@ -41,8 +41,13 @@ class ProcessorInstance:
     region: Region
     state: ProcessorStateMachine = field(default_factory=ProcessorStateMachine)
     mailbox: Mailbox = field(init=False)
-    #: Router cycles the configuration worm took (0 without a network).
+    #: Lifetime router cycles spent on this processor's configuration
+    #: worms — accumulated across create/scale/relocate operations
+    #: (0 without a network).
     config_cycles: int = 0
+    #: Router cycles of the most recent configuration worm alone (what
+    #: one operation cost, as opposed to the lifetime total above).
+    last_config_cycles: int = 0
 
     def __post_init__(self) -> None:
         self.mailbox = Mailbox(self.state)
@@ -121,6 +126,7 @@ class VLSIProcessor:
         op = self.configurator.configure(region, owner=name)
         instance = ProcessorInstance(name=name, region=region)
         instance.config_cycles = op.config_cycles
+        instance.last_config_cycles = op.config_cycles
         instance.state.configure()  # release -> inactive
         self.processors[name] = instance
         return instance

@@ -22,6 +22,7 @@ __all__ = [
     "RetryExhaustedError",
     "StreamFormatError",
     "SimulationError",
+    "PlannerError",
     "ServiceError",
     "AdmissionError",
     "QuotaError",
@@ -107,6 +108,12 @@ class StreamFormatError(ReproError):
 class SimulationError(ReproError):
     """A simulator reached an inconsistent state (deadlock, livelock,
     exhausted cycle budget)."""
+
+
+class PlannerError(ReproError):
+    """A reconfiguration planner was asked for an impossible plan (unknown
+    mode, demand that no feasible schedule satisfies, or a plan executed
+    against a fabric that no longer matches its snapshot)."""
 
 
 class ServiceError(ReproError):

@@ -40,7 +40,7 @@ from repro.noc.routing_algos import xy_path
 from repro.topology.regions import Region
 from repro.topology.s_topology import STopology
 
-__all__ = ["ScalingOperation", "WormholeConfigurator"]
+__all__ = ["ScalingOperation", "WormholeConfigurator", "WORM_FAILURES"]
 
 Coord = Tuple[int, int]
 
@@ -49,13 +49,16 @@ Coord = Tuple[int, int]
 #: abort/rollback handlers catch exactly these; anything else (an
 #: ``AttributeError`` in a probe, say) is a genuine software defect and
 #: must propagate instead of being counted as an aborted attempt.
-_WORM_FAILURES = (
+WORM_FAILURES = (
     AllocationConflictError,
     DefectError,
     FaultInjectionError,
     RegionError,
     SimulationError,
 )
+
+#: Backwards-compatible alias (pre-planner callers import the old name).
+_WORM_FAILURES = WORM_FAILURES
 
 
 @dataclass(frozen=True)
@@ -262,20 +265,27 @@ class WormholeConfigurator:
                 region.path[-1], region.path[0]
             ).release_reservation(token)
 
-    def _deliver_worm(self, region: Region) -> Tuple[int, int]:
+    def _deliver_worm(
+        self,
+        region: Region,
+        edges: Optional[List[Tuple[Coord, Coord]]] = None,
+    ) -> Tuple[int, int]:
         """Send the configuration worm whose payload flits *are* the
         switch programming: each flit carries one chain instruction that
         the destination cluster applies on ejection.
+
+        ``edges`` restricts the worm's payload to those chain
+        instructions (a delta rewire only ships the freshly-chained
+        edges); by default the worm programs the whole region.
 
         Returns ``(delivery_cycles, switches_programmed)``.
         """
         assert self.network is not None
         start = self.network.cycle_count
-        edges: List[Tuple[Coord, Coord]] = list(
-            zip(region.path, region.path[1:])
-        )
-        if region.ring:
-            edges.append((region.path[-1], region.path[0]))
+        if edges is None:
+            edges = list(zip(region.path, region.path[1:]))
+            if region.ring:
+                edges.append((region.path[-1], region.path[0]))
         payloads: List[Tuple[str, Coord, Coord]] = [
             ("chain", a, b) for a, b in edges
         ]
@@ -326,6 +336,151 @@ class WormholeConfigurator:
                 f"configuration worm left region at {region.path[0]} "
                 "partially chained"
             )
+
+    # -- delta rewiring ------------------------------------------------------
+
+    def reconfigure(
+        self, old: Region, new: Region, owner: Hashable
+    ) -> ScalingOperation:
+        """Morph ``owner``'s region from ``old`` to ``new`` as a delta.
+
+        Unlike release-then-:meth:`configure`, only the *difference* is
+        touched: directed edges leaving the assignment are unchained
+        (direct clearing, §3.3 — no worm flits), freshly-added directed
+        edges are reserved then chained (one config-stream flit each when
+        a router network is attached), and only the added clusters are
+        claimed / removed clusters freed.  Clusters shared by both
+        assignments never leave ``owner``, so a failure mid-commit rolls
+        the fabric back to exactly the ``old`` wiring — the processor is
+        never left regionless.
+
+        Raises
+        ------
+        AllocationConflictError
+            If ``owner`` does not own all of ``old``, or an added cluster
+            or switch is held by someone else (rolled back first).
+        DefectError
+            If an added cluster is defective.
+        RegionError
+            If ``new`` leaves the fabric or the delta worm leaves it
+            partially chained.
+        """
+        for coord in old.path:
+            cluster = self.fabric.cluster(coord)
+            if cluster.owner != owner:
+                raise AllocationConflictError(
+                    f"cluster {coord} owned by {cluster.owner!r}, "
+                    f"not {owner!r}"
+                )
+        op_id = next(self._op_ids)
+        token = ("rewire", op_id)
+        old_edges = self._region_edges(old)
+        new_edges = self._region_edges(new)
+        removed = [e for e in old_edges if e not in set(new_edges)]
+        added = [e for e in new_edges if e not in set(old_edges)]
+        old_coords = set(old.path)
+        new_coords = set(new.path)
+        added_coords = [c for c in new.path if c not in old_coords]
+        removed_coords = [c for c in old.path if c not in new_coords]
+        tracer = telemetry.tracer()
+        tspan = None
+        if tracer.enabled:
+            tspan = tracer.start(
+                "wormhole.reconfigure", kind="reconfig", op_id=op_id,
+                owner=str(owner), head=str(new.path[0]),
+                added_edges=len(added), removed_edges=len(removed),
+            )
+        # phase 1: reserve the added edges' switches, validate added clusters
+        taken: List[Tuple[Coord, Coord]] = []
+        try:
+            for coord in added_coords:
+                if coord not in self.fabric:
+                    raise RegionError(f"cluster {coord} outside the fabric")
+                cluster = self.fabric.cluster(coord)
+                if cluster.defective:
+                    raise DefectError(f"cluster {coord} is defective")
+                if cluster.owner is not None:
+                    raise AllocationConflictError(
+                        f"cluster {coord} owned by {cluster.owner!r}"
+                    )
+            for a, b in added:
+                self.fabric.chain_switch(a, b).reserve(token)
+                taken.append((a, b))
+        except WORM_FAILURES:
+            for a, b in taken:
+                self.fabric.chain_switch(a, b).release_reservation(token)
+            if tspan is not None:
+                tspan.end(status="error")
+            raise
+        # phase 2: commit the delta
+        try:
+            for coord in added_coords:
+                self.fabric.cluster(coord).allocate(owner)
+            for a, b in removed:
+                self.fabric.chain_switch(a, b).unchain()
+                self.fabric.shift_switch(a, b).unchain()
+            if self.network is not None and added:
+                cycles, switches = self._deliver_worm(new, edges=added)
+            else:
+                if self.faults is not None:
+                    for a, b in added:
+                        if self.faults.chain_switch_fault(a, b):
+                            raise FaultInjectionError(
+                                f"chain switch {a}-{b} ignored its "
+                                "programming"
+                            )
+                for a, b in added:
+                    self.fabric.chain_switch(a, b).chain()
+                    self.fabric.shift_switch(a, b).chain()
+                cycles, switches = 0, len(added)
+            self._verify_chained(new)
+            for a, b in added:
+                self.fabric.chain_switch(a, b).release_reservation(token)
+            for coord in removed_coords:
+                self.fabric.cluster(coord).free()
+        except WORM_FAILURES:
+            telemetry.counter("wormhole.aborts").inc()
+            telemetry.event(
+                "wormhole.abort", op_id=op_id, region_head=new.path[0]
+            )
+            if tspan is not None:
+                tspan.add_event(
+                    "wormhole.abort", op_id=op_id,
+                    region_head=str(new.path[0]),
+                )
+            # the worm retreats to the *old* wiring: undo the additions,
+            # restore the removals, keep shared clusters untouched
+            for a, b in added:
+                self.fabric.chain_switch(a, b).unchain()
+                self.fabric.shift_switch(a, b).unchain()
+            for coord in added_coords:
+                cluster = self.fabric.cluster(coord)
+                if cluster.owner is not None:
+                    cluster.free()
+            for a, b in removed:
+                self.fabric.chain_switch(a, b).chain()
+                self.fabric.shift_switch(a, b).chain()
+            for a, b in added:
+                self.fabric.chain_switch(a, b).release_reservation(token)
+            if self.network is not None:
+                self.network.purge()
+            if tspan is not None:
+                tspan.end(status="error")
+            raise
+        telemetry.counter("wormhole.reconfigures").inc()
+        telemetry.counter("wormhole.switches_programmed").inc(switches)
+        if tspan is not None:
+            tspan.set_attr("config_cycles", cycles)
+            tspan.set_attr("switches_programmed", switches)
+            tspan.end()
+        return ScalingOperation(op_id, owner, new, cycles, switches)
+
+    @staticmethod
+    def _region_edges(region: Region) -> List[Tuple[Coord, Coord]]:
+        edges = list(zip(region.path, region.path[1:]))
+        if region.ring and len(region.path) > 1:
+            edges.append((region.path[-1], region.path[0]))
+        return edges
 
     # -- down-scaling --------------------------------------------------------
 

@@ -1,0 +1,47 @@
+"""Minimal-rewiring reconfiguration planning (ROADMAP item, paper §3.3).
+
+Scaling on the S-topology "is simply to chain or unchain" programmable
+switches — yet the legacy defrag and resize paths reprogram *entire*
+regions even when old and new assignments overlap almost completely.
+This package plans the reconfiguration first and rewires only the
+difference:
+
+* :mod:`repro.planner.cost` — directed-edge diffing and the
+  switch-write / config-flit cost model;
+* :mod:`repro.planner.simulate` — pure replay of the legacy compaction
+  loop (the shared ground truth both planners price);
+* :mod:`repro.planner.naive` — the release-then-reconfigure baseline,
+  priced honestly (including its put-back overhead);
+* :mod:`repro.planner.minimal` — the delta planner: greedy at scale, an
+  exact branch-and-bound for ≤16-region cases, never worse than greedy;
+* :mod:`repro.planner.execute` — applies a plan through
+  :meth:`WormholeConfigurator.reconfigure` (delta worms with rollback);
+* :mod:`repro.planner.scenarios` — the deterministic defrag scenario
+  suite behind ``repro defrag`` and ``BENCH_planner.json``;
+* :mod:`repro.planner.report` — the canonical ``repro defrag`` report
+  (CI byte-compares ``--plan naive`` against ``--plan legacy`` with it).
+"""
+
+from repro.planner.execute import execute_plan
+from repro.planner.minimal import MinimalPlanner
+from repro.planner.naive import NaivePlanner
+from repro.planner.plan import RegionMove, RewireCost, RewirePlan, SwitchOp
+from repro.planner.report import defrag_report, report_json
+from repro.planner.scenarios import SCENARIOS, build_scenario, scenario_names
+from repro.planner.simulate import simulate_compaction
+
+__all__ = [
+    "SwitchOp",
+    "RewireCost",
+    "RegionMove",
+    "RewirePlan",
+    "NaivePlanner",
+    "MinimalPlanner",
+    "execute_plan",
+    "simulate_compaction",
+    "SCENARIOS",
+    "build_scenario",
+    "scenario_names",
+    "defrag_report",
+    "report_json",
+]

@@ -1,0 +1,220 @@
+"""The minimal-rewiring planner (the ROADMAP's open item).
+
+Given the same compaction demand as the legacy loop, it produces a
+:class:`RewirePlan` whose switch-op sequences are **directed-edge
+deltas**: only the switches whose state actually differs between the old
+and new assignment are written, and only the freshly-chained edges ship
+a config-stream flit.  It never pays the legacy loop's put-back overhead
+because planning is a pure function of the snapshot — nothing is
+released just to widen a search.
+
+Three modes:
+
+* ``greedy`` — keep the legacy move *schedule* (so the final layout is
+  byte-identical to what ``compact_until_stable`` produces) but execute
+  each move as a delta rewire.  Scales to any chip.
+* ``exact``  — branch-and-bound over single-relocation schedules
+  (:mod:`repro.planner.exact`), seeded with the greedy plan so the
+  result is greedy-or-better always.  Exponential in the worst case,
+  bounded by a node budget.
+* ``auto``   — ``exact`` when at most ``exact_limit`` regions are
+  movable (the ISSUE's ≤16-region regime), ``greedy`` beyond that.
+
+The planner also serves the scaling paths: :meth:`plan_grow` relocates a
+processor onto the cheapest fold run that fits its grown size when no
+adjacent extension exists, and :meth:`plan_shrink` prices a tail drop so
+the service layer can report what delta rewiring saves.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, List, Optional, Set, Tuple
+
+from repro.core.states import ProcessorState
+from repro.core.vlsi_processor import ProcessorInstance, VLSIProcessor
+from repro.errors import PlannerError
+from repro.planner.cost import diff_regions, naive_move_cost, ops_cost
+from repro.planner.exact import build_plan, exact_plan_meta, search_exact
+from repro.planner.naive import plan_from_sim
+from repro.planner.plan import RegionMove, RewirePlan
+from repro.planner.simulate import simulate_compaction
+from repro.topology.folding import serpentine_unfold
+from repro.topology.regions import Region, path_region
+
+__all__ = ["MinimalPlanner"]
+
+Coord = Tuple[int, int]
+
+MODES = ("auto", "greedy", "exact")
+
+
+class MinimalPlanner:
+    """Plans delta rewirings instead of release-then-reconfigure."""
+
+    def __init__(
+        self,
+        mode: str = "auto",
+        exact_limit: int = 16,
+        node_budget: int = 50_000,
+    ) -> None:
+        if mode not in MODES:
+            raise PlannerError(
+                f"unknown planner mode {mode!r}; pick one of {MODES}"
+            )
+        self.mode = mode
+        self.exact_limit = exact_limit
+        self.node_budget = node_budget
+
+    # -- compaction ---------------------------------------------------------
+
+    def plan_compaction(
+        self, vlsi: VLSIProcessor, max_passes: int = 8
+    ) -> RewirePlan:
+        """Plan the compaction the legacy loop would perform, minimally."""
+        sim = simulate_compaction(vlsi, max_passes=max_passes)
+        naive = plan_from_sim(sim)
+
+        greedy_moves: List[RegionMove] = []
+        for sim_move in sim.moves:
+            ops = diff_regions(sim_move.old, sim_move.new)
+            greedy_moves.append(
+                RegionMove(
+                    name=sim_move.name,
+                    old=sim_move.old,
+                    new=sim_move.new,
+                    ops=ops,
+                    cost=ops_cost(ops),
+                    naive_cost=naive_move_cost(sim_move.old, sim_move.new),
+                )
+            )
+        greedy = build_plan(
+            tuple(greedy_moves), naive.cost, "greedy",
+            meta={"passes": sim.passes, "putbacks_avoided": len(sim.putbacks)},
+        )
+        if self.mode == "greedy":
+            return greedy
+
+        movable = {
+            name: instance.region
+            for name, instance in vlsi.processors.items()
+            if instance.state.state is ProcessorState.INACTIVE
+        }
+        if self.mode == "auto" and len(movable) > self.exact_limit:
+            return greedy
+
+        fabric = vlsi.fabric
+        order = list(fabric.linear_order())
+        fold = {c: serpentine_unfold(c, fabric.cols) for c in order}
+        pool: Set[Coord] = {
+            c for c in order if fabric.cluster(c).is_free
+        }
+        for region in movable.values():
+            pool.update(region.path)
+        occupied_final: Set[Coord] = set()
+        for region in sim.final.values():
+            occupied_final.update(region.path)
+        quality_floor = _largest_run_of(order, pool - occupied_final)
+        result = search_exact(
+            order, pool, movable, fold,
+            quality_floor=quality_floor,
+            seed_cost=greedy.cost.total,
+            node_budget=self.node_budget,
+        )
+        meta = dict(greedy.meta)
+        meta.update(exact_plan_meta(result))
+        if result.moves is None:
+            # nothing beat the greedy seed: the greedy schedule *is* the
+            # exact answer (or the budget ran out and greedy is the bound)
+            return build_plan(greedy.moves, naive.cost, "exact", meta=meta)
+        return build_plan(result.moves, naive.cost, "exact", meta=meta)
+
+    # -- scaling ------------------------------------------------------------
+
+    def plan_grow(
+        self,
+        vlsi: VLSIProcessor,
+        instance: ProcessorInstance,
+        extra_clusters: int,
+        within: Optional[Collection[Coord]] = None,
+    ) -> Optional[RegionMove]:
+        """Relocate ``instance`` onto a fold run of its grown size.
+
+        Considered when no free adjacent extension exists: every
+        contiguous fold-order run of ``n + extra`` eligible clusters
+        (free, or the processor's own) is a candidate; the cheapest
+        delta rewire wins, ties broken by earliest start.  Returns
+        ``None`` when the shard holds no such run.
+        """
+        fabric = vlsi.fabric
+        scope: Optional[Set[Coord]] = None if within is None else set(within)
+        own = set(instance.region.path)
+        size = len(instance.region) + extra_clusters
+
+        best: Optional[RegionMove] = None
+        best_key: Optional[Tuple[int, int]] = None
+        run: List[Coord] = []
+        index = 0
+        for coord in fabric.linear_order():
+            eligible = (
+                (scope is None or coord in scope)
+                and (fabric.cluster(coord).is_free or coord in own)
+            )
+            if eligible:
+                run.append(coord)
+            else:
+                run = []
+            if len(run) >= size:
+                window = run[-size:]
+                candidate = path_region(window)
+                ops = diff_regions(instance.region, candidate)
+                cost = ops_cost(ops)
+                key = (cost.total, index - size + 1)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = RegionMove(
+                        name=instance.name,
+                        old=instance.region,
+                        new=candidate,
+                        ops=ops,
+                        cost=cost,
+                        naive_cost=naive_move_cost(instance.region, candidate),
+                    )
+            index += 1
+        return best
+
+    def plan_shrink(
+        self, instance: ProcessorInstance, drop_clusters: int
+    ) -> RegionMove:
+        """Price dropping ``drop_clusters`` off the tail as a delta.
+
+        The legacy ``down_scale`` already unchains only the junction and
+        the dropped sub-path, so the delta ops merely make that explicit;
+        the naive baseline is what release-then-reconfigure would pay.
+        """
+        if not 0 < drop_clusters < len(instance.region):
+            raise PlannerError(
+                f"cannot drop {drop_clusters} of "
+                f"{len(instance.region)} clusters"
+            )
+        old = instance.region
+        new = Region(old.path[:-drop_clusters])
+        ops = diff_regions(old, new)
+        return RegionMove(
+            name=instance.name,
+            old=old,
+            new=new,
+            ops=ops,
+            cost=ops_cost(ops),
+            naive_cost=naive_move_cost(old, new),
+        )
+
+
+def _largest_run_of(order: List[Coord], free: Set[Coord]) -> int:
+    best = current = 0
+    for coord in order:
+        if coord in free:
+            current += 1
+            best = max(best, current)
+        else:
+            current = 0
+    return best

@@ -1,0 +1,76 @@
+"""The naive planner: price the legacy loop exactly as it behaves.
+
+It plans the *same* relocations the legacy
+``Defragmenter.compact_until_stable`` performs — same visit order, same
+targets, same pass structure — and charges each one at full
+release-then-reconfigure rates.  It also charges the legacy loop's
+hidden overhead: every visited processor that does **not** move is still
+released (to widen the search) and configured straight back, paying a
+full unchain + rechain of its own region.
+
+``plan.cost == plan.naive_cost`` by definition; the plan exists so the
+minimal planner has an honest baseline and so ``--plan naive`` can be
+byte-compared against the legacy execution path in CI.
+"""
+
+from __future__ import annotations
+
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.planner.cost import (
+    full_chain_ops,
+    full_unchain_ops,
+    ops_cost,
+    putback_cost,
+)
+from repro.planner.plan import RegionMove, RewireCost, RewirePlan
+from repro.planner.simulate import CompactionSim, simulate_compaction
+
+__all__ = ["NaivePlanner", "plan_from_sim"]
+
+
+def plan_from_sim(sim: CompactionSim) -> RewirePlan:
+    """Price a simulated legacy run at release-then-reconfigure rates."""
+    moves = []
+    total = RewireCost()
+    for sim_move in sim.moves:
+        ops = full_unchain_ops(sim_move.old) + full_chain_ops(sim_move.new)
+        cost = ops_cost(ops)
+        moves.append(
+            RegionMove(
+                name=sim_move.name,
+                old=sim_move.old,
+                new=sim_move.new,
+                ops=ops,
+                cost=cost,
+                naive_cost=cost,
+            )
+        )
+        total = total + cost
+    overhead = RewireCost()
+    for visit in sim.putbacks:
+        overhead = overhead + putback_cost(visit.region)
+    total = total + overhead
+    return RewirePlan(
+        moves=tuple(moves),
+        cost=total,
+        naive_cost=total,
+        mode="naive",
+        meta={
+            "passes": sim.passes,
+            "putbacks": len(sim.putbacks),
+            "putback_switch_writes": overhead.switch_writes,
+            "putback_config_flits": overhead.config_flits,
+        },
+    )
+
+
+class NaivePlanner:
+    """Plans compaction exactly as the legacy release-then-reconfigure
+    loop executes it.  Useful only as the cost baseline."""
+
+    mode = "naive"
+
+    def plan_compaction(
+        self, vlsi: VLSIProcessor, max_passes: int = 8
+    ) -> RewirePlan:
+        return plan_from_sim(simulate_compaction(vlsi, max_passes=max_passes))

@@ -1,0 +1,131 @@
+"""Deterministic defrag scenarios — the planner's benchmark suite.
+
+Each scenario builds a fresh chip in a reproducible fragmented state
+(create processors first-fit, destroy some, pin others ACTIVE).  The
+same builders feed the ``repro defrag`` CLI, the planner benchmark
+(``BENCH_planner.json``), and the regression tests, so every consumer
+prices exactly the same layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.vlsi_processor import VLSIProcessor
+from repro.errors import PlannerError
+
+__all__ = ["Scenario", "SCENARIOS", "build_scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible fragmented-chip layout."""
+
+    name: str
+    description: str
+    build: Callable[[], VLSIProcessor]
+
+
+def _chip(rows: int = 8, cols: int = 8) -> VLSIProcessor:
+    # no router network: scenario chips exist to be *planned over*, and
+    # the cost model prices flits analytically
+    return VLSIProcessor(rows, cols, with_network=False)
+
+
+def _checkerboard() -> VLSIProcessor:
+    """Sixteen 4-cluster processors, every even one destroyed — the
+    classic alternating-gap layout the defrag tests use."""
+    vlsi = _chip()
+    for i in range(16):
+        vlsi.create_processor(f"p{i:02d}", n_clusters=4)
+    for i in range(0, 16, 2):
+        vlsi.destroy_processor(f"p{i:02d}")
+    return vlsi
+
+
+def _pinned_band() -> VLSIProcessor:
+    """Eight 8-cluster processors; gaps opened between two ACTIVE
+    processors that compaction must not move."""
+    vlsi = _chip()
+    for i in range(8):
+        vlsi.create_processor(f"p{i}", n_clusters=8)
+    for i in (1, 3, 5):
+        vlsi.destroy_processor(f"p{i}")
+    vlsi.activate("p2")
+    vlsi.activate("p4")
+    return vlsi
+
+
+def _mixed_sizes() -> VLSIProcessor:
+    """Unequal processors with unequal gaps: moved regions rarely fit a
+    gap exactly, so naive reprogramming wastes the most here."""
+    vlsi = _chip()
+    sizes = [3, 5, 2, 7, 4, 6, 1, 8, 3, 5, 2, 7]
+    for i, size in enumerate(sizes):
+        vlsi.create_processor(f"p{i:02d}", n_clusters=size)
+    for i in (0, 2, 5, 7, 10):
+        vlsi.destroy_processor(f"p{i:02d}")
+    return vlsi
+
+
+def _head_slide() -> VLSIProcessor:
+    """A small gap at the head of the fold and a train of long
+    processors behind it: every mover overlaps its own old region, the
+    delta planner's best case."""
+    vlsi = _chip()
+    vlsi.create_processor("gap", n_clusters=2)
+    for i in range(9):
+        vlsi.create_processor(f"t{i}", n_clusters=6)
+    vlsi.destroy_processor("gap")
+    return vlsi
+
+
+def _exact_demo() -> VLSIProcessor:
+    """Free head gap + two same-size processors: greedy ripples both
+    forward, the exact solver coalesces the same free space by moving
+    only the second one."""
+    vlsi = _chip()
+    vlsi.create_processor("gap", n_clusters=4)
+    vlsi.create_processor("a", n_clusters=4)
+    vlsi.create_processor("b", n_clusters=4)
+    vlsi.destroy_processor("gap")
+    return vlsi
+
+
+def _already_compact() -> VLSIProcessor:
+    """Nothing to do: every processor already heads the fold.  The
+    legacy loop still releases and puts back each one per pass; the
+    minimal planner correctly prices this at zero."""
+    vlsi = _chip()
+    for i in range(6):
+        vlsi.create_processor(f"p{i}", n_clusters=4)
+    return vlsi
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario("checkerboard", "alternating 4-cluster gaps", _checkerboard),
+        Scenario("pinned-band", "gaps between ACTIVE processors", _pinned_band),
+        Scenario("mixed-sizes", "unequal processors and gaps", _mixed_sizes),
+        Scenario("head-slide", "overlapping forward slides", _head_slide),
+        Scenario("exact-demo", "exact beats greedy move count", _exact_demo),
+        Scenario("already-compact", "fixpoint from the start", _already_compact),
+    )
+}
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def build_scenario(name: str) -> VLSIProcessor:
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise PlannerError(
+            f"unknown defrag scenario {name!r}; "
+            f"known: {', '.join(SCENARIOS)}"
+        ) from None
+    return scenario.build()

@@ -106,3 +106,64 @@ class TestNonTerminating:
         ex = ProgramExecutor(chip, program, {"loop": "P"})
         with pytest.raises(SimulationError):
             ex.run({}, max_steps=10)
+
+
+class TestMultiInputForwarding:
+    """Figure-7 variants where a successor consumes several forwarded
+    values under its own ID namespace (no shared IDs with the producer)."""
+
+    @staticmethod
+    def _program(sink_inputs):
+        src_g = DataflowGraph()
+        src_g.add(10, Operation.CONST, init_data=7)
+        src_g.add(11, Operation.CONST, init_data=35)
+
+        sink_g = DataflowGraph()
+        for input_id in sink_inputs:
+            sink_g.add(input_id, Operation.CONST, init_data=0)
+        sink_g.add(5, Operation.IADD, sources=sink_inputs[:2])
+
+        program = PartitionedProgram(entry="src")
+        program.add_block(
+            BasicBlock(
+                name="src",
+                graph=src_g,
+                input_ids=[],
+                output_ids=[10, 11],
+                successors=[(None, "sink")],
+            )
+        )
+        program.add_block(
+            BasicBlock(
+                name="sink",
+                graph=sink_g,
+                input_ids=list(sink_inputs),
+                output_ids=[5],
+            )
+        )
+        return program
+
+    def test_matching_arity_zips_positionally(self, chip):
+        # 2 forwarded values, 2 inputs, zero shared IDs: the values are
+        # delivered in output order rather than silently dropped
+        program = self._program((20, 21))
+        chip.create_processor("P_src", n_clusters=1)
+        chip.create_processor("P_sink", n_clusters=1)
+        executor = ProgramExecutor(
+            chip, program, {"src": "P_src", "sink": "P_sink"}
+        )
+        assert executor.run({}) == {5: 7 + 35}
+
+    def test_mismatched_arity_raises_instead_of_reading_stale(self, chip):
+        program = self._program((20, 21, 22))
+        chip.create_processor("P_src", n_clusters=1)
+        chip.create_processor("P_sink", n_clusters=1)
+        # stale values a silent drop would have exposed to the sink
+        sink_mailbox = chip.processor("P_sink").mailbox
+        for input_id in (20, 21, 22):
+            sink_mailbox.deliver("supervisor", input_id, 999)
+        executor = ProgramExecutor(
+            chip, program, {"src": "P_src", "sink": "P_sink"}
+        )
+        with pytest.raises(SimulationError, match="stale mailbox"):
+            executor.run({})

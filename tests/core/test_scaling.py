@@ -163,3 +163,29 @@ class TestSplit:
         # split it back into two small-scale processors
         h, t = scaler.split("MED", 2, "S1", "S2")
         assert h.n_clusters == t.n_clusters == 2
+
+
+class TestConfigCycleAccounting:
+    def test_cycles_accumulate_across_grow_shrink_grow(self):
+        # needs the NoC: config cycles are priced from real worm traffic
+        chip = VLSIProcessor(4, 4)
+        scaler = ScalingController(chip)
+        chip.create_processor("A", n_clusters=3)
+        instance = chip.processor("A")
+        total = instance.config_cycles
+        assert total == instance.last_config_cycles > 0
+
+        scaler.up_scale("A", 2)
+        # grow ADDS the new worm's cycles to the lifetime total
+        total += instance.last_config_cycles
+        assert instance.config_cycles == total
+
+        scaler.down_scale("A", 1)
+        # shrink unchains directly -- no worm, no new cycles
+        assert instance.config_cycles == total
+
+        scaler.up_scale("A", 1)
+        total += instance.last_config_cycles
+        assert instance.config_cycles == total
+        # the lifetime total now exceeds any single reconfiguration
+        assert instance.config_cycles > instance.last_config_cycles

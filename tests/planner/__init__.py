@@ -1,0 +1,1 @@
+"""Tests for the minimal-rewiring reconfiguration planner."""

@@ -216,3 +216,55 @@ class TestCosts:
         result, cost = fabric.destroy("t0", "p0")
         assert result["released_clusters"] == 2
         assert cost == 1 + 2
+
+
+class TestPlannedResize:
+    """``planner="minimal"`` lets a resize relocate instead of failing,
+    and surfaces the saved rewires; the default fabric is untouched."""
+
+    @staticmethod
+    def _fragmented(planner=None):
+        # t0 owns the whole first shard; destroying "a" leaves a hole
+        # in front of "b" with nothing free behind b's tail
+        fabric = small_fabric(planner=planner)
+        fabric.admit("t0", 8, slot=0)
+        fabric.create("t0", "a", 2)
+        fabric.create("t0", "b", 2)
+        fabric.create("t0", "c", 4)
+        fabric.destroy("t0", "a")
+        return fabric
+
+    def test_planned_scale_up_relocates_and_reports_savings(self):
+        fabric = self._fragmented(planner="minimal")
+        result, _cost = fabric.scale_up("t0", "b", 2)
+        assert result["clusters"] == 4
+        assert result["rewires_saved"] > 0
+        stats, _ = fabric.tenant_stats("t0")
+        assert stats["rewires_saved"] == result["rewires_saved"]
+        assert stats["owned_clusters"] == 8  # still inside the quota
+
+    def test_savings_accumulate_across_operations(self):
+        fabric = self._fragmented(planner="minimal")
+        up, _ = fabric.scale_up("t0", "b", 2)
+        down, _ = fabric.scale_down("t0", "c", 1)
+        assert down["rewires_saved"] > 0
+        stats, _ = fabric.tenant_stats("t0")
+        assert stats["rewires_saved"] == (
+            up["rewires_saved"] + down["rewires_saved"]
+        )
+
+    def test_unplanned_fabric_still_fails_the_blocked_resize(self):
+        fabric = self._fragmented()
+        with pytest.raises(RegionError, match="no free 2-cluster extension"):
+            fabric.scale_up("t0", "b", 2)
+
+    def test_default_fabric_responses_stay_byte_identical(self):
+        # without a planner the new key must not appear anywhere
+        fabric = small_fabric()
+        fabric.admit("t0", 8, slot=0)
+        fabric.create("t0", "p", 2)
+        up, _ = fabric.scale_up("t0", "p", 1)
+        down, _ = fabric.scale_down("t0", "p", 1)
+        stats, _ = fabric.tenant_stats("t0")
+        for payload in (up, down, stats):
+            assert "rewires_saved" not in payload

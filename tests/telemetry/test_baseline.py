@@ -51,7 +51,7 @@ class TestRecord:
 
     def test_canonical_benches_registered(self):
         assert sorted(BENCHES) == [
-            "engine", "faults", "fig3", "megascale", "service",
+            "engine", "faults", "fig3", "megascale", "planner", "service",
         ]
 
 

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.engine",
     "repro.megascale",
     "repro.service",
+    "repro.planner",
 ]
 
 
